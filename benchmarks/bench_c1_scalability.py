@@ -1,0 +1,100 @@
+"""Experiment C1 — the "scalable" claim (Conclusion §IV).
+
+Sweeps district size and measures, at each size:
+
+* simulated master resolve latency (should grow mildly: the ontology
+  walk is linear but the answer is URIs only);
+* simulated end-to-end integration latency for a *fixed-size* area
+  query (one building) — the paper's scalability story: clients pay
+  for what they query, not for the district size;
+* simulated integration latency for the whole district (grows with the
+  returned data, as it must).
+
+The pytest-benchmark table (grouped by size) tracks the wall-clock cost
+of the fixed-size workflow, which should stay flat.
+"""
+
+import pytest
+
+from repro.ontology import AreaQuery
+from repro.simulation import (
+    MetricsRecorder,
+    ScenarioConfig,
+    deploy,
+)
+
+EXPERIMENT = "C1"
+SIZES = (5, 10, 20, 40, 80)
+
+_deployments = {}
+_single_building_p50 = {}
+
+
+def district_of(n_buildings):
+    if n_buildings not in _deployments:
+        deployment = deploy(ScenarioConfig(
+            seed=100 + n_buildings, n_buildings=n_buildings,
+            devices_per_building=4, n_networks=1,
+        ))
+        deployment.run(600.0)
+        _deployments[n_buildings] = deployment
+    return _deployments[n_buildings]
+
+
+@pytest.mark.parametrize("n_buildings", SIZES)
+def test_scalability(n_buildings, benchmark, report):
+    district = district_of(n_buildings)
+    client = district.client(f"c1-user-{n_buildings}")
+    metrics = MetricsRecorder()
+
+    whole = AreaQuery(district_id=district.district_id)
+    single = AreaQuery(
+        district_id=district.district_id,
+        entity_ids=(district.dataset.buildings[0].entity_id,),
+    )
+
+    for _ in range(5):
+        with metrics.simulated("resolve", district.scheduler):
+            client.resolve(whole)
+        with metrics.simulated("single-building integrate",
+                               district.scheduler):
+            client.build_area_model(single, with_data=True,
+                                    data_bucket=300.0)
+    with metrics.simulated("whole-district integrate",
+                           district.scheduler):
+        model = client.build_area_model(whole, with_data=True,
+                                        data_bucket=300.0)
+    assert len(model.buildings) == n_buildings
+
+    def fixed_size_workflow():
+        return client.build_area_model(single, with_data=True,
+                                       data_bucket=300.0)
+
+    benchmark.pedantic(fixed_size_workflow, rounds=3, iterations=1)
+
+    resolve = metrics.summary("resolve")
+    one = metrics.summary("single-building integrate")
+    all_b = metrics.summary("whole-district integrate")
+    _single_building_p50[n_buildings] = one.p50
+    report.header(EXPERIMENT,
+                  "scalability: latency vs district size (simulated)")
+    report.add(EXPERIMENT,
+               f"buildings={n_buildings:<4d} devices="
+               f"{len(district.dataset.devices):<5d}"
+               f" resolve p50={resolve.p50 * 1e3:7.2f}ms"
+               f"  1-building integrate p50={one.p50 * 1e3:8.2f}ms"
+               f"  whole-district integrate={all_b.p50 * 1e3:9.2f}ms")
+
+    if n_buildings == SIZES[-1] and SIZES[0] in _single_building_p50:
+        # the headline shape: a fixed-size query does not pay for
+        # district growth (redirect architecture)
+        ratio = (_single_building_p50[SIZES[-1]]
+                 / _single_building_p50[SIZES[0]])
+        report.add(EXPERIMENT,
+                   f"{SIZES[-1] // SIZES[0]}x district growth -> "
+                   f"single-building query cost x{ratio:.2f} "
+                   f"(claim: ~flat; <2x accepted)")
+        assert ratio < 2.0, (
+            f"single-building query slowed {ratio:.2f}x as the district "
+            f"grew: redirect architecture is not delivering scalability"
+        )

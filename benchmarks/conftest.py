@@ -1,0 +1,69 @@
+"""Shared harness for the experiment benchmarks.
+
+Each benchmark registers human-readable result rows on the session-wide
+:class:`ExperimentReport`; ``pytest_terminal_summary`` prints them after
+the pytest-benchmark table, so ``pytest benchmarks/ --benchmark-only``
+emits every experiment's series/table exactly once per run.  Rows are
+also written to ``benchmarks/results/experiments.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ExperimentReport:
+    """Collects per-experiment result rows during the benchmark session."""
+
+    def __init__(self) -> None:
+        self._rows: "OrderedDict[str, List[str]]" = OrderedDict()
+
+    def add(self, experiment: str, row: str) -> None:
+        """Append one formatted row to an experiment's table."""
+        self._rows.setdefault(experiment, []).append(row)
+
+    def header(self, experiment: str, title: str) -> None:
+        """Set an experiment's title row (idempotent)."""
+        rows = self._rows.setdefault(experiment, [])
+        banner = f"--- {experiment}: {title} ---"
+        if not rows or rows[0] != banner:
+            rows.insert(0, banner)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for experiment, rows in self._rows.items():
+            lines.extend(rows)
+            lines.append("")
+        return "\n".join(lines)
+
+    @property
+    def empty(self) -> bool:
+        return not self._rows
+
+
+_REPORT = ExperimentReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> ExperimentReport:
+    """The session-wide experiment report."""
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _REPORT.empty:
+        return
+    rendered = _REPORT.render()
+    terminalreporter.write_sep("=", "experiment results (paper-shape tables)")
+    terminalreporter.write_line(rendered)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, "experiments.txt")
+    with open(path, "w") as handle:
+        handle.write(rendered + "\n")
+    terminalreporter.write_line(f"(also written to {path})")

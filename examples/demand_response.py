@@ -1,0 +1,125 @@
+"""Demand response through remote actuation.
+
+The paper's purposes (ii) and (iv): "provide a complete framework to
+optimize the energy waste" and "easily and efficiently manage the
+heterogeneous devices deployed in the district".
+
+An energy-manager application subscribes to live power measurements on
+the middleware, watches the district load, and when it crosses a
+threshold issues setpoint reductions to every HVAC controller through
+the Device-proxies (whatever protocol each controller speaks).  The
+load drop is then visible in the subsequent measurements.
+
+Run with:  python examples/demand_response.py
+"""
+
+from repro.common.simtime import duration
+from repro.ontology import AreaQuery
+from repro.simulation import ScenarioConfig, deploy
+
+
+class DemandResponseController:
+    """Subscribes to live power, actuates HVAC when load is high."""
+
+    def __init__(self, district, threshold_watts, reduced_setpoint=17.0):
+        self.district = district
+        self.threshold = threshold_watts
+        self.reduced_setpoint = reduced_setpoint
+        self.client = district.client("energy-manager")
+        self.latest_power = {}
+        self.actions = []
+        self.results = []
+        self.triggered = False
+        resolved = self.client.resolve(
+            AreaQuery(district_id=district.district_id, quantity="power")
+        )
+        self.hvacs = [
+            device
+            for entity in resolved.entities
+            for device in entity.devices
+            if device.is_actuator and "setpoint" in device.quantities
+        ]
+        self.client.subscribe_measurements(
+            self.on_measurement,
+            district_id=district.district_id,
+            quantity="power",
+        )
+
+    def district_load(self) -> float:
+        return sum(self.latest_power.values())
+
+    def on_measurement(self, event) -> None:
+        payload = event.payload
+        self.latest_power[payload["device_id"]] = payload["value"]
+        if not self.triggered and self.district_load() > self.threshold:
+            self.triggered = True
+            self.shed_load()
+
+    def hvac_power(self) -> float:
+        now = self.district.scheduler.now
+        return sum(
+            self.district.devices[d.device_id].channel("power").read(now)
+            for d in self.hvacs
+        )
+
+    def shed_load(self) -> None:
+        now = self.district.scheduler.now
+        self.hvac_power_before = self.hvac_power()
+        print(f"  [t={now / 3600:6.2f} h] district load "
+              f"{self.district_load() / 1e3:.1f} kW over threshold "
+              f"{self.threshold / 1e3:.1f} kW: reducing "
+              f"{len(self.hvacs)} HVAC setpoints to "
+              f"{self.reduced_setpoint} degC")
+        for device in self.hvacs:
+            self.client.actuate(
+                device, "setpoint", self.reduced_setpoint,
+                on_result=self.results.append,
+            )
+            self.actions.append(device.device_id)
+
+
+def main() -> None:
+    print("=== deploying district ===")
+    district = deploy(ScenarioConfig(
+        seed=3, n_buildings=6, devices_per_building=6, n_networks=1,
+    ))
+    # jump to a cold Monday morning so HVAC load ramps up
+    district.run(duration(days=4, hours=5))
+
+    hvac_devices = [d for d in district.dataset.devices
+                    if d.kind == "hvac_controller"]
+    print(f"HVAC controllers deployed: {len(hvac_devices)} "
+          f"(protocols: {sorted({d.protocol for d in hvac_devices})})")
+
+    controller = DemandResponseController(
+        district, threshold_watts=40_000.0
+    )
+    print(f"actuatable HVACs visible to the manager: "
+          f"{len(controller.hvacs)}")
+
+    print("\n=== monitoring morning ramp-up ===")
+    district.run(duration(hours=6))
+
+    if not controller.triggered:
+        print("  threshold never crossed; try a colder seed")
+        return
+
+    print("\n=== outcome ===")
+    print(f"setpoint commands issued:    {len(controller.actions)}")
+    confirmed = [r for r in controller.results if r.accepted]
+    print(f"actuations confirmed:        {len(confirmed)} "
+          f"(via post-command reports on the middleware)")
+    hvac_after = controller.hvac_power()
+    print(f"HVAC power at trigger:       "
+          f"{controller.hvac_power_before / 1e3:.1f} kW")
+    print(f"HVAC power now:              {hvac_after / 1e3:.1f} kW "
+          f"(setpoints held lower since the shed)")
+    for device_id in controller.actions[:5]:
+        device = district.devices[device_id]
+        print(f"  {device_id} ({device.protocol:<10s}) setpoint now "
+              f"{device.channel('setpoint').read(0.0):.1f} degC")
+    print("\ndemand-response example complete.")
+
+
+if __name__ == "__main__":
+    main()

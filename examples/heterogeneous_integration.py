@@ -1,0 +1,112 @@
+"""Heterogeneity tour: four field protocols, three database families.
+
+The paper's core claim is interoperability "between heterogeneous
+devices" and across "several platforms and data formats".  This example
+makes the heterogeneity visible, then shows it disappearing behind the
+common data format:
+
+* dumps a raw frame from each protocol (802.15.4 TLVs, ZigBee ZCL,
+  EnOcean 4BS telegram, OPC UA binary) and the identical canonical
+  measurement each decodes to;
+* fetches the BIM, SIM and GIS models of one building/network and
+  prints the same properties coming out of three alien schemas;
+* shows the JSON and XML wire encodings of the same CDF document.
+
+Run with:  python examples/heterogeneous_integration.py
+"""
+
+from repro.common import serialization
+from repro.ontology import AreaQuery
+from repro.protocols import make_adapter
+from repro.simulation import ScenarioConfig, deploy
+
+
+def hexdump(blob: bytes, limit: int = 24) -> str:
+    shown = blob[:limit]
+    suffix = f" ... ({len(blob)} bytes)" if len(blob) > limit else ""
+    return " ".join(f"{b:02x}" for b in shown) + suffix
+
+
+def protocol_tour() -> None:
+    print("=== one temperature reading, four wire formats ===")
+    frames = {}
+    cases = {
+        "ieee802154": "0x1a2f",
+        "zigbee": "00:12:4b:00:00:00:00:aa",
+        "enocean": "0100beef",
+        "opcua": "PLC001.RoomSensor",
+    }
+    for protocol, address in cases.items():
+        adapter = make_adapter(protocol)
+        if protocol == "enocean":
+            teach = adapter.encode_teach_in(address, "A5-02-05")
+            adapter.decode_frame(teach)
+        frame = adapter.encode_readings(address, [("temperature", 21.5)],
+                                        timestamp=1000.0)
+        frames[protocol] = (adapter, frame)
+        print(f"  {protocol:<11s} {hexdump(frame)}")
+    print("\n  ...all decode to the same canonical reading:")
+    for protocol, (adapter, frame) in frames.items():
+        reading = adapter.decode_frame(frame, received_at=1000.0)[0]
+        print(f"  {protocol:<11s} quantity={reading.quantity} "
+              f"value={reading.value:.2f} degC  "
+              f"address={reading.device_address}")
+
+
+def database_tour() -> None:
+    print("\n=== three database schemas, one common format ===")
+    district = deploy(ScenarioConfig(seed=2, n_buildings=3,
+                                     devices_per_building=4, n_networks=1))
+    district.run(900.0)
+    building = district.dataset.buildings[0]
+
+    print(f"\n  native BIM: {len(building.bim)} IFC records keyed by "
+          f"22-char GlobalIds, e.g.")
+    root = building.bim.root()
+    print(f"    {root['GlobalId']}  {root['type']}  name={root['Name']!r}")
+
+    sim = district.dataset.networks[0].sim
+    print(f"  native SIM: {len(sim.nodes())} node rows, "
+          f"{len(sim.edges())} edge rows, service points keyed by "
+          f"cadastral parcel:")
+    for consumer, parcel in list(sim.service_points().items())[:2]:
+        print(f"    {consumer} -> {parcel}")
+
+    feature = district.dataset.gis.feature(building.feature_id)
+    print(f"  native GIS: WKT features, e.g.")
+    print(f"    {feature.feature_id}: {feature.wkt[:60]}...")
+
+    client = district.client()
+    model = client.build_area_model(
+        AreaQuery(district_id=district.district_id)
+    )
+    entity = model.entity(building.entity_id)
+    print("\n  after proxy translation + client integration:")
+    for prop in ("floor_area_m2", "cadastral_id", "use", "height_m"):
+        value = entity.properties.get(prop)
+        source = entity.provenance.get(prop, "-")
+        print(f"    {prop:<16s} = {value!s:<14s} (from {source})")
+    network = model.networks[0]
+    print(f"    network {network.entity_id} serves "
+          f"{model.served_buildings(network.entity_id)} "
+          f"(SIM cadastral ids joined via GIS)")
+
+    print("\n=== the same CDF document in both open standards ===")
+    bim_model = entity.sources["bim"]
+    as_json = serialization.to_json(bim_model)
+    as_xml = serialization.to_xml(bim_model)
+    print(f"  JSON ({len(as_json)} chars): {as_json[:100]}...")
+    print(f"  XML  ({len(as_xml)} chars): {as_xml[:100]}...")
+    assert serialization.from_json(as_json) == \
+        serialization.from_xml(as_xml) == bim_model
+    print("  round-trip equality across both encodings: OK")
+
+
+def main() -> None:
+    protocol_tour()
+    database_tour()
+    print("\nheterogeneous-integration example complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Distribution-network efficiency from measured demands.
+
+The paper's introduction: "tracing energy consumption at different
+levels of detail is crucial to increase distribution networks
+efficiency of a city district".  This example does exactly that trace:
+
+1. deploy a district and collect measurements;
+2. integrate building models + measured feeder loads through the
+   framework (SIM topology from the SIM proxy, demands from the
+   Device-proxies, joined via the GIS cadastral ids);
+3. solve the distribution network's flows at the morning peak and at
+   night, and report segment utilisation, losses and delivery
+   efficiency — the figures a network operator plans reinforcement
+   with.
+
+Run with:  python examples/network_efficiency.py
+"""
+
+from repro.common.simtime import duration
+from repro.gridsim import FlowSolver, demands_from_model
+from repro.ontology import AreaQuery
+from repro.simulation import ScenarioConfig, deploy
+
+
+def solve_at(district, client, label, start, end):
+    model = client.build_area_model(
+        AreaQuery(district_id=district.district_id),
+        with_data=True, data_start=start, data_end=end,
+    )
+    network = district.dataset.networks[0]
+    sim = network.sim
+    demands = demands_from_model(model, network.entity_id, sim,
+                                 load_fraction=0.6)
+    state = FlowSolver(sim).solve(demands)
+    print(f"\n=== {label} ===")
+    print(f"  consumers served: {len(demands)}  "
+          f"delivered {state.delivered_kw:7.1f} kW  "
+          f"losses {state.losses_kw:6.2f} kW  "
+          f"efficiency {state.efficiency * 100:5.2f}%")
+    print(f"  {'segment':<8s} {'flow kW':>9s} {'rating':>8s} "
+          f"{'util':>6s} {'loss kW':>8s}")
+    for segment in state.worst_segments(4):
+        flag = "  OVERLOAD" if segment.overloaded else ""
+        print(f"  {segment.edge_id:<8s} {segment.flow_kw:9.1f} "
+              f"{segment.rating_kw:8.0f} "
+              f"{segment.utilisation * 100:5.1f}% "
+              f"{segment.loss_kw:8.3f}{flag}")
+    return state
+
+
+def main() -> None:
+    print("=== deploying district and collecting a working day ===")
+    district = deploy(ScenarioConfig(
+        seed=23, n_buildings=6, devices_per_building=4, n_networks=1,
+    ))
+    monday = duration(days=4)
+    district.run(monday + duration(days=1))
+    client = district.client("network-operator")
+
+    peak = solve_at(
+        district, client, "morning peak (08:00-10:00)",
+        monday + duration(hours=8), monday + duration(hours=10),
+    )
+    night = solve_at(
+        district, client, "night valley (02:00-04:00)",
+        monday + duration(hours=2), monday + duration(hours=4),
+    )
+
+    print("\n=== operator summary ===")
+    ratio = peak.losses_kw / max(night.losses_kw, 1e-9)
+    print(f"  peak losses are {ratio:.1f}x the night losses "
+          f"(quadratic in loading)")
+    if peak.overloaded_segments:
+        names = ", ".join(s.edge_id for s in peak.overloaded_segments)
+        print(f"  segments needing reinforcement: {names}")
+    else:
+        print("  no segment exceeds its rating at peak")
+    print("\nnetwork-efficiency example complete.")
+
+
+if __name__ == "__main__":
+    main()

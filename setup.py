@@ -1,0 +1,10 @@
+"""Setup shim: keeps editable installs working without build isolation.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` uses the legacy setuptools path, which does not
+need network access to fetch an isolated build environment.
+"""
+
+from setuptools import setup
+
+setup()

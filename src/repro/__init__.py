@@ -1,0 +1,39 @@
+"""repro — reproduction of Brundu et al., "A new distributed framework
+for integration of district energy data from heterogeneous devices"
+(DATE 2015).
+
+A distributed middleware for city-district energy data: a master node
+holding a district ontology, Device-proxies abstracting heterogeneous
+field protocols (IEEE 802.15.4, ZigBee, EnOcean, OPC UA) behind Web
+Services and pub/sub, Database-proxies translating BIM/SIM/GIS exports
+to a common open format, and an end-user client that integrates it all.
+
+Quickstart::
+
+    from repro.simulation import ScenarioConfig, deploy
+    from repro.ontology import AreaQuery
+
+    district = deploy(ScenarioConfig(n_buildings=4))
+    district.run(3600)                     # one simulated hour
+    client = district.client()
+    model = client.build_area_model(
+        AreaQuery(district_id=district.district_id), with_data=True
+    )
+    print(model.device_count, "devices integrated")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import DistrictClient, MasterNode, integrate
+from repro.ontology import AreaQuery
+from repro.simulation import ScenarioConfig, deploy
+
+__all__ = [
+    "AreaQuery",
+    "DistrictClient",
+    "MasterNode",
+    "ScenarioConfig",
+    "deploy",
+    "integrate",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Comparison baselines: the centralized monolithic-union architecture."""
+
+from repro.baselines.centralized import (
+    CentralDatabase,
+    CentralGateway,
+    CentralServer,
+    CentralizedDeployment,
+    deploy_centralized,
+)
+
+__all__ = [
+    "CentralDatabase",
+    "CentralGateway",
+    "CentralServer",
+    "CentralizedDeployment",
+    "deploy_centralized",
+]

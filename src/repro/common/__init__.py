@@ -1,0 +1,58 @@
+"""Shared substrate: identifiers, units, simulated time, and the CDF.
+
+The Common Data Format (CDF) is the "shared common data format" of the
+paper — the single representation every proxy translates its native
+source into.  See :mod:`repro.common.cdf` for the record types and
+:mod:`repro.common.serialization` for the JSON/XML wire encodings.
+"""
+
+from repro.common.cdf import (
+    ActuationCommand,
+    ActuationResult,
+    ActuatorCapability,
+    Component,
+    DeviceDescription,
+    EntityModel,
+    Measurement,
+    Relation,
+    SensorCapability,
+    record_from_dict,
+)
+from repro.common.identifiers import (
+    EntityId,
+    ServiceUri,
+    entity_kind,
+    make_entity_id,
+    service_uri,
+)
+from repro.common.serialization import decode, encode, from_json, to_json
+from repro.common.simtime import SimClock, duration, isoformat
+from repro.common.units import Quantity, canonical_unit, convert
+
+__all__ = [
+    "ActuationCommand",
+    "ActuationResult",
+    "ActuatorCapability",
+    "Component",
+    "DeviceDescription",
+    "EntityId",
+    "EntityModel",
+    "Measurement",
+    "Quantity",
+    "Relation",
+    "SensorCapability",
+    "ServiceUri",
+    "SimClock",
+    "canonical_unit",
+    "convert",
+    "decode",
+    "duration",
+    "encode",
+    "entity_kind",
+    "from_json",
+    "isoformat",
+    "make_entity_id",
+    "record_from_dict",
+    "service_uri",
+    "to_json",
+]

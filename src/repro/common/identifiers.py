@@ -1,0 +1,97 @@
+"""Entity identifiers and service URIs.
+
+Two naming schemes hold the infrastructure together:
+
+* **Entity ids** — hierarchical, dot-free string ids minted by the
+  district generator (``dst-torino``, ``bld-0007``, ``net-heat-01``,
+  ``dev-00a3``).  :class:`EntityId` validates and classifies them.
+
+* **Service URIs** — ``svc://<host>/<path>`` strings naming a web-service
+  endpoint on the simulated network.  The master node stores these in the
+  ontology and returns them to clients (the paper's "URIs of the proxies'
+  Web Services").  :class:`ServiceUri` parses and formats them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, QueryError
+
+_SCHEME = "svc"
+_URI_RE = re.compile(r"^svc://(?P<host>[A-Za-z0-9_.\-]+)(?P<path>/[^\s?#]*)?$")
+_ENTITY_RE = re.compile(r"^(?P<kind>[a-z]+)-(?P<rest>[A-Za-z0-9\-]+)$")
+
+#: entity-id prefix -> human readable kind
+ENTITY_KINDS = {
+    "dst": "district",
+    "bld": "building",
+    "net": "network",
+    "dev": "device",
+    "src": "datasource",
+}
+
+
+@dataclass(frozen=True)
+class EntityId:
+    """A validated hierarchical entity identifier such as ``bld-0007``."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        match = _ENTITY_RE.match(self.value)
+        if match is None or match.group("kind") not in ENTITY_KINDS:
+            raise QueryError(f"malformed entity id: {self.value!r}")
+
+    @property
+    def kind(self) -> str:
+        """Return the entity kind (``district``, ``building``, ...)."""
+        return ENTITY_KINDS[self.value.split("-", 1)[0]]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def entity_kind(entity_id: str) -> str:
+    """Classify a raw entity-id string; raises :class:`QueryError` if bad."""
+    return EntityId(entity_id).kind
+
+
+def make_entity_id(kind_prefix: str, index: int, width: int = 4) -> str:
+    """Mint an entity id like ``bld-0007`` from a prefix and an index."""
+    if kind_prefix not in ENTITY_KINDS:
+        raise ConfigurationError(f"unknown entity prefix: {kind_prefix!r}")
+    return f"{kind_prefix}-{index:0{width}d}"
+
+
+@dataclass(frozen=True)
+class ServiceUri:
+    """A parsed ``svc://host/path`` web-service URI."""
+
+    host: str
+    path: str = "/"
+
+    @classmethod
+    def parse(cls, text: str) -> "ServiceUri":
+        """Parse a URI string, raising :class:`QueryError` on bad syntax."""
+        match = _URI_RE.match(text)
+        if match is None:
+            raise QueryError(f"malformed service URI: {text!r}")
+        return cls(host=match.group("host"), path=match.group("path") or "/")
+
+    def join(self, suffix: str) -> "ServiceUri":
+        """Return a URI with *suffix* appended to this URI's path."""
+        base = self.path.rstrip("/")
+        extra = suffix if suffix.startswith("/") else "/" + suffix
+        return ServiceUri(self.host, base + extra)
+
+    def __str__(self) -> str:
+        return f"{_SCHEME}://{self.host}{self.path}"
+
+
+def service_uri(host: str, path: str = "/") -> str:
+    """Format a ``svc://`` URI string from host and path components."""
+    if not path.startswith("/"):
+        path = "/" + path
+    return str(ServiceUri(host, path))

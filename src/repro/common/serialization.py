@@ -1,0 +1,197 @@
+"""JSON and XML wire encodings for Common Data Format records.
+
+The paper requires each proxy to expose data "translated ... to an open
+standard, such as JSON or XML".  Both encodings are implemented and
+round-trip exactly:
+
+* JSON — the default wire format; documents are either a single record
+  object or a list of records.
+* XML — element tree with ``type`` attributes preserving scalar types,
+  so ``from_xml(to_xml(doc))`` reproduces the original records.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import re
+import xml.etree.ElementTree as ET
+from typing import Any, List, Sequence, Union
+
+from repro.errors import SerializationError
+from repro.common import cdf
+
+CdfRecord = Any  # any of the cdf record dataclasses
+Document = Union[CdfRecord, Sequence[CdfRecord]]
+
+JSON_FORMAT = "json"
+XML_FORMAT = "xml"
+FORMATS = (JSON_FORMAT, XML_FORMAT)
+
+
+def _record_to_dict(record: CdfRecord) -> dict:
+    if not hasattr(record, "to_dict"):
+        raise SerializationError(
+            f"object of type {type(record).__name__} is not a CDF record"
+        )
+    return record.to_dict()
+
+
+# --------------------------------------------------------------------------
+# JSON
+
+
+def to_json(document: Document, indent: int = 0) -> str:
+    """Encode one record or a sequence of records as a JSON document."""
+    if isinstance(document, (list, tuple)):
+        body: Any = [_record_to_dict(r) for r in document]
+    else:
+        body = _record_to_dict(document)
+    return json.dumps(body, indent=indent or None, sort_keys=True)
+
+
+def from_json(text: str) -> Document:
+    """Decode a JSON document into a record or a list of records."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON document: {exc}") from exc
+    if isinstance(data, list):
+        return cdf.records_from_dicts(data)
+    if isinstance(data, dict):
+        return cdf.record_from_dict(data)
+    raise SerializationError("JSON document must be an object or array")
+
+
+# --------------------------------------------------------------------------
+# XML
+#
+# Scalars carry a type attribute so that decoding restores the exact
+# Python value; dicts become child elements keyed by an "item" wrapper
+# when the key is not a valid XML name.
+
+
+# characters XML 1.0 cannot carry even escaped (control chars except
+# tab/newline/carriage-return, and surrogates); such strings fall back
+# to a base64 encoding with their own type tag
+_XML_UNSAFE = re.compile(
+    "[\x00-\x08\x0b\x0c\x0e-\x1f\ud800-\udfff]"
+)
+
+
+def _scalar_to_xml(parent: ET.Element, tag: str, value: Any) -> None:
+    elem = ET.SubElement(parent, "field", name=tag)
+    if value is None:
+        elem.set("type", "null")
+    elif isinstance(value, bool):
+        elem.set("type", "bool")
+        elem.text = "true" if value else "false"
+    elif isinstance(value, int):
+        elem.set("type", "int")
+        elem.text = str(value)
+    elif isinstance(value, float):
+        elem.set("type", "float")
+        elem.text = repr(value)
+    elif isinstance(value, str):
+        if _XML_UNSAFE.search(value):
+            elem.set("type", "str64")
+            elem.text = base64.b64encode(
+                value.encode("utf-8", "surrogatepass")
+            ).decode("ascii")
+        else:
+            elem.set("type", "str")
+            elem.text = value
+    elif isinstance(value, dict):
+        elem.set("type", "dict")
+        for key, sub in value.items():
+            _scalar_to_xml(elem, str(key), sub)
+    elif isinstance(value, (list, tuple)):
+        elem.set("type", "list")
+        for sub in value:
+            _scalar_to_xml(elem, "item", sub)
+    else:
+        raise SerializationError(
+            f"value of type {type(value).__name__} not encodable as XML"
+        )
+
+
+def _scalar_from_xml(elem: ET.Element) -> Any:
+    kind = elem.get("type")
+    text = elem.text or ""
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return text == "true"
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "str":
+        return text
+    if kind == "str64":
+        return base64.b64decode(text).decode("utf-8", "surrogatepass")
+    if kind == "dict":
+        return {
+            child.get("name"): _scalar_from_xml(child) for child in elem
+        }
+    if kind == "list":
+        return [_scalar_from_xml(child) for child in elem]
+    raise SerializationError(f"unknown XML field type {kind!r}")
+
+
+def to_xml(document: Document) -> str:
+    """Encode one record or a sequence of records as an XML document."""
+    root = ET.Element("cdf")
+    records = (
+        document if isinstance(document, (list, tuple)) else [document]
+    )
+    root.set("plural", "true" if isinstance(document, (list, tuple)) else "false")
+    for record in records:
+        data = _record_to_dict(record)
+        rec_elem = ET.SubElement(root, "rec")
+        for key, value in data.items():
+            _scalar_to_xml(rec_elem, key, value)
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_xml(text: str) -> Document:
+    """Decode an XML document into a record or a list of records."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"invalid XML document: {exc}") from exc
+    if root.tag != "cdf":
+        raise SerializationError(f"unexpected XML root element {root.tag!r}")
+    records: List[CdfRecord] = []
+    for rec_elem in root.findall("rec"):
+        data = {
+            child.get("name"): _scalar_from_xml(child) for child in rec_elem
+        }
+        records.append(cdf.record_from_dict(data))
+    if root.get("plural") == "true":
+        return records
+    if len(records) != 1:
+        raise SerializationError("singular XML document with != 1 record")
+    return records[0]
+
+
+# --------------------------------------------------------------------------
+# format-agnostic entry points
+
+
+def encode(document: Document, fmt: str = JSON_FORMAT) -> str:
+    """Encode a document in the requested open format (json or xml)."""
+    if fmt == JSON_FORMAT:
+        return to_json(document)
+    if fmt == XML_FORMAT:
+        return to_xml(document)
+    raise SerializationError(f"unknown encoding format {fmt!r}")
+
+
+def decode(text: str, fmt: str = JSON_FORMAT) -> Document:
+    """Decode a document from the requested open format (json or xml)."""
+    if fmt == JSON_FORMAT:
+        return from_json(text)
+    if fmt == XML_FORMAT:
+        return from_xml(text)
+    raise SerializationError(f"unknown encoding format {fmt!r}")

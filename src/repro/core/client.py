@@ -1,0 +1,228 @@
+"""The end-user application: resolve, fetch, integrate.
+
+:class:`DistrictClient` implements the client workflow of Figure 1(a):
+
+1. ask the master to resolve an area query — the master answers with
+   proxy Web-Service URIs, never data;
+2. fetch each entity's models directly from its BIM/SIM proxies and its
+   GIS feature from the district's GIS proxy;
+3. fetch device data directly from the Device-proxies;
+4. integrate everything client-side into an
+   :class:`~repro.core.integration.IntegratedModel`.
+
+The client also exposes remote control (actuation through the owning
+Device-proxy) and live subscriptions on the middleware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common import serialization
+from repro.common.cdf import ActuationResult, EntityModel
+from repro.common.serialization import JSON_FORMAT
+from repro.errors import (
+    IntegrationError,
+    QueryError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.middleware.broker import Event
+from repro.middleware.peer import MiddlewarePeer, Subscription
+from repro.middleware.topics import actuation_topic, measurement_filter
+from repro.network.transport import Host
+from repro.network.webservice import HttpClient
+from repro.core.integration import IntegratedModel, integrate
+from repro.ontology.queries import (
+    AreaQuery,
+    ResolvedArea,
+    ResolvedDevice,
+    ResolvedEntity,
+)
+from repro.storage.query import RangeQuery
+
+
+class DistrictClient:
+    """An end-user application speaking to one master node."""
+
+    def __init__(self, host: Host, master_uri: str,
+                 broker_host: Optional[str] = None, timeout: float = 5.0):
+        self.host = host
+        self.master_uri = master_uri.rstrip("/")
+        self.http = HttpClient(host, timeout=timeout)
+        self.peer = MiddlewarePeer(host, broker_host) if broker_host \
+            else None
+        self.models_fetched = 0
+        self.data_requests = 0
+        self.fetch_failures = 0
+
+    # -- step 1: resolution ----------------------------------------------
+
+    def resolve(self, query: AreaQuery) -> ResolvedArea:
+        """Ask the master which proxies serve the queried area."""
+        response = self.http.get(self.master_uri + "/resolve",
+                                 params=query.to_params())
+        return ResolvedArea.from_dict(response.body)
+
+    # -- step 2: model retrieval --------------------------------------------
+
+    def fetch_entity_models(self, entity: ResolvedEntity,
+                            gis_uris: Tuple[str, ...] = (),
+                            fmt: str = JSON_FORMAT,
+                            strict: bool = True) -> List[EntityModel]:
+        """Fetch every source model of one entity from its proxies.
+
+        With ``strict=False`` an unreachable or failing proxy degrades
+        the answer (its model is simply missing) instead of raising —
+        the behaviour a resilient dashboard wants during partial
+        outages.  Failures are counted in :attr:`fetch_failures`.
+        """
+        models: List[EntityModel] = []
+        for source_kind in sorted(entity.proxy_uris):
+            uri = entity.proxy_uris[source_kind]
+            document = self._fetch_model(
+                uri.rstrip("/") + "/model", {"format": fmt}, strict
+            )
+            if document is None:
+                continue
+            if isinstance(document, list):
+                raise IntegrationError(
+                    f"{source_kind} proxy returned a list for a model"
+                )
+            models.append(document)
+        if entity.gis_feature_id and gis_uris:
+            document = self._fetch_model(
+                gis_uris[0].rstrip("/")
+                + f"/feature/{entity.gis_feature_id}",
+                {"format": fmt, "entity_id": entity.entity_id},
+                strict,
+            )
+            if document is not None:
+                models.append(document)
+        return models
+
+    def _fetch_model(self, uri: str, params: Dict[str, str], strict: bool):
+        try:
+            response = self.http.get(uri, params=params)
+        except (ServiceError, RequestTimeoutError):
+            if strict:
+                raise
+            self.fetch_failures += 1
+            return None
+        self.models_fetched += 1
+        return serialization.decode(response.body["document"],
+                                    response.body["format"])
+
+    # -- step 3: data retrieval ------------------------------------------------
+
+    def fetch_device_data(self, device: ResolvedDevice, quantity: str,
+                          start: Optional[float] = None,
+                          end: Optional[float] = None,
+                          bucket: Optional[float] = None,
+                          agg: str = "mean"
+                          ) -> List[Tuple[float, float]]:
+        """Fetch one device quantity's samples from its Device-proxy."""
+        if quantity not in device.quantities:
+            raise QueryError(
+                f"device {device.device_id} does not sense {quantity!r}"
+            )
+        query = RangeQuery(device.device_id, quantity, start=start, end=end,
+                           bucket=bucket, agg=agg)
+        self.data_requests += 1
+        try:
+            response = self.http.get(
+                device.proxy_uri.rstrip("/") + "/data",
+                params=query.to_params(),
+            )
+        except ServiceError as exc:
+            if exc.status == 404:
+                return []  # no samples collected yet
+            raise
+        return [(t, v) for t, v in response.body["samples"]]
+
+    def fetch_latest(self, device: ResolvedDevice, quantity: str) -> Dict:
+        """Fetch the most recent sample of one device quantity."""
+        self.data_requests += 1
+        response = self.http.get(
+            device.proxy_uri.rstrip("/")
+            + f"/latest/{device.device_id}/{quantity}"
+        )
+        return response.body
+
+    # -- step 4: integration ---------------------------------------------------
+
+    def build_area_model(self, query: AreaQuery,
+                         with_data: bool = False,
+                         data_start: Optional[float] = None,
+                         data_end: Optional[float] = None,
+                         data_bucket: Optional[float] = None,
+                         strict: bool = True
+                         ) -> IntegratedModel:
+        """The full workflow: resolve, fetch models (and data), integrate.
+
+        ``strict=False`` degrades gracefully through proxy outages (the
+        affected sources are missing from the model) instead of raising.
+        """
+        resolved = self.resolve(query)
+        models: Dict[str, List[EntityModel]] = {}
+        measurements: Dict[str, Dict] = {}
+        for entity in resolved.entities:
+            models[entity.entity_id] = self.fetch_entity_models(
+                entity, resolved.gis_uris, strict=strict
+            )
+            if with_data:
+                per_device: Dict[Tuple[str, str], List] = {}
+                for device in entity.devices:
+                    for quantity in device.quantities:
+                        per_device[(device.device_id, quantity)] = \
+                            self.fetch_device_data(
+                                device, quantity, start=data_start,
+                                end=data_end, bucket=data_bucket,
+                            )
+                measurements[entity.entity_id] = per_device
+        return integrate(resolved, models,
+                         measurements if with_data else None)
+
+    # -- control and live data --------------------------------------------------
+
+    def actuate(self, device: ResolvedDevice, command: str,
+                value: Optional[float] = None,
+                on_result: Optional[Callable[[ActuationResult], None]] = None
+                ) -> Dict:
+        """Send a command to an actuator through its Device-proxy.
+
+        Returns the dispatch acknowledgement; the eventual
+        :class:`ActuationResult` arrives on the middleware and is passed
+        to *on_result* if given (requires a broker connection).
+        """
+        if not device.is_actuator:
+            raise QueryError(f"device {device.device_id} is not an actuator")
+        if on_result is not None:
+            if self.peer is None:
+                raise QueryError(
+                    "actuation callback requires a broker connection"
+                )
+
+            def deliver(event: Event) -> None:
+                if isinstance(event.payload, dict) and \
+                        event.payload.get("record") == "actuation_result":
+                    on_result(ActuationResult.from_dict(event.payload))
+
+            self.peer.subscribe(actuation_topic(device.device_id), deliver)
+        response = self.http.post(
+            device.proxy_uri.rstrip("/") + f"/actuate/{device.device_id}",
+            body={"command": command, "value": value},
+        )
+        return response.body
+
+    def subscribe_measurements(self, callback: Callable[[Event], None],
+                               district_id: str = "+",
+                               entity_id: str = "+",
+                               device_id: str = "+",
+                               quantity: str = "+") -> Subscription:
+        """Live subscription to measurement events (requires broker)."""
+        if self.peer is None:
+            raise QueryError("subscription requires a broker connection")
+        pattern = measurement_filter(district_id, entity_id, device_id,
+                                     quantity)
+        return self.peer.subscribe(pattern, callback)

@@ -1,0 +1,202 @@
+"""Client-side data integration.
+
+"The end-user application queries directly each returned proxy and
+retrieves the model and the data for each entity.  In this way, the
+translation needed for the integration is carried out by each proxy and
+the end-user application can easily integrate the retrieved data, in
+order to build a comprehensive model of the interested area."
+
+:func:`integrate` merges the per-source CDF models of each entity into
+one :class:`IntegratedEntity`: properties are unioned with provenance,
+geometry comes from the GIS model, and disagreements between sources
+are recorded as :class:`PropertyConflict` instead of being silently
+overwritten — the paper's "conflicting values across different
+databases" made visible.  The SIM's cadastral service points are joined
+to building entities through the GIS cadastral ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.cdf import EntityModel
+from repro.errors import IntegrationError
+from repro.ontology.queries import ResolvedArea, ResolvedDevice
+
+#: property precedence when sources disagree: later wins for the merged
+#: view (BIM is authoritative for building attributes, GIS for location)
+_SOURCE_PRECEDENCE = ("sim", "gis", "bim")
+
+
+@dataclass(frozen=True)
+class PropertyConflict:
+    """Two sources reported different values for the same property."""
+
+    entity_id: str
+    prop: str
+    values: Tuple[Tuple[str, object], ...]  # (source_kind, value) pairs
+
+
+@dataclass
+class IntegratedEntity:
+    """One entity's comprehensive, multi-source model."""
+
+    entity_id: str
+    entity_type: str
+    name: str
+    sources: Dict[str, EntityModel] = field(default_factory=dict)
+    properties: Dict[str, object] = field(default_factory=dict)
+    provenance: Dict[str, str] = field(default_factory=dict)
+    geometry: Optional[Dict] = None
+    devices: Tuple[ResolvedDevice, ...] = ()
+    conflicts: List[PropertyConflict] = field(default_factory=list)
+    #: (device_id, quantity) -> list of (t, value) samples
+    measurements: Dict[Tuple[str, str], List[Tuple[float, float]]] = \
+        field(default_factory=dict)
+
+    @property
+    def source_kinds(self) -> List[str]:
+        return sorted(self.sources)
+
+    def samples(self, device_id: str, quantity: str
+                ) -> List[Tuple[float, float]]:
+        """Retrieved samples for one device quantity (empty if none)."""
+        return self.measurements.get((device_id, quantity), [])
+
+
+@dataclass
+class IntegratedModel:
+    """The comprehensive model of a queried district area."""
+
+    district_id: str
+    district_name: str
+    entities: Dict[str, IntegratedEntity] = field(default_factory=dict)
+
+    def entity(self, entity_id: str) -> IntegratedEntity:
+        try:
+            return self.entities[entity_id]
+        except KeyError:
+            raise IntegrationError(
+                f"no entity {entity_id!r} in integrated model"
+            ) from None
+
+    @property
+    def buildings(self) -> List[IntegratedEntity]:
+        return [e for e in self.entities.values()
+                if e.entity_type == "building"]
+
+    @property
+    def networks(self) -> List[IntegratedEntity]:
+        return [e for e in self.entities.values()
+                if e.entity_type == "network"]
+
+    @property
+    def device_count(self) -> int:
+        return sum(len(e.devices) for e in self.entities.values())
+
+    @property
+    def conflicts(self) -> List[PropertyConflict]:
+        out: List[PropertyConflict] = []
+        for entity in self.entities.values():
+            out.extend(entity.conflicts)
+        return out
+
+    def served_buildings(self, network_id: str) -> List[str]:
+        """Building entity ids served by a network (SIM x GIS join).
+
+        The SIM model references buildings by cadastral parcel id; the
+        GIS models carry each building's cadastral id.  The join is the
+        integration the paper's architecture exists to enable.
+        """
+        network = self.entity(network_id)
+        sim_model = network.sources.get("sim")
+        if sim_model is None:
+            raise IntegrationError(
+                f"network {network_id!r} has no SIM model"
+            )
+        parcels = {
+            relation.object
+            for relation in sim_model.relations
+            if relation.relation == "serves"
+        }
+        served = []
+        for entity in self.buildings:
+            cadastral = entity.properties.get("cadastral_id")
+            if cadastral in parcels:
+                served.append(entity.entity_id)
+        return sorted(served)
+
+
+def _merge_properties(entity: IntegratedEntity) -> None:
+    by_prop: Dict[str, List[Tuple[str, object]]] = {}
+    for source_kind in _SOURCE_PRECEDENCE:
+        model = entity.sources.get(source_kind)
+        if model is None:
+            continue
+        for prop, value in model.properties.items():
+            if value is None:
+                continue
+            by_prop.setdefault(prop, []).append((source_kind, value))
+    for prop, pairs in by_prop.items():
+        values = {repr(v) for _s, v in pairs}
+        if len(values) > 1:
+            entity.conflicts.append(PropertyConflict(
+                entity_id=entity.entity_id,
+                prop=prop,
+                values=tuple(pairs),
+            ))
+        # precedence order means the last pair wins the merged view
+        source, value = pairs[-1]
+        entity.properties[prop] = value
+        entity.provenance[prop] = source
+
+
+def integrate(
+    resolved: ResolvedArea,
+    models: Dict[str, Sequence[EntityModel]],
+    measurements: Optional[Dict[str, Dict[Tuple[str, str],
+                                          List[Tuple[float, float]]]]] = None,
+) -> IntegratedModel:
+    """Merge per-entity source models (and optional data) into one model.
+
+    *models* maps entity id -> the CDF models fetched from that entity's
+    proxies; *measurements* optionally maps entity id -> per-device
+    sample lists.  Models whose ``entity_id`` disagrees with their key
+    indicate a wiring bug and raise :class:`IntegrationError`.
+    """
+    integrated = IntegratedModel(
+        district_id=resolved.district_id,
+        district_name=resolved.district_name,
+    )
+    for resolved_entity in resolved.entities:
+        entity = IntegratedEntity(
+            entity_id=resolved_entity.entity_id,
+            entity_type=resolved_entity.entity_type,
+            name=resolved_entity.name,
+            devices=resolved_entity.devices,
+        )
+        for model in models.get(resolved_entity.entity_id, []):
+            if model.entity_id != resolved_entity.entity_id:
+                raise IntegrationError(
+                    f"model for {model.entity_id!r} filed under "
+                    f"{resolved_entity.entity_id!r}"
+                )
+            if model.source_kind in entity.sources:
+                raise IntegrationError(
+                    f"duplicate {model.source_kind} model for "
+                    f"{model.entity_id!r}"
+                )
+            entity.sources[model.source_kind] = model
+            if not entity.name and model.name:
+                entity.name = model.name
+        _merge_properties(entity)
+        gis_model = entity.sources.get("gis")
+        if gis_model is not None and gis_model.geometry is not None:
+            entity.geometry = dict(gis_model.geometry)
+        if measurements:
+            entity.measurements = dict(
+                measurements.get(resolved_entity.entity_id, {})
+            )
+        integrated.entities[entity.entity_id] = entity
+    return integrated

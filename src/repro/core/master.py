@@ -1,0 +1,230 @@
+"""The master node: unique entry point of the infrastructure.
+
+"The master node is the unique entry point of the system, and it
+maintains an ontology of relationships between the different entities
+present in a district.  It receives data queries from the users, refers
+to the ontology to get the interested data sources URIs, and redirects
+the users to the interested data sources."
+
+The master never relays data: ``/resolve`` returns proxy URIs.  Proxies
+register themselves over ``/register`` (database proxies bind to entity
+nodes, device proxies add device leaves, GIS and measurement services
+attach to the district root), growing the ontology incrementally as the
+district deploys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.cdf import DeviceDescription
+from repro.common.identifiers import entity_kind
+from repro.datasources.geometry import BoundingBox
+from repro.errors import (
+    OntologyError,
+    QueryError,
+    RegistrationError,
+    UnknownEntityError,
+)
+from repro.network.transport import Host
+from repro.network.webservice import (
+    GET,
+    POST,
+    Request,
+    Response,
+    WebService,
+    error,
+    ok,
+)
+from repro.ontology.model import DeviceNode, DistrictOntology, EntityNode
+from repro.ontology.queries import AreaQuery, resolve
+
+
+class MasterNode:
+    """Registration target and query resolver for one or more districts."""
+
+    def __init__(self, host: Host, processing_delay: float = 2e-4):
+        self.host = host
+        self.ontology = DistrictOntology()
+        self.registrations = 0
+        self.resolves_served = 0
+        self.service = WebService(host, processing_delay=processing_delay)
+        self.service.add_route(POST, "/register", self._register_route)
+        self.service.add_route(GET, "/resolve", self._resolve_route)
+        self.service.add_route(GET, "/ontology", self._ontology_route)
+        self.service.add_route(GET, "/districts", self._districts_route)
+
+    @property
+    def uri(self) -> str:
+        """The master's Web-Service base URI."""
+        return self.service.base_uri
+
+    def reset(self) -> None:
+        """Simulate a master restart: the in-memory ontology is lost.
+
+        Recovery relies on proxies re-registering (see
+        :meth:`~repro.simulation.faults.FaultInjector.restart_master`),
+        exactly as a stateless-registration design would in production.
+        """
+        self.ontology = DistrictOntology()
+
+    # -- registration (in-process API; the route wraps this) -----------------
+
+    def register(self, payload: Dict) -> Dict:
+        """Apply one proxy registration to the ontology."""
+        kind = payload.get("proxy_kind")
+        if kind == "database":
+            return self._register_database(payload)
+        if kind == "device":
+            return self._register_device_proxy(payload)
+        if kind == "measurement":
+            return self._register_measurement(payload)
+        raise RegistrationError(f"unknown proxy kind {kind!r}")
+
+    def _district_node(self, district_id: str, name: str = ""):
+        try:
+            return self.ontology.district(district_id)
+        except UnknownEntityError:
+            return self.ontology.add_district(district_id, name)
+
+    def _entity_node(self, district_id: str, entity_id: str,
+                     entity_type: Optional[str] = None,
+                     name: str = "") -> EntityNode:
+        district = self._district_node(district_id)
+        if entity_id in district.entities:
+            return district.entities[entity_id]
+        inferred = entity_kind(entity_id)
+        if inferred not in ("building", "network"):
+            raise RegistrationError(
+                f"{entity_id!r} is not a building or network id"
+            )
+        node = EntityNode(
+            entity_id=entity_id,
+            entity_type=entity_type or inferred,
+            name=name,
+        )
+        self.ontology.add_entity(district_id, node)
+        return node
+
+    def _register_database(self, payload: Dict) -> Dict:
+        source_kind = payload.get("source_kind")
+        district_id = payload.get("district_id")
+        uri = payload.get("uri")
+        if not district_id or not uri:
+            raise RegistrationError("registration needs district_id and uri")
+        if source_kind == "gis":
+            district = self._district_node(district_id,
+                                           payload.get("name", ""))
+            if payload.get("name") and not district.name:
+                district.name = payload["name"]
+            if uri not in district.gis_uris:
+                district.gis_uris.append(uri)
+            self.registrations += 1
+            return {"attached": "district", "district_id": district_id}
+        if source_kind in ("bim", "sim"):
+            entity_id = payload.get("entity_id")
+            if not entity_id:
+                raise RegistrationError(
+                    f"{source_kind} registration needs entity_id"
+                )
+            entity = self._entity_node(
+                district_id, entity_id,
+                payload.get("entity_type"), payload.get("name", ""),
+            )
+            if payload.get("name") and not entity.name:
+                entity.name = payload["name"]
+            entity.proxy_uris[source_kind] = uri
+            bounds = payload.get("bounds")
+            if bounds:
+                entity.bounds = BoundingBox.from_list(bounds)
+            if payload.get("gis_feature_id"):
+                entity.gis_feature_id = payload["gis_feature_id"]
+            if payload.get("commodity"):
+                entity.properties["commodity"] = payload["commodity"]
+            self.registrations += 1
+            return {"attached": "entity", "entity_id": entity_id}
+        raise RegistrationError(f"unknown source kind {source_kind!r}")
+
+    def _register_device_proxy(self, payload: Dict) -> Dict:
+        district_id = payload.get("district_id")
+        uri = payload.get("uri")
+        if not district_id or not uri:
+            raise RegistrationError("registration needs district_id and uri")
+        devices = payload.get("devices", [])
+        if not devices:
+            raise RegistrationError(
+                "device proxy registered without devices"
+            )
+        attached = []
+        for device_data in devices:
+            description = DeviceDescription.from_dict(device_data)
+            entity = self._entity_node(district_id, description.entity_id)
+            node = DeviceNode(
+                device_id=description.device_id,
+                proxy_uri=uri,
+                protocol=description.protocol,
+                quantities=description.quantities,
+                is_actuator=description.is_actuator,
+                properties={"location": description.location},
+            )
+            try:
+                entity.add_device(node)
+            except OntologyError as exc:
+                raise RegistrationError(str(exc)) from exc
+            attached.append(description.device_id)
+        self.registrations += 1
+        return {"attached": "devices", "device_ids": attached}
+
+    def _register_measurement(self, payload: Dict) -> Dict:
+        district_id = payload.get("district_id")
+        uri = payload.get("uri")
+        if not district_id or not uri:
+            raise RegistrationError("registration needs district_id and uri")
+        district = self._district_node(district_id)
+        if uri not in district.measurement_uris:
+            district.measurement_uris.append(uri)
+        self.registrations += 1
+        return {"attached": "district", "district_id": district_id}
+
+    # -- queries (in-process API) ------------------------------------------
+
+    def resolve_area(self, query: AreaQuery):
+        """Resolve an area query against the ontology."""
+        self.resolves_served += 1
+        return resolve(self.ontology, query)
+
+    # -- web-service routes ---------------------------------------------------
+
+    def _register_route(self, request: Request) -> Response:
+        try:
+            body = self.register(request.body or {})
+        except RegistrationError as exc:
+            return error(400, str(exc))
+        return ok(body)
+
+    def _resolve_route(self, request: Request) -> Response:
+        try:
+            query = AreaQuery.from_params(request.params)
+            resolved = self.resolve_area(query)
+        except QueryError as exc:
+            return error(400, str(exc))
+        except UnknownEntityError as exc:
+            return error(404, str(exc))
+        return ok(resolved.to_dict())
+
+    def _ontology_route(self, request: Request) -> Response:
+        return ok(self.ontology.to_dict())
+
+    def _districts_route(self, request: Request) -> Response:
+        return ok({
+            "districts": [
+                {
+                    "district_id": d.district_id,
+                    "name": d.name,
+                    "entities": len(d.entities),
+                    "devices": sum(len(e.devices)
+                                   for e in d.entities.values()),
+                }
+                for d in self.ontology.districts()
+            ]
+        })

@@ -1,0 +1,100 @@
+"""Relay mode: the ablation of the master's redirect design.
+
+The paper's master "redirects the users to the interested data sources"
+instead of fetching data itself.  :class:`RelayingMaster` adds the
+alternative — a ``/fetch`` endpoint where the master resolves the area,
+queries every proxy itself, and returns the merged payload — so the A1
+ablation benchmark can measure what the redirect design buys: with a
+relay, every byte of every answer flows through the master's host and
+concurrent clients queue behind each other.
+
+This is deliberately a subclass used only by the ablation; the
+production deployment never relays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common import serialization
+from repro.errors import QueryError, ServiceError, UnknownEntityError
+from repro.network.transport import Host
+from repro.network.webservice import GET, HttpClient, Request, Response, error, ok
+from repro.core.master import MasterNode
+from repro.ontology.queries import AreaQuery
+from repro.storage.query import RangeQuery
+
+
+class RelayingMaster(MasterNode):
+    """A master node that can also fetch and merge on the client's behalf."""
+
+    def __init__(self, host: Host, processing_delay: float = 2e-4):
+        super().__init__(host, processing_delay)
+        self.relays_served = 0
+        self._relay_client = HttpClient(host)
+        self.service.add_route(GET, "/fetch", self._fetch_route)
+
+    def _fetch_route(self, request: Request) -> Response:
+        try:
+            query = AreaQuery.from_params(request.params)
+            resolved = self.resolve_area(query)
+        except QueryError as exc:
+            return error(400, str(exc))
+        except UnknownEntityError as exc:
+            return error(404, str(exc))
+        with_data = request.params.get("with_data") == "1"
+        entities: List[Dict] = []
+        for entity in resolved.entities:
+            models = []
+            for source_kind in sorted(entity.proxy_uris):
+                uri = entity.proxy_uris[source_kind]
+                try:
+                    response = self._relay_client.get(
+                        uri.rstrip("/") + "/model",
+                        params={"format": "json"},
+                    )
+                except ServiceError:
+                    continue  # a dark proxy degrades the answer, not 500s
+                models.append(response.body["document"])
+            if entity.gis_feature_id and resolved.gis_uris:
+                try:
+                    response = self._relay_client.get(
+                        resolved.gis_uris[0].rstrip("/")
+                        + f"/feature/{entity.gis_feature_id}",
+                        params={"format": "json",
+                                "entity_id": entity.entity_id},
+                    )
+                    models.append(response.body["document"])
+                except ServiceError:
+                    pass
+            samples: Dict[str, List] = {}
+            if with_data:
+                for device in entity.devices:
+                    for quantity in device.quantities:
+                        data_query = RangeQuery(device.device_id, quantity)
+                        try:
+                            response = self._relay_client.get(
+                                device.proxy_uri.rstrip("/") + "/data",
+                                params=data_query.to_params(),
+                            )
+                        except ServiceError:
+                            continue
+                        samples[f"{device.device_id}/{quantity}"] = \
+                            response.body["samples"]
+            entities.append({
+                "entity_id": entity.entity_id,
+                "entity_type": entity.entity_type,
+                "models": models,
+                "samples": samples,
+            })
+        self.relays_served += 1
+        return ok({
+            "district_id": resolved.district_id,
+            "entities": entities,
+        })
+
+
+def decode_relayed_models(entity_payload: Dict) -> List:
+    """Decode the JSON model documents in a relayed entity payload."""
+    return [serialization.from_json(doc)
+            for doc in entity_payload.get("models", [])]

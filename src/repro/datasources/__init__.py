@@ -1,0 +1,68 @@
+"""Heterogeneous district data sources: BIM, SIM, GIS, and the generator.
+
+Each store keeps its *native* schema (IFC-style records, utility asset
+tables, WKT feature layers) precisely so the Database-proxies have real
+translation work to do.
+"""
+
+from repro.datasources.bim import BimStore, build_office_bim, make_guid
+from repro.datasources.generators import (
+    BuildingSpec,
+    DeviceSpec,
+    DistrictDataset,
+    NetworkSpec,
+    synthesize_district,
+)
+from repro.datasources.geometry import (
+    BoundingBox,
+    Geometry,
+    linestring,
+    parse_wkt,
+    point,
+    polygon,
+    rectangle,
+)
+from repro.datasources.gis import (
+    LAYER_BOUNDARY,
+    LAYER_BUILDINGS,
+    LAYER_ROUTES,
+    Feature,
+    GisStore,
+)
+from repro.datasources.sim import (
+    COMMODITY_ELECTRICITY,
+    COMMODITY_HEAT,
+    NODE_CONSUMER,
+    NODE_JUNCTION,
+    NODE_PLANT,
+    SimStore,
+)
+
+__all__ = [
+    "BimStore",
+    "BoundingBox",
+    "BuildingSpec",
+    "COMMODITY_ELECTRICITY",
+    "COMMODITY_HEAT",
+    "DeviceSpec",
+    "DistrictDataset",
+    "Feature",
+    "Geometry",
+    "GisStore",
+    "LAYER_BOUNDARY",
+    "LAYER_BUILDINGS",
+    "LAYER_ROUTES",
+    "NODE_CONSUMER",
+    "NODE_JUNCTION",
+    "NODE_PLANT",
+    "NetworkSpec",
+    "SimStore",
+    "build_office_bim",
+    "linestring",
+    "make_guid",
+    "parse_wkt",
+    "point",
+    "polygon",
+    "rectangle",
+    "synthesize_district",
+]

@@ -1,0 +1,382 @@
+"""Synthetic district generator.
+
+Replaces the paper's DIMMER test site: builds a whole coherent district
+— GIS features, one BIM export per building, one SIM export per
+distribution network, and the field-device fleet — from a seed, so
+every experiment can sweep district size deterministically.
+
+The generator also records the *deployment knowledge* (which entity id
+each source describes, which load profile feeds each meter) that in
+reality lives with the system integrator.  Native stores only contain
+their own keys (GlobalIds, cadastral ids, feature ids); the framework
+must join them, which is the point of the exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.identifiers import make_entity_id
+from repro.datasources import geometry
+from repro.datasources.bim import BimStore, build_office_bim
+from repro.datasources.gis import (
+    LAYER_BOUNDARY,
+    LAYER_BUILDINGS,
+    LAYER_ROUTES,
+    GisStore,
+)
+from repro.datasources.sim import (
+    COMMODITY_ELECTRICITY,
+    COMMODITY_HEAT,
+    NODE_CONSUMER,
+    NODE_JUNCTION,
+    NODE_PLANT,
+    SimStore,
+)
+from repro.devices.profiles import (
+    Profile,
+    WeatherProfile,
+    office_building_load,
+    residential_building_load,
+)
+from repro.errors import ConfigurationError
+
+#: device kinds the generator deploys and the protocols each may use
+_DEVICE_PROTOCOLS = {
+    "power_meter": ("zigbee", "ieee802154"),
+    "environment_sensor": ("enocean", "zigbee", "ble"),
+    "occupancy_sensor": ("enocean", "ble"),
+    "smart_plug": ("zigbee", "coap"),
+    "hvac_controller": ("opcua", "zigbee", "coap"),
+    "dimmable_light": ("ieee802154", "coap"),
+    "pv_inverter": ("opcua",),
+    "heat_flow_meter": ("opcua",),
+}
+
+
+@dataclass
+class DeviceSpec:
+    """Deployment record for one field device."""
+
+    device_id: str
+    kind: str
+    protocol: str
+    address: str
+    entity_id: str
+    location: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class BuildingSpec:
+    """Deployment record for one building and its data sources."""
+
+    entity_id: str
+    name: str
+    use: str  # office | residential
+    cadastral_id: str
+    feature_id: str
+    floor_area_m2: float
+    bim: BimStore
+    load_profile: Profile
+    devices: List[DeviceSpec] = field(default_factory=list)
+
+
+@dataclass
+class NetworkSpec:
+    """Deployment record for one distribution network."""
+
+    entity_id: str
+    name: str
+    commodity: str
+    sim: SimStore
+    devices: List[DeviceSpec] = field(default_factory=list)
+
+
+@dataclass
+class DistrictDataset:
+    """Everything the scenario builder needs to deploy one district."""
+
+    district_id: str
+    name: str
+    seed: int
+    gis: GisStore
+    weather: Profile
+    buildings: List[BuildingSpec]
+    networks: List[NetworkSpec]
+
+    @property
+    def devices(self) -> List[DeviceSpec]:
+        """Every device across buildings and networks."""
+        out: List[DeviceSpec] = []
+        for building in self.buildings:
+            out.extend(building.devices)
+        for network in self.networks:
+            out.extend(network.devices)
+        return out
+
+    def building(self, entity_id: str) -> BuildingSpec:
+        """Look up a building spec by entity id."""
+        for spec in self.buildings:
+            if spec.entity_id == entity_id:
+                return spec
+        raise ConfigurationError(f"no building {entity_id!r} in dataset")
+
+    def network(self, entity_id: str) -> NetworkSpec:
+        """Look up a network spec by entity id."""
+        for spec in self.networks:
+            if spec.entity_id == entity_id:
+                return spec
+        raise ConfigurationError(f"no network {entity_id!r} in dataset")
+
+
+class _AddressAllocator:
+    """Mints protocol-native device addresses, unique per protocol."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def next(self, protocol: str, kind: str) -> str:
+        index = self._counters.get(protocol, 0) + 1
+        self._counters[protocol] = index
+        if protocol == "ieee802154":
+            return f"0x{index:04x}"
+        if protocol == "zigbee":
+            high = (index >> 8) & 0xFF
+            low = index & 0xFF
+            return f"00:12:4b:00:00:00:{high:02x}:{low:02x}"
+        if protocol == "enocean":
+            return f"{0x01000000 + index:08x}"
+        if protocol == "opcua":
+            return f"PLC{index:03d}.{kind.title().replace('_', '')}"
+        if protocol == "coap":
+            return f"fd00::{0x100 + index:x}"
+        if protocol == "ble":
+            high = (index >> 8) & 0xFF
+            low = index & 0xFF
+            return f"c4:7c:8d:00:{high:02x}:{low:02x}"
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def synthesize_district(
+    seed: int = 0,
+    n_buildings: int = 8,
+    devices_per_building: int = 5,
+    n_networks: int = 1,
+    district_index: int = 1,
+    office_fraction: float = 0.5,
+    block_size_m: float = 80.0,
+) -> DistrictDataset:
+    """Generate a coherent synthetic district.
+
+    Buildings are laid out on a street grid; each gets a BIM export, a
+    GIS footprint keyed by cadastral id, a composite load profile and a
+    device fleet of ``devices_per_building`` devices (a power meter
+    first, then a rotating mix).  Networks get a SIM export whose
+    service points cover the buildings, a GIS route, and a substation
+    meter per consumer.
+    """
+    if n_buildings < 1:
+        raise ConfigurationError("district needs at least one building")
+    if devices_per_building < 1:
+        raise ConfigurationError("buildings need at least one device")
+    if n_networks < 0:
+        raise ConfigurationError("network count cannot be negative")
+    rng = np.random.RandomState(seed)
+    district_id = make_entity_id("dst", district_index)
+    name = f"District {district_index:02d}"
+    gis = GisStore(name)
+    weather = WeatherProfile(seed=seed)
+    allocator = _AddressAllocator()
+
+    grid = int(np.ceil(np.sqrt(n_buildings)))
+    buildings: List[BuildingSpec] = []
+    for index in range(n_buildings):
+        row, col = divmod(index, grid)
+        cx = (col + 0.5) * block_size_m
+        cy = (row + 0.5) * block_size_m
+        use = "office" if rng.random_sample() < office_fraction \
+            else "residential"
+        entity_id = make_entity_id("bld", index + 1)
+        cadastral_id = f"TO-{district_index:02d}-{1000 + index}"
+        storeys = int(rng.randint(2, 8))
+        footprint_w = float(rng.uniform(18.0, 40.0))
+        footprint_h = float(rng.uniform(14.0, 32.0))
+        floor_area = footprint_w * footprint_h * storeys
+        footprint = geometry.rectangle(cx, cy, footprint_w, footprint_h)
+        feature = gis.add_feature(LAYER_BUILDINGS, footprint, {
+            "cadastral_id": cadastral_id,
+            "address": f"Via Sintetica {index + 1}",
+            "height_m": storeys * 3.2,
+            "use": use,
+        })
+        bim = build_office_bim(
+            rng, f"Building {index + 1}", storeys,
+            spaces_per_storey=int(rng.randint(2, 6)),
+            floor_area_m2=floor_area,
+            cadastral_id=cadastral_id,
+            year_built=int(rng.randint(1950, 2014)),
+            use=use,
+        )
+        if use == "office":
+            load = office_building_load(floor_area, weather, seed=seed + index)
+        else:
+            units = max(2, int(floor_area / 85.0))
+            load = residential_building_load(units, weather,
+                                             seed=seed + index)
+        spec = BuildingSpec(
+            entity_id=entity_id,
+            name=f"Building {index + 1}",
+            use=use,
+            cadastral_id=cadastral_id,
+            feature_id=feature.feature_id,
+            floor_area_m2=floor_area,
+            bim=bim,
+            load_profile=load,
+        )
+        spec.devices = _building_devices(
+            rng, allocator, spec, devices_per_building, weather, seed + index
+        )
+        buildings.append(spec)
+
+    boundary = gis.district_bounds().expanded(block_size_m / 2.0)
+    gis.add_feature(LAYER_BOUNDARY, geometry.polygon([
+        (boundary.min_x, boundary.min_y), (boundary.max_x, boundary.min_y),
+        (boundary.max_x, boundary.max_y), (boundary.min_x, boundary.max_y),
+    ]), {"name": name})
+
+    networks: List[NetworkSpec] = []
+    for net_index in range(n_networks):
+        commodity = COMMODITY_HEAT if net_index % 2 == 0 \
+            else COMMODITY_ELECTRICITY
+        entity_id = make_entity_id("net", net_index + 1)
+        served = [b for i, b in enumerate(buildings)
+                  if i % max(n_networks, 1) == net_index] or buildings[:1]
+        sim, route_points = _build_network(
+            rng, f"Network {net_index + 1}", commodity, served, gis
+        )
+        gis.add_feature(LAYER_ROUTES, geometry.linestring(route_points), {
+            "network": f"Network {net_index + 1}",
+            "commodity": commodity,
+        })
+        spec = NetworkSpec(
+            entity_id=entity_id,
+            name=f"Network {net_index + 1}",
+            commodity=commodity,
+            sim=sim,
+        )
+        spec.devices = _network_devices(rng, allocator, spec, seed + net_index)
+        networks.append(spec)
+
+    return DistrictDataset(
+        district_id=district_id,
+        name=name,
+        seed=seed,
+        gis=gis,
+        weather=weather,
+        buildings=buildings,
+        networks=networks,
+    )
+
+
+def _pick_protocol(rng: np.random.RandomState, kind: str) -> str:
+    options = _DEVICE_PROTOCOLS[kind]
+    return options[int(rng.randint(0, len(options)))]
+
+
+def _building_devices(rng: np.random.RandomState,
+                      allocator: _AddressAllocator, building: BuildingSpec,
+                      count: int, weather: Profile, seed: int
+                      ) -> List[DeviceSpec]:
+    # every building leads with its feeder power meter; the rest rotate
+    rotation = ("environment_sensor", "smart_plug", "hvac_controller",
+                "occupancy_sensor", "dimmable_light", "pv_inverter")
+    kinds = ["power_meter"]
+    for i in range(count - 1):
+        kinds.append(rotation[i % len(rotation)])
+    devices: List[DeviceSpec] = []
+    for index, kind in enumerate(kinds):
+        protocol = _pick_protocol(rng, kind)
+        device_id = make_entity_id(
+            "dev", _global_device_index(building.entity_id, index)
+        )
+        devices.append(DeviceSpec(
+            device_id=device_id,
+            kind=kind,
+            protocol=protocol,
+            address=allocator.next(protocol, kind),
+            entity_id=building.entity_id,
+            location=f"{building.name}/unit-{index}",
+            params={"seed": seed + index},
+        ))
+    return devices
+
+
+def _network_devices(rng: np.random.RandomState,
+                     allocator: _AddressAllocator, network: NetworkSpec,
+                     seed: int) -> List[DeviceSpec]:
+    devices: List[DeviceSpec] = []
+    for index, node in enumerate(network.sim.nodes(NODE_CONSUMER)):
+        protocol = _pick_protocol(rng, "heat_flow_meter")
+        device_id = make_entity_id(
+            "dev", _global_device_index(network.entity_id, index)
+        )
+        devices.append(DeviceSpec(
+            device_id=device_id,
+            kind="heat_flow_meter",
+            protocol=protocol,
+            address=allocator.next(protocol, "heat_flow_meter"),
+            entity_id=network.entity_id,
+            location=f"{network.name}/substation-{node['node_id']}",
+            params={"seed": seed + index},
+        ))
+    return devices
+
+
+def _global_device_index(entity_id: str, local_index: int) -> int:
+    """Unique device index derived from the owning entity.
+
+    Entity ids are ``bld-%04d`` / ``net-%04d``; buildings use slots
+    ``N*100 + 0..49`` and networks ``N*100 + 50..99``, so ids stay
+    unique for up to 50 devices per entity (far above our deployments).
+    """
+    prefix, number = entity_id.split("-")
+    base = int(number) * 100
+    if prefix == "net":
+        base += 50
+    return base + local_index
+
+
+def _build_network(rng: np.random.RandomState, name: str, commodity: str,
+                   served: List[BuildingSpec], gis: GisStore):
+    sim = SimStore(name, commodity)
+    plant_x = -60.0
+    plant_y = -60.0
+    sim.add_node("n-plant", NODE_PLANT, plant_x, plant_y,
+                 capacity_kw=float(rng.uniform(500, 5000)))
+    route_points = [(plant_x, plant_y)]
+    previous = "n-plant"
+    for index, building in enumerate(served):
+        centroid = gis.feature(building.feature_id).geometry.centroid()
+        junction_id = f"n-j{index}"
+        sim.add_node(junction_id, NODE_JUNCTION, centroid[0],
+                     plant_y if index == 0 else centroid[1] - 20.0)
+        consumer_id = f"n-c{index}"
+        sim.add_node(consumer_id, NODE_CONSUMER, centroid[0], centroid[1],
+                     capacity_kw=float(rng.uniform(20, 200)))
+        trunk_length = float(np.hypot(
+            centroid[0] - route_points[-1][0],
+            centroid[1] - route_points[-1][1],
+        )) or 1.0
+        sim.add_edge(f"e-t{index}", previous, junction_id,
+                     length_m=trunk_length,
+                     rating=float(rng.uniform(100, 1000)))
+        sim.add_edge(f"e-s{index}", junction_id, consumer_id,
+                     length_m=20.0, rating=float(rng.uniform(20, 200)))
+        sim.add_service_point(consumer_id, building.cadastral_id)
+        route_points.append((centroid[0], centroid[1]))
+        previous = junction_id
+    return sim, route_points

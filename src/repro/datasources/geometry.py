@@ -1,0 +1,210 @@
+"""Planar geometry for the GIS substrate: WKT codec and spatial predicates.
+
+The GIS databases in the paper "store georeferenced information about
+buildings in the district".  Features here carry geometry as WKT text
+(``POINT``, ``LINESTRING``, ``POLYGON``) — a genuinely different native
+encoding from the BIM's record tree and the SIM's graph tables — plus
+the small computational-geometry kit the master node and clients need:
+bounding boxes, point-in-polygon, centroids and areas.
+
+Coordinates are metric (a local east/north projection in metres), which
+keeps distances and areas meaningful without geodesy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import QueryError
+
+Point = Tuple[float, float]
+
+_WKT_RE = re.compile(
+    r"^\s*(POINT|LINESTRING|POLYGON)\s*\((?P<body>.*)\)\s*$", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned rectangle: the area selector for district queries."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise QueryError("degenerate bounding box")
+
+    def contains(self, point: Point) -> bool:
+        """True if *point* is inside (inclusive of edges)."""
+        x, y = point
+        return (self.min_x <= x <= self.max_x
+                and self.min_y <= y <= self.max_y)
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if this box and *other* overlap (touching counts)."""
+        return not (other.min_x > self.max_x or other.max_x < self.min_x
+                    or other.min_y > self.max_y or other.max_y < self.min_y)
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by *margin* on every side."""
+        return BoundingBox(self.min_x - margin, self.min_y - margin,
+                           self.max_x + margin, self.max_y + margin)
+
+    def to_list(self) -> List[float]:
+        return [self.min_x, self.min_y, self.max_x, self.max_y]
+
+    @classmethod
+    def from_list(cls, values: Sequence[float]) -> "BoundingBox":
+        if len(values) != 4:
+            raise QueryError(f"bounding box needs 4 numbers, got {values!r}")
+        return cls(*[float(v) for v in values])
+
+    @classmethod
+    def around(cls, points: Sequence[Point]) -> "BoundingBox":
+        """Smallest box containing *points*."""
+        if not points:
+            raise QueryError("bounding box of zero points")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """A parsed WKT geometry."""
+
+    kind: str  # POINT | LINESTRING | POLYGON
+    points: Tuple[Point, ...]
+
+    def bounds(self) -> BoundingBox:
+        """Bounding box of all vertices."""
+        return BoundingBox.around(self.points)
+
+    def centroid(self) -> Point:
+        """Vertex-average centroid (exact for points, fine for footprints)."""
+        n = len(self.points)
+        return (sum(p[0] for p in self.points) / n,
+                sum(p[1] for p in self.points) / n)
+
+    def area(self) -> float:
+        """Shoelace area for polygons; 0 for points and lines."""
+        if self.kind != "POLYGON" or len(self.points) < 3:
+            return 0.0
+        total = 0.0
+        # translate to the first vertex before the shoelace sum: keeps
+        # precision for small footprints far from the origin
+        ox, oy = self.points[0]
+        pts = [(x - ox, y - oy) for x, y in self.points]
+        for i in range(len(pts)):
+            x1, y1 = pts[i]
+            x2, y2 = pts[(i + 1) % len(pts)]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def length(self) -> float:
+        """Polyline length for linestrings; 0 otherwise."""
+        if self.kind != "LINESTRING":
+            return 0.0
+        total = 0.0
+        for (x1, y1), (x2, y2) in zip(self.points, self.points[1:]):
+            total += ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        return total
+
+    def contains_point(self, point: Point) -> bool:
+        """Ray-casting point-in-polygon; False for non-polygons."""
+        if self.kind != "POLYGON":
+            return False
+        x, y = point
+        inside = False
+        pts = self.points
+        j = len(pts) - 1
+        for i in range(len(pts)):
+            xi, yi = pts[i]
+            xj, yj = pts[j]
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def to_wkt(self) -> str:
+        """Serialise back to WKT text (polygon rings are closed).
+
+        Coordinates use ``repr`` so parsing returns the exact floats.
+        """
+        coords = ", ".join(f"{x!r} {y!r}" for x, y in self.points)
+        if self.kind == "POINT":
+            return f"POINT ({coords})"
+        if self.kind == "LINESTRING":
+            return f"LINESTRING ({coords})"
+        first = self.points[0]
+        return f"POLYGON (({coords}, {first[0]!r} {first[1]!r}))"
+
+
+def point(x: float, y: float) -> Geometry:
+    """Build a POINT geometry."""
+    return Geometry("POINT", ((float(x), float(y)),))
+
+
+def linestring(points: Sequence[Point]) -> Geometry:
+    """Build a LINESTRING geometry (>= 2 vertices)."""
+    if len(points) < 2:
+        raise QueryError("linestring needs at least two points")
+    return Geometry("LINESTRING",
+                    tuple((float(x), float(y)) for x, y in points))
+
+
+def polygon(points: Sequence[Point]) -> Geometry:
+    """Build a POLYGON from its exterior ring (>= 3 vertices, unclosed)."""
+    if len(points) < 3:
+        raise QueryError("polygon needs at least three points")
+    return Geometry("POLYGON",
+                    tuple((float(x), float(y)) for x, y in points))
+
+
+def rectangle(cx: float, cy: float, width: float, height: float) -> Geometry:
+    """Axis-aligned rectangular footprint centred on (cx, cy)."""
+    hw, hh = width / 2.0, height / 2.0
+    return polygon([
+        (cx - hw, cy - hh), (cx + hw, cy - hh),
+        (cx + hw, cy + hh), (cx - hw, cy + hh),
+    ])
+
+
+def parse_wkt(text: str) -> Geometry:
+    """Parse a WKT string; raises :class:`QueryError` on bad syntax."""
+    match = _WKT_RE.match(text)
+    if match is None:
+        raise QueryError(f"malformed WKT: {text!r}")
+    kind = match.group(1).upper()
+    body = match.group("body").strip()
+    if kind == "POLYGON":
+        if not (body.startswith("(") and body.endswith(")")):
+            raise QueryError(f"polygon WKT needs an inner ring: {text!r}")
+        body = body[1:-1]
+    points: List[Point] = []
+    for token in body.split(","):
+        parts = token.split()
+        if len(parts) != 2:
+            raise QueryError(f"bad WKT coordinate {token!r}")
+        try:
+            points.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise QueryError(f"bad WKT coordinate {token!r}") from None
+    if kind == "POINT" and len(points) != 1:
+        raise QueryError("POINT must have exactly one coordinate")
+    if kind == "LINESTRING" and len(points) < 2:
+        raise QueryError("LINESTRING needs two or more coordinates")
+    if kind == "POLYGON":
+        # WKT rings repeat the first vertex at the end; store unclosed
+        if len(points) >= 2 and points[0] == points[-1]:
+            points = points[:-1]
+        if len(points) < 3:
+            raise QueryError("POLYGON needs three or more distinct vertices")
+    return Geometry(kind, tuple(points))

@@ -1,0 +1,218 @@
+"""Catalog of concrete device models used in district deployments.
+
+Factory functions build :class:`~repro.devices.base.SimulatedDevice`
+instances for the device classes the paper's deployments feature: smart
+meters, environment sensors, smart plugs, HVAC controllers, dimmable
+luminaires, PV inverters and district-heating flow meters.  Each factory
+is protocol-agnostic — the caller picks the protocol and address, the
+factory wires channels and actuation behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import SimulatedDevice
+from repro.devices.profiles import (
+    ClampedProfile,
+    ConstantProfile,
+    EnergyCounter,
+    HvacProfile,
+    NoisyProfile,
+    OfficeOccupancyProfile,
+    PhotovoltaicProfile,
+    Profile,
+    ResidentialProfile,
+    WeatherProfile,
+)
+
+
+class _CounterProfile(Profile):
+    """Adapts an :class:`EnergyCounter` to the Profile interface."""
+
+    def __init__(self, counter: EnergyCounter):
+        self.counter = counter
+
+    def value(self, t: float) -> float:
+        return self.counter.read(t)
+
+
+class _GatedProfile(Profile):
+    """A load profile gated by a mutable on/off switch (smart plug)."""
+
+    def __init__(self, inner: Profile):
+        self.inner = inner
+        self.on = True
+
+    def value(self, t: float) -> float:
+        return self.inner.value(t) if self.on else 0.0
+
+
+class _SwitchStateProfile(Profile):
+    """Reports a gate's boolean state as 0/1 for the 'state' channel."""
+
+    def __init__(self, gate: _GatedProfile):
+        self.gate = gate
+
+    def value(self, t: float) -> float:
+        return 1.0 if self.gate.on else 0.0
+
+
+class _DimmedProfile(Profile):
+    """A luminaire load scaled by a mutable dim level in [0, 1]."""
+
+    def __init__(self, full_power: float):
+        self.full_power = full_power
+        self.level = 1.0
+
+    def value(self, t: float) -> float:
+        return self.full_power * self.level
+
+
+class _SetpointProfile(Profile):
+    """Reports an HVAC profile's current setpoint."""
+
+    def __init__(self, hvac: HvacProfile):
+        self.hvac = hvac
+
+    def value(self, t: float) -> float:
+        return self.hvac.setpoint
+
+
+def power_meter(device_id: str, protocol: str, address: str, entity_id: str,
+                load: Profile, sample_period: float = 60.0,
+                location: str = "") -> SimulatedDevice:
+    """Whole-feeder smart meter: instantaneous power + cumulative energy."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    device.add_sensor("power", ClampedProfile(load, lo=0.0), sample_period)
+    device.add_sensor(
+        "energy",
+        _CounterProfile(EnergyCounter(ClampedProfile(load, lo=0.0))),
+        max(sample_period * 15, 900.0),
+    )
+    return device
+
+
+def environment_sensor(device_id: str, protocol: str, address: str,
+                       entity_id: str, indoor_base: float = 21.0,
+                       sample_period: float = 300.0, seed: int = 0,
+                       location: str = "") -> SimulatedDevice:
+    """Room thermo-hygrometer."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    temperature = NoisyProfile(ConstantProfile(indoor_base), 0.8, seed)
+    humidity = NoisyProfile(ConstantProfile(45.0), 5.0, seed + 1)
+    device.add_sensor("temperature", temperature, sample_period)
+    device.add_sensor("humidity", ClampedProfile(humidity, 0.0, 100.0),
+                      sample_period)
+    return device
+
+
+def occupancy_sensor(device_id: str, protocol: str, address: str,
+                     entity_id: str, sample_period: float = 120.0,
+                     location: str = "") -> SimulatedDevice:
+    """PIR occupancy sensor driven by the office occupancy pattern."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+
+    class _Binary(Profile):
+        def __init__(self):
+            self.occupancy = OfficeOccupancyProfile()
+
+        def value(self, t: float) -> float:
+            return 1.0 if self.occupancy.value(t) > 0.3 else 0.0
+
+    device.add_sensor("occupancy", _Binary(), sample_period)
+    return device
+
+
+def smart_plug(device_id: str, protocol: str, address: str, entity_id: str,
+               load: Optional[Profile] = None, sample_period: float = 60.0,
+               location: str = "") -> SimulatedDevice:
+    """Switchable plug: senses power and state, accepts ``switch``."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    gate = _GatedProfile(load if load is not None
+                         else ResidentialProfile(40.0, 250.0))
+    device.add_sensor("power", ClampedProfile(gate, lo=0.0), sample_period)
+    device.add_sensor("state", _SwitchStateProfile(gate), sample_period)
+
+    def handle_switch(value: Optional[float]) -> None:
+        gate.on = bool(value is None or value >= 0.5)
+
+    device.add_actuator("switch", handle_switch, (0.0, 1.0))
+    return device
+
+
+def hvac_controller(device_id: str, protocol: str, address: str,
+                    entity_id: str, weather: Optional[Profile] = None,
+                    setpoint: float = 20.0,
+                    ua_watts_per_k: float = 150.0,
+                    sample_period: float = 120.0,
+                    location: str = "") -> SimulatedDevice:
+    """Heat-pump controller: power/setpoint channels, ``setpoint`` command."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    hvac = HvacProfile(weather if weather is not None else WeatherProfile(),
+                       setpoint=setpoint, ua_watts_per_k=ua_watts_per_k)
+    device.add_sensor("power", hvac, sample_period)
+    device.add_sensor("setpoint", _SetpointProfile(hvac), sample_period)
+
+    def handle_setpoint(value: Optional[float]) -> None:
+        if value is not None:
+            hvac.setpoint = value
+
+    device.add_actuator("setpoint", handle_setpoint, (10.0, 28.0))
+    return device
+
+
+def dimmable_light(device_id: str, protocol: str, address: str,
+                   entity_id: str, full_power: float = 400.0,
+                   sample_period: float = 60.0,
+                   location: str = "") -> SimulatedDevice:
+    """Dimmable luminaire: power channel, ``dim`` command (0..1)."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    dimmed = _DimmedProfile(full_power)
+    device.add_sensor("power", dimmed, sample_period)
+
+    def handle_dim(value: Optional[float]) -> None:
+        if value is not None:
+            dimmed.level = min(max(value, 0.0), 1.0)
+
+    device.add_actuator("dim", handle_dim, (0.0, 1.0))
+    return device
+
+
+def pv_inverter(device_id: str, protocol: str, address: str, entity_id: str,
+                peak_watts: float = 5000.0, sample_period: float = 300.0,
+                seed: int = 0, location: str = "") -> SimulatedDevice:
+    """Photovoltaic inverter reporting (negative) generation power."""
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    device.add_sensor("power", PhotovoltaicProfile(peak_watts, seed),
+                      sample_period)
+    return device
+
+
+def heat_flow_meter(device_id: str, protocol: str, address: str,
+                    entity_id: str, nominal_flow: float = 4.0,
+                    sample_period: float = 300.0, seed: int = 0,
+                    location: str = "") -> SimulatedDevice:
+    """District-heating substation meter: flow rate and supply pressure.
+
+    Only protocols with flow/pressure profiles (OPC UA in our catalog)
+    can carry these channels; SIM-side deployments use it via the wired
+    OPC UA gateway, matching the paper's backward-compatibility story.
+    """
+    device = SimulatedDevice(device_id, protocol, address, entity_id,
+                             location=location)
+    flow = NoisyProfile(ConstantProfile(nominal_flow), 0.3 * nominal_flow,
+                        seed)
+    pressure = NoisyProfile(ConstantProfile(250.0), 8.0, seed + 1)
+    device.add_sensor("flow_rate", ClampedProfile(flow, lo=0.0),
+                      sample_period)
+    device.add_sensor("pressure", ClampedProfile(pressure, lo=0.0),
+                      sample_period)
+    return device

@@ -1,0 +1,227 @@
+"""Self-configuring multihop radio mesh (RPL-style).
+
+Section III: IoT sensor development builds on "the 6LoWPAN, RPL and
+CoAP protocols" with "special emphasis ... on network
+self-configuration".  This module models that network layer: nodes with
+physical positions and a fixed radio range organise themselves into a
+DODAG rooted at the gateway (each node picks the neighbour with the
+lowest rank as its parent, RPL's objective-function essence), frames
+pay per-hop latency, and the mesh *self-heals* — when a node dies its
+children re-select parents and the traffic reroutes.
+
+:class:`MeshLink` is drop-in compatible with
+:class:`~repro.devices.firmware.RadioLink`, so Device-proxies and
+firmware work unchanged over a mesh.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.scheduler import Scheduler
+
+Position = Tuple[float, float]
+FrameHandler = Callable[[bytes], None]
+
+GATEWAY = "__gateway__"
+
+
+class MeshLink:
+    """RadioLink-compatible endpoint for one mesh node."""
+
+    def __init__(self, mesh: "MeshNetwork", node_id: str):
+        self.mesh = mesh
+        self.node_id = node_id
+        self.frames_up = 0
+        self.frames_down = 0
+        self.frames_dropped = 0
+        self._gateway_handler: Optional[FrameHandler] = None
+        self._device_handler: Optional[FrameHandler] = None
+
+    def attach_gateway(self, handler: FrameHandler) -> None:
+        self._gateway_handler = handler
+
+    def attach_device(self, handler: FrameHandler) -> None:
+        self._device_handler = handler
+
+    def uplink(self, frame: bytes) -> None:
+        """Route device -> gateway over the current DODAG."""
+        hops = self.mesh.hops(self.node_id)
+        if hops is None or self._gateway_handler is None:
+            self.frames_dropped += 1
+            return
+        self.frames_up += 1
+        self.mesh.scheduler.schedule(
+            hops * self.mesh.per_hop_latency,
+            self._deliver_up, frame,
+        )
+
+    def _deliver_up(self, frame: bytes) -> None:
+        # re-check liveness at delivery time: the path may have died
+        if self.mesh.hops(self.node_id) is None or \
+                self._gateway_handler is None:
+            self.frames_dropped += 1
+            return
+        self._gateway_handler(frame)
+
+    def downlink(self, frame: bytes) -> None:
+        """Route gateway -> device over the current DODAG."""
+        hops = self.mesh.hops(self.node_id)
+        if hops is None or self._device_handler is None:
+            self.frames_dropped += 1
+            return
+        self.frames_down += 1
+        self.mesh.scheduler.schedule(
+            hops * self.mesh.per_hop_latency,
+            self._deliver_down, frame,
+        )
+
+    def _deliver_down(self, frame: bytes) -> None:
+        if self.mesh.hops(self.node_id) is None or \
+                self._device_handler is None:
+            self.frames_dropped += 1
+            return
+        self._device_handler(frame)
+
+
+class MeshNetwork:
+    """A DODAG of radio nodes rooted at the gateway."""
+
+    def __init__(self, scheduler: Scheduler,
+                 gateway_position: Position = (0.0, 0.0),
+                 radio_range_m: float = 60.0,
+                 per_hop_latency: float = 0.004):
+        if radio_range_m <= 0:
+            raise ConfigurationError("radio range must be positive")
+        if per_hop_latency < 0:
+            raise ConfigurationError("per-hop latency must be >= 0")
+        self.scheduler = scheduler
+        self.gateway_position = gateway_position
+        self.radio_range_m = radio_range_m
+        self.per_hop_latency = per_hop_latency
+        self.reconfigurations = 0
+        self._positions: Dict[str, Position] = {GATEWAY: gateway_position}
+        self._alive: Dict[str, bool] = {GATEWAY: True}
+        self._parent: Dict[str, Optional[str]] = {}
+        self._rank: Dict[str, Optional[int]] = {GATEWAY: 0}
+        self._links: Dict[str, MeshLink] = {}
+
+    # -- topology construction ---------------------------------------------
+
+    def add_node(self, node_id: str, position: Position) -> MeshLink:
+        """Join a node at *position*; it self-configures into the DODAG."""
+        if node_id in self._positions:
+            raise ConfigurationError(f"mesh node {node_id!r} exists")
+        if node_id == GATEWAY:
+            raise ConfigurationError("reserved node id")
+        self._positions[node_id] = (float(position[0]), float(position[1]))
+        self._alive[node_id] = True
+        link = MeshLink(self, node_id)
+        self._links[node_id] = link
+        self._reconfigure()
+        return link
+
+    def _distance(self, a: str, b: str) -> float:
+        (x1, y1), (x2, y2) = self._positions[a], self._positions[b]
+        return math.hypot(x2 - x1, y2 - y1)
+
+    def _neighbours(self, node_id: str) -> List[str]:
+        return [
+            other for other in self._positions
+            if other != node_id and self._alive.get(other, False)
+            and self._distance(node_id, other) <= self.radio_range_m
+        ]
+
+    def _reconfigure(self) -> None:
+        """Rebuild ranks and parents (RPL DODAG formation).
+
+        Breadth-first from the gateway: a node's rank is one more than
+        its best reachable neighbour's, and its parent is the lowest-
+        rank neighbour (nearest one on ties).  Unreachable nodes get no
+        parent and drop traffic until the topology changes.
+        """
+        self.reconfigurations += 1
+        self._rank = {node: None for node in self._positions}
+        self._parent = {node: None for node in self._positions}
+        self._rank[GATEWAY] = 0
+        frontier = [GATEWAY]
+        while frontier:
+            next_frontier: List[str] = []
+            for current in frontier:
+                for neighbour in self._neighbours(current):
+                    if self._rank[neighbour] is not None:
+                        continue
+                    self._rank[neighbour] = self._rank[current] + 1
+                    next_frontier.append(neighbour)
+            next_frontier.sort()
+            frontier = next_frontier
+        for node in self._positions:
+            if node == GATEWAY or self._rank[node] is None:
+                continue
+            candidates = [
+                n for n in self._neighbours(node)
+                if self._rank[n] is not None
+                and self._rank[n] == self._rank[node] - 1
+            ]
+            if candidates:
+                self._parent[node] = min(
+                    candidates, key=lambda n: (self._distance(node, n), n)
+                )
+
+    # -- queries --------------------------------------------------------------
+
+    def hops(self, node_id: str) -> Optional[int]:
+        """Hop count to the gateway; None if dead or unreachable."""
+        if not self._alive.get(node_id, False):
+            return None
+        return self._rank.get(node_id)
+
+    def parent(self, node_id: str) -> Optional[str]:
+        """Current DODAG parent of a node (None for root/unreachable)."""
+        return self._parent.get(node_id)
+
+    def route(self, node_id: str) -> List[str]:
+        """Node path to the gateway; empty if unreachable."""
+        if self.hops(node_id) is None:
+            return []
+        path = [node_id]
+        current = node_id
+        while current != GATEWAY:
+            current = self._parent.get(current)
+            if current is None:
+                return []
+            path.append(current)
+        return path
+
+    def reachable_nodes(self) -> List[str]:
+        """Nodes currently routed to the gateway, sorted."""
+        return sorted(
+            node for node in self._positions
+            if node != GATEWAY and self.hops(node) is not None
+        )
+
+    def hop_histogram(self) -> Dict[int, int]:
+        """Hop-count distribution of reachable nodes."""
+        histogram: Dict[int, int] = {}
+        for node in self.reachable_nodes():
+            hops = self.hops(node)
+            histogram[hops] = histogram.get(hops, 0) + 1
+        return histogram
+
+    # -- failures & self-healing ----------------------------------------------
+
+    def fail_node(self, node_id: str) -> None:
+        """A relay dies; the mesh self-heals around it."""
+        if node_id not in self._positions or node_id == GATEWAY:
+            raise ConfigurationError(f"no mesh node {node_id!r} to fail")
+        self._alive[node_id] = False
+        self._reconfigure()
+
+    def revive_node(self, node_id: str) -> None:
+        """A failed node returns; routes may shorten again."""
+        if node_id not in self._positions:
+            raise ConfigurationError(f"no mesh node {node_id!r}")
+        self._alive[node_id] = True
+        self._reconfigure()

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the district-integration framework.
+
+Every error raised by the framework derives from :class:`ReproError`, so
+applications can catch one base class at the integration boundary.  The
+sub-hierarchy mirrors the package layout: network/transport failures,
+protocol decoding failures, proxy/translation failures, ontology and
+query failures, and storage failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was wired or configured inconsistently."""
+
+
+# --------------------------------------------------------------------------
+# network
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnknownHostError(NetworkError):
+    """A message was addressed to a host that is not on the network."""
+
+
+class EndpointNotFoundError(NetworkError):
+    """No service endpoint is bound to the requested host/port."""
+
+
+class RequestTimeoutError(NetworkError):
+    """A web-service request did not complete within its deadline."""
+
+
+class ServiceError(NetworkError):
+    """A web service returned an error status."""
+
+    def __init__(self, status: int, reason: str = ""):
+        super().__init__(f"service returned {status}: {reason}")
+        self.status = status
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------
+# protocols / devices
+
+
+class ProtocolError(ReproError):
+    """Base class for device-protocol failures."""
+
+
+class FrameDecodeError(ProtocolError):
+    """A protocol frame could not be decoded (corrupt or wrong format)."""
+
+
+class FrameEncodeError(ProtocolError):
+    """A command or reading could not be encoded into a protocol frame."""
+
+
+class UnsupportedCommandError(ProtocolError):
+    """A device received a command it cannot execute."""
+
+
+class DeviceError(ReproError):
+    """A simulated device failed or is offline."""
+
+
+# --------------------------------------------------------------------------
+# data / translation
+
+
+class TranslationError(ReproError):
+    """A native source record could not be translated to the common format."""
+
+
+class SerializationError(ReproError):
+    """A common-data-format document could not be encoded or decoded."""
+
+
+class UnitError(ReproError):
+    """An operation mixed incompatible physical units."""
+
+
+# --------------------------------------------------------------------------
+# ontology / master / integration
+
+
+class OntologyError(ReproError):
+    """Base class for district-ontology failures."""
+
+
+class UnknownEntityError(OntologyError):
+    """An ontology query referenced an entity that does not exist."""
+
+
+class RegistrationError(ReproError):
+    """A proxy registration was rejected by the master node."""
+
+
+class QueryError(ReproError):
+    """An area or data query was malformed or unsatisfiable."""
+
+
+class IntegrationError(ReproError):
+    """Retrieved data could not be merged into a coherent model."""
+
+
+class ConflictError(IntegrationError):
+    """Two sources reported irreconcilable values for the same property."""
+
+    def __init__(self, entity: str, prop: str, values):
+        super().__init__(
+            f"conflicting values for {entity}.{prop}: {values!r}"
+        )
+        self.entity = entity
+        self.prop = prop
+        self.values = values
+
+
+# --------------------------------------------------------------------------
+# storage
+
+
+class StorageError(ReproError):
+    """Base class for time-series / database failures."""
+
+
+class SeriesNotFoundError(StorageError):
+    """A queried time series does not exist in the store."""

@@ -1,0 +1,15 @@
+"""Distribution-network flow analysis built on the integrated data."""
+
+from repro.gridsim.flow import (
+    FlowSolver,
+    NetworkState,
+    SegmentFlow,
+    demands_from_model,
+)
+
+__all__ = [
+    "FlowSolver",
+    "NetworkState",
+    "SegmentFlow",
+    "demands_from_model",
+]

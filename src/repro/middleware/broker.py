@@ -1,0 +1,144 @@
+"""Topic broker of the event-driven middleware.
+
+The paper's infrastructure publishes device data "into the middleware
+network by exploiting a publish/subscribe approach, which is a main
+feature of the SEEMPubS middleware".  :class:`Broker` is that feature
+rebuilt: a service on the simulated network that accepts subscriptions
+(with wildcards) and fans published events out to matching subscribers.
+
+The broker speaks raw transport messages (not the REST layer) because
+pub/sub is push-based; the control verbs are ``subscribe``,
+``unsubscribe`` and ``publish``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.middleware.topics import topic_matches, validate_filter, validate_topic
+from repro.network.transport import Host, Message
+
+BROKER_PORT = "pubsub"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A pub/sub event as seen by a subscriber."""
+
+    topic: str
+    payload: Any
+    published_at: float
+    delivered_at: float
+    publisher: str
+    #: True when this is a stored last-value replayed at subscribe time
+    retained: bool = False
+
+
+@dataclass
+class BrokerStats:
+    """Counters exposed for the pub/sub benchmarks."""
+
+    published: int = 0
+    fanout_deliveries: int = 0
+    subscriptions: int = 0
+    dead_subscriptions_dropped: int = 0
+
+
+class Broker:
+    """Central topic broker bound to a simulated host."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.stats = BrokerStats()
+        # subscription id -> (pattern, subscriber host, delivery port)
+        self._subs: Dict[int, Tuple[str, str, str]] = {}
+        # topic -> last retained event payload (publish with retain=True)
+        self._retained: Dict[str, dict] = {}
+        self._ids = itertools.count(1)
+        host.bind(BROKER_PORT, self._on_message)
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def subscription_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._subs)
+
+    # -- control-plane handling ------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        verb = payload.get("verb")
+        if verb == "subscribe":
+            self._subscribe(message)
+        elif verb == "unsubscribe":
+            self._unsubscribe(message)
+        elif verb == "publish":
+            self._publish(message)
+        # unknown verbs are dropped, like a real broker ignoring bad frames
+
+    def _subscribe(self, message: Message) -> None:
+        payload = message.payload
+        pattern = payload["pattern"]
+        validate_filter(pattern)
+        sub_id = next(self._ids)
+        self._subs[sub_id] = (pattern, message.sender, payload["port"])
+        self.stats.subscriptions += 1
+        self.host.send(message.sender, payload["port"],
+                       {"kind": "sub-ack", "sub_id": sub_id,
+                        "token": payload.get("token")})
+        # late-join state transfer: deliver matching retained events so a
+        # new subscriber immediately knows each topic's last value
+        for topic, retained in self._retained.items():
+            if topic_matches(pattern, topic):
+                self.stats.fanout_deliveries += 1
+                event = dict(retained)
+                event["sub_id"] = sub_id
+                event["retained"] = True
+                self.host.send(message.sender, payload["port"], event)
+
+    def _unsubscribe(self, message: Message) -> None:
+        self._subs.pop(message.payload.get("sub_id"), None)
+
+    def _publish(self, message: Message) -> None:
+        payload = message.payload
+        topic = payload["topic"]
+        validate_topic(topic)
+        self.stats.published += 1
+        event = {
+            "kind": "event",
+            "topic": topic,
+            "payload": payload.get("payload"),
+            "published_at": payload.get("published_at", 0.0),
+            "publisher": message.sender,
+        }
+        if payload.get("retain"):
+            self._retained[topic] = dict(event)
+        network = self.host.network
+        dead: List[int] = []
+        for sub_id, (pattern, subscriber, port) in self._subs.items():
+            if not topic_matches(pattern, topic):
+                continue
+            if not network.has_host(subscriber):
+                dead.append(sub_id)
+                continue
+            self.stats.fanout_deliveries += 1
+            fanout = dict(event)
+            fanout["sub_id"] = sub_id
+            self.host.send(subscriber, port, fanout)
+        for sub_id in dead:
+            self._subs.pop(sub_id, None)
+            self.stats.dead_subscriptions_dropped += 1
+
+
+def broker_uri(broker: Broker) -> str:
+    """Address string used by peers to reach the broker (host name)."""
+    return broker.host.name
+
+
+class BrokerClientError(ConfigurationError):
+    """A peer was used before its broker address was configured."""

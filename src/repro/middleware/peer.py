@@ -1,0 +1,146 @@
+"""Peer-side API of the pub/sub middleware.
+
+A :class:`MiddlewarePeer` lives on any simulated host (device-proxy,
+measurement database, end-user application) and provides ``publish`` /
+``subscribe`` against a :class:`~repro.middleware.broker.Broker`.
+Subscriptions carry a local callback; events arrive asynchronously as
+the scheduler runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.middleware.broker import BROKER_PORT, Event
+from repro.middleware.topics import validate_filter, validate_topic
+from repro.network.transport import Host, Message
+
+EventCallback = Callable[[Event], None]
+
+
+class Subscription:
+    """Handle to one active subscription; cancel with :meth:`unsubscribe`."""
+
+    def __init__(self, peer: "MiddlewarePeer", token: int, pattern: str,
+                 callback: EventCallback):
+        self.peer = peer
+        self.token = token
+        self.pattern = pattern
+        self.callback = callback
+        self.sub_id: Optional[int] = None  # assigned by broker ack
+        self.events_received = 0
+        self.active = True
+
+    def unsubscribe(self) -> None:
+        """Stop receiving events on this subscription."""
+        if self.active:
+            self.active = False
+            self.peer._unsubscribe(self)
+
+
+class MiddlewarePeer:
+    """Publish/subscribe endpoint on a simulated host."""
+
+    _port_ids = itertools.count(1)
+
+    def __init__(self, host: Host, broker_host: str):
+        self.host = host
+        self.broker_host = broker_host
+        self.events_published = 0
+        self._port = f"pubsub-peer-{next(self._port_ids)}"
+        self._token_ids = itertools.count(1)
+        self._by_token: Dict[int, Subscription] = {}
+        self._by_sub_id: Dict[int, Subscription] = {}
+        host.bind(self._port, self._on_message)
+
+    def publish(self, topic: str, payload: Any, retain: bool = False
+                ) -> None:
+        """Publish *payload* on concrete *topic* via the broker.
+
+        With *retain*, the broker stores the event as the topic's last
+        value and replays it to future subscribers on subscribe.
+        """
+        validate_topic(topic)
+        self.events_published += 1
+        self.host.send(
+            self.broker_host,
+            BROKER_PORT,
+            {
+                "verb": "publish",
+                "topic": topic,
+                "payload": payload,
+                "published_at": self.host.network.scheduler.now,
+                "retain": retain,
+            },
+        )
+
+    def subscribe(self, pattern: str, callback: EventCallback
+                  ) -> Subscription:
+        """Subscribe *callback* to events matching *pattern*.
+
+        The subscription becomes live once the broker's ack arrives (a
+        network round-trip later); events published before that are not
+        delivered, matching real broker semantics.
+        """
+        validate_filter(pattern)
+        token = next(self._token_ids)
+        subscription = Subscription(self, token, pattern, callback)
+        self._by_token[token] = subscription
+        self.host.send(
+            self.broker_host,
+            BROKER_PORT,
+            {
+                "verb": "subscribe",
+                "pattern": pattern,
+                "port": self._port,
+                "token": token,
+            },
+        )
+        return subscription
+
+    def _unsubscribe(self, subscription: Subscription) -> None:
+        if subscription.sub_id is not None:
+            self.host.send(
+                self.broker_host,
+                BROKER_PORT,
+                {"verb": "unsubscribe", "sub_id": subscription.sub_id},
+            )
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("kind")
+        if kind == "sub-ack":
+            sub = self._by_token.get(payload.get("token"))
+            if sub is not None:
+                sub.sub_id = payload["sub_id"]
+                self._by_sub_id[sub.sub_id] = sub
+                if not sub.active:  # unsubscribed before the ack landed
+                    self._unsubscribe(sub)
+            return
+        if kind == "event":
+            # the broker fans out one copy per matching subscription and
+            # tags it with the subscription id, so dispatch is exact even
+            # when several local filters overlap
+            sub = self._by_sub_id.get(payload.get("sub_id"))
+            if sub is None or not sub.active:
+                return
+            sub.events_received += 1
+            sub.callback(Event(
+                topic=payload["topic"],
+                payload=payload["payload"],
+                published_at=payload["published_at"],
+                delivered_at=self.host.network.scheduler.now,
+                publisher=payload["publisher"],
+                retained=bool(payload.get("retained", False)),
+            ))
+
+
+def connect(host: Host, broker_host: str) -> MiddlewarePeer:
+    """Create a middleware peer on *host* talking to *broker_host*."""
+    if not host.network.has_host(broker_host):
+        raise ConfigurationError(
+            f"broker host {broker_host!r} is not on the network"
+        )
+    return MiddlewarePeer(host, broker_host)

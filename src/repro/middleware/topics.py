@@ -1,0 +1,119 @@
+"""Hierarchical topic grammar for the event-driven middleware.
+
+Topics are ``/``-separated hierarchies mirroring the district ontology,
+e.g. ``district/dst-0001/building/bld-0007/device/dev-00a3/power``.
+Subscription filters may use ``+`` to match exactly one level and a
+trailing ``#`` to match any remainder (MQTT semantics, which the
+SEEMPubS middleware the paper builds on also adopted).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+
+SINGLE = "+"
+MULTI = "#"
+
+
+def validate_topic(topic: str) -> List[str]:
+    """Split and validate a concrete (wildcard-free) topic."""
+    levels = _split(topic)
+    for level in levels:
+        if level in (SINGLE, MULTI):
+            raise ConfigurationError(
+                f"wildcard {level!r} not allowed in concrete topic {topic!r}"
+            )
+    return levels
+
+
+def validate_filter(pattern: str) -> List[str]:
+    """Split and validate a subscription filter."""
+    levels = _split(pattern)
+    for i, level in enumerate(levels):
+        if level == MULTI and i != len(levels) - 1:
+            raise ConfigurationError(
+                f"'#' must be the last level in filter {pattern!r}"
+            )
+    return levels
+
+
+def _split(text: str) -> List[str]:
+    if not text or text.startswith("/") or text.endswith("/"):
+        raise ConfigurationError(f"malformed topic {text!r}")
+    levels = text.split("/")
+    if any(level == "" for level in levels):
+        raise ConfigurationError(f"empty level in topic {text!r}")
+    return levels
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """True if concrete *topic* matches subscription *pattern*."""
+    filter_levels = validate_filter(pattern)
+    topic_levels = validate_topic(topic)
+    i = 0
+    for i, flevel in enumerate(filter_levels):
+        if flevel == MULTI:
+            return True
+        if i >= len(topic_levels):
+            return False
+        if flevel != SINGLE and flevel != topic_levels[i]:
+            return False
+    return len(filter_levels) == len(topic_levels)
+
+
+def join(*levels: str) -> str:
+    """Join topic levels, validating each is non-empty and slash-free."""
+    for level in levels:
+        if not level or "/" in level:
+            raise ConfigurationError(f"bad topic level {level!r}")
+    return "/".join(levels)
+
+
+# --------------------------------------------------------------------------
+# canonical topic layout used across the infrastructure
+
+
+def measurement_topic(district_id: str, entity_id: str, device_id: str,
+                      quantity: str) -> str:
+    """Topic on which a device-proxy publishes one device quantity."""
+    return join("district", district_id, "entity", entity_id,
+                "device", device_id, quantity)
+
+
+def measurement_filter(district_id: str = SINGLE, entity_id: str = SINGLE,
+                       device_id: str = SINGLE, quantity: str = SINGLE
+                       ) -> str:
+    """Filter over measurement topics; unset levels default to ``+``."""
+    return join("district", district_id, "entity", entity_id,
+                "device", device_id, quantity)
+
+
+def district_filter(district_id: str) -> str:
+    """Filter matching every event of one district."""
+    return join("district", district_id) + "/" + MULTI
+
+
+def registry_topic(district_id: str) -> str:
+    """Topic announcing proxy registrations in a district."""
+    return join("registry", district_id)
+
+
+def actuation_topic(device_id: str) -> str:
+    """Topic carrying actuation results for a device."""
+    return join("actuation", device_id)
+
+
+def topic_device(topic: str) -> str:
+    """Extract the device id from a canonical measurement topic."""
+    levels = validate_topic(topic)
+    for i, level in enumerate(levels[:-1]):
+        if level == "device":
+            return levels[i + 1]
+    raise ConfigurationError(f"no device level in topic {topic!r}")
+
+
+def topics_overlap(filters: Iterable[str], topic: str) -> bool:
+    """True if any filter in *filters* matches *topic*."""
+    return any(topic_matches(f, topic) for f in filters)

@@ -1,0 +1,51 @@
+"""Discrete-event network substrate: scheduler, transport, web services.
+
+The simulated equivalent of the paper's IP network and HTTP services.
+All latency, loss and service-time behaviour is modelled here so the
+benchmarks measure architecture (redirect vs relay, distributed vs
+central) rather than Python overheads.
+"""
+
+from repro.network.futures import Future
+from repro.network.scheduler import EventHandle, PeriodicTask, Scheduler
+from repro.network.transport import (
+    Host,
+    LatencyModel,
+    Message,
+    Network,
+    NetworkStats,
+    estimate_size,
+)
+from repro.network.webservice import (
+    GET,
+    POST,
+    HttpClient,
+    Request,
+    Response,
+    Router,
+    WebService,
+    error,
+    ok,
+)
+
+__all__ = [
+    "EventHandle",
+    "Future",
+    "GET",
+    "Host",
+    "HttpClient",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "POST",
+    "PeriodicTask",
+    "Request",
+    "Response",
+    "Router",
+    "Scheduler",
+    "WebService",
+    "error",
+    "estimate_size",
+    "ok",
+]

@@ -1,0 +1,63 @@
+"""Minimal future/promise used by the simulated request/response layers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Future:
+    """Holds the eventual result of an asynchronous simulated operation."""
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once a result or exception has been set."""
+        return self._done
+
+    def set_result(self, result: Any) -> None:
+        """Resolve the future with *result*; resolving twice is an error."""
+        if self._done:
+            raise ConfigurationError("future already resolved")
+        self._done = True
+        self._result = result
+        self._dispatch()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with an exception to be re-raised by result()."""
+        if self._done:
+            raise ConfigurationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._dispatch()
+
+    def result(self) -> Any:
+        """Return the result, re-raising a stored exception.
+
+        Unlike thread futures this never blocks: calling it on an
+        unresolved future is a programming error in a discrete-event
+        world, so it raises immediately.
+        """
+        if not self._done:
+            raise ConfigurationError("future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Invoke *callback(self)* when resolved (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)

@@ -1,0 +1,179 @@
+"""Discrete-event scheduler driving all simulated activity.
+
+Every asynchronous thing in the framework — network message delivery,
+device sampling, periodic publication, query workloads — is an event on
+one shared :class:`Scheduler`.  Events execute in (time, insertion)
+order, so runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.simtime import SimClock
+from repro.errors import ConfigurationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable = field(compare=False)
+    args: Tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is due."""
+        return self._event.time
+
+
+class PeriodicTask:
+    """A repeating event; cancel it via :meth:`stop`."""
+
+    def __init__(self, scheduler: "Scheduler", period: float,
+                 callback: Callable, args: Tuple):
+        if period <= 0:
+            raise ConfigurationError("periodic task period must be positive")
+        self._scheduler = scheduler
+        self._period = period
+        self._callback = callback
+        self._args = args
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, initial_delay: float = 0.0) -> "PeriodicTask":
+        """Arm the task; first firing after *initial_delay* seconds."""
+        self._handle = self._scheduler.schedule(
+            initial_delay, self._fire
+        )
+        return self
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._handle = self._scheduler.schedule(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Stop future firings; an in-flight firing still completes."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Scheduler:
+    """Priority-queue discrete-event scheduler over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[_Event] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable, *args: Any
+                 ) -> EventHandle:
+        """Schedule *callback(*args)* after *delay* simulated seconds."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past ({delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any
+                    ) -> EventHandle:
+        """Schedule *callback(*args)* at absolute simulated time *time*."""
+        if time < self.now:
+            raise ConfigurationError(
+                f"cannot schedule in the past ({time} < {self.now})"
+            )
+        event = _Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def every(self, period: float, callback: Callable, *args: Any,
+              initial_delay: Optional[float] = None) -> PeriodicTask:
+        """Create and start a periodic task firing every *period* seconds."""
+        task = PeriodicTask(self, period, callback, args)
+        first = period if initial_delay is None else initial_delay
+        return task.start(first)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events due at or before *time*, then advance to it."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        if time > self.clock.now:
+            self.clock.advance_to(time)
+
+    def run_for(self, duration: float) -> None:
+        """Run the simulation forward by *duration* seconds."""
+        self.run_until(self.now + duration)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Guards against runaway periodic tasks via *max_events*.
+        """
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        if executed >= max_events:
+            raise ConfigurationError(
+                "run_until_idle exceeded max_events; "
+                "is a periodic task still running?"
+            )
+        return executed

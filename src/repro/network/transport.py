@@ -1,0 +1,249 @@
+"""Simulated message transport: hosts, links, latency, loss.
+
+The paper's infrastructure is a set of networked services (master node,
+proxies, clients) exchanging messages over IP.  Here the IP network is a
+:class:`Network` on a discrete-event scheduler: each host binds named
+ports to handlers, and :meth:`Network.send` schedules delivery after a
+latency computed by a :class:`LatencyModel` (base + per-byte + jitter).
+
+Failure injection: hosts can be taken offline (messages to them are
+dropped) and links can be given a drop probability, both deterministic
+for a fixed seed — used by the churn/robustness tests and benches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    EndpointNotFoundError,
+    UnknownHostError,
+)
+from repro.network.scheduler import Scheduler
+
+Handler = Callable[["Message"], None]
+
+
+def estimate_size(payload: Any) -> int:
+    """Approximate on-the-wire size in bytes of a message payload."""
+    if payload is None:
+        return 1
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    try:
+        return len(json.dumps(payload, default=str).encode("utf-8"))
+    except (TypeError, ValueError):
+        return 256  # opaque object: charge a flat envelope size
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered transport message."""
+
+    sender: str
+    recipient: str
+    port: str
+    payload: Any
+    size: int
+    sent_at: float
+    delivered_at: float
+
+
+class LatencyModel:
+    """Base-plus-bandwidth latency with deterministic jitter.
+
+    ``delay = base + size/bandwidth`` multiplied by a log-normal jitter
+    factor.  Messages a host sends to itself use *loopback* latency.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.002,
+        bandwidth: float = 1.25e6,  # bytes/second (~10 Mbit/s district WAN)
+        jitter: float = 0.1,
+        loopback: float = 2e-5,
+        seed: int = 0,
+    ):
+        if base < 0 or loopback < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.base = base
+        self.bandwidth = bandwidth
+        self.jitter = jitter
+        self.loopback = loopback
+        self._rng = np.random.RandomState(seed)
+
+    def delay(self, src: str, dst: str, size: int) -> float:
+        """Latency in seconds for a *size*-byte message src -> dst."""
+        if src == dst:
+            return self.loopback
+        nominal = self.base + size / self.bandwidth
+        if self.jitter <= 0:
+            return nominal
+        factor = float(np.exp(self._rng.normal(0.0, self.jitter)))
+        return nominal * factor
+
+
+class Host:
+    """A named node on the simulated network."""
+
+    def __init__(self, name: str, network: "Network"):
+        self.name = name
+        self.network = network
+        self._ports: Dict[str, Handler] = {}
+        self.online = True
+
+    def bind(self, port: str, handler: Handler) -> None:
+        """Attach *handler* to *port*; rebinding an open port is an error."""
+        if port in self._ports:
+            raise ConfigurationError(
+                f"port {port!r} already bound on host {self.name!r}"
+            )
+        self._ports[port] = handler
+
+    def unbind(self, port: str) -> None:
+        """Detach the handler from *port* (no-op if not bound)."""
+        self._ports.pop(port, None)
+
+    def handler_for(self, port: str) -> Handler:
+        try:
+            return self._ports[port]
+        except KeyError:
+            raise EndpointNotFoundError(
+                f"no endpoint {port!r} on host {self.name!r}"
+            ) from None
+
+    def send(self, recipient: str, port: str, payload: Any) -> None:
+        """Send *payload* to *recipient*:*port* over the network."""
+        self.network.send(self.name, recipient, port, payload)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters, reset per experiment run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_host_received: Dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.per_host_received.clear()
+
+
+class Network:
+    """The simulated district network fabric."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1)")
+        self.scheduler = scheduler
+        self.latency = latency if latency is not None else LatencyModel(seed=seed)
+        self.drop_probability = drop_probability
+        self.stats = NetworkStats()
+        self._hosts: Dict[str, Host] = {}
+        self._drop_rng = np.random.RandomState(seed + 1)
+
+    def add_host(self, name: str) -> Host:
+        """Create and register a host; duplicate names are an error."""
+        if name in self._hosts:
+            raise ConfigurationError(f"host {name!r} already on network")
+        host = Host(name, self)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise UnknownHostError(f"no host named {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    def hosts(self):
+        """Iterate over registered hosts."""
+        return iter(self._hosts.values())
+
+    def set_host_online(self, name: str, online: bool) -> None:
+        """Failure injection: take a host off the network (or restore it)."""
+        self.host(name).online = online
+
+    def send(self, sender: str, recipient: str, port: str, payload: Any
+             ) -> None:
+        """Schedule delivery of *payload* from *sender* to *recipient*.
+
+        Messages to offline hosts, or unlucky under the drop
+        probability, are silently dropped — callers that need
+        reliability layer timeouts on top (as the web-service client
+        does).
+        """
+        if sender not in self._hosts:
+            raise UnknownHostError(f"unknown sending host {sender!r}")
+        dst = self.host(recipient)  # raises UnknownHostError
+        size = estimate_size(payload)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        dropped = (
+            not dst.online
+            or not self._hosts[sender].online
+            or (
+                self.drop_probability > 0.0
+                and self._drop_rng.random_sample() < self.drop_probability
+            )
+        )
+        if dropped:
+            self.stats.messages_dropped += 1
+            return
+        delay = self.latency.delay(sender, recipient, size)
+        sent_at = self.scheduler.now
+        self.scheduler.schedule(
+            delay, self._deliver, sender, recipient, port, payload, size,
+            sent_at,
+        )
+
+    def _deliver(self, sender: str, recipient: str, port: str, payload: Any,
+                 size: int, sent_at: float) -> None:
+        dst = self._hosts.get(recipient)
+        if dst is None or not dst.online:
+            self.stats.messages_dropped += 1
+            return
+        try:
+            handler = dst.handler_for(port)
+        except EndpointNotFoundError:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        received = self.stats.per_host_received
+        received[recipient] = received.get(recipient, 0) + 1
+        handler(
+            Message(
+                sender=sender,
+                recipient=recipient,
+                port=port,
+                payload=payload,
+                size=size,
+                sent_at=sent_at,
+                delivered_at=self.scheduler.now,
+            )
+        )

@@ -1,0 +1,312 @@
+"""Simulated REST-style Web Services over the transport layer.
+
+Every architectural box in the paper exposes a Web Service: the master
+node, each Device-proxy and each Database-proxy.  :class:`WebService`
+implements a small REST router (path templates with ``{param}``
+placeholders) bound to a simulated host; :class:`HttpClient` issues
+requests with timeouts and returns futures.
+
+Requests and responses travel as transport messages, so they pay
+realistic network latency, can be dropped by failure injection, and the
+client's timeout converts a lost message into
+:class:`~repro.errors.RequestTimeoutError` — exactly what a real HTTP
+client would observe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.common.identifiers import ServiceUri
+from repro.errors import (
+    ConfigurationError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.network.futures import Future
+from repro.network.transport import Host, Message
+
+_SERVER_PORT = "http"
+_PARAM_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+GET = "GET"
+POST = "POST"
+METHODS = (GET, POST)
+
+
+@dataclass(frozen=True)
+class Request:
+    """An in-flight web-service request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    body: Any = None
+    path_params: Dict[str, str] = field(default_factory=dict)
+    sender: str = ""
+
+
+@dataclass(frozen=True)
+class Response:
+    """A web-service response; ``body`` is a JSON-able payload."""
+
+    status: int
+    body: Any = None
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def ok(body: Any = None) -> Response:
+    """Build a 200 response."""
+    return Response(200, body)
+
+
+def error(status: int, reason: str) -> Response:
+    """Build an error response with a reason string."""
+    return Response(status, None, reason)
+
+
+RouteHandler = Callable[[Request], Response]
+
+
+class _Route:
+    def __init__(self, method: str, template: str, handler: RouteHandler):
+        if method not in METHODS:
+            raise ConfigurationError(f"unsupported method {method!r}")
+        self.method = method
+        self.template = template
+        self.handler = handler
+        pattern = _PARAM_RE.sub(r"(?P<\1>[^/]+)", template)
+        self._regex = re.compile(f"^{pattern}$")
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method != self.method:
+            return None
+        match = self._regex.match(path)
+        return match.groupdict() if match else None
+
+
+class Router:
+    """Dispatches (method, path) to handlers with path parameters."""
+
+    def __init__(self) -> None:
+        self._routes: List[_Route] = []
+
+    def add(self, method: str, template: str, handler: RouteHandler) -> None:
+        """Register *handler* for *method* on *template* (e.g. ``/d/{id}``)."""
+        self._routes.append(_Route(method, template, handler))
+
+    def dispatch(self, request: Request) -> Response:
+        """Route a request; 404 if no template matches."""
+        for route in self._routes:
+            params = route.match(request.method, request.path)
+            if params is not None:
+                bound = Request(
+                    method=request.method,
+                    path=request.path,
+                    params=request.params,
+                    body=request.body,
+                    path_params=params,
+                    sender=request.sender,
+                )
+                return route.handler(bound)
+        return error(404, f"no route for {request.method} {request.path}")
+
+
+class WebService:
+    """A REST service bound to a simulated host.
+
+    *processing_delay* models server-side compute per request: either a
+    constant (seconds) or a callable ``f(request) -> seconds``.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        processing_delay: Union[float, Callable[[Request], float]] = 1e-4,
+    ):
+        self.host = host
+        self.router = Router()
+        self.requests_served = 0
+        self.requests_failed = 0
+        self._processing_delay = processing_delay
+        host.bind(_SERVER_PORT, self._on_message)
+
+    @property
+    def base_uri(self) -> str:
+        """The ``svc://host/`` URI of this service."""
+        return str(ServiceUri(self.host.name, "/"))
+
+    def route(self, method: str, template: str) -> Callable:
+        """Decorator form of :meth:`Router.add`."""
+        def register(handler: RouteHandler) -> RouteHandler:
+            self.router.add(method, template, handler)
+            return handler
+        return register
+
+    def add_route(self, method: str, template: str,
+                  handler: RouteHandler) -> None:
+        self.router.add(method, template, handler)
+
+    def close(self) -> None:
+        """Unbind from the host (service goes dark; requests time out)."""
+        self.host.unbind(_SERVER_PORT)
+
+    def _delay_for(self, request: Request) -> float:
+        if callable(self._processing_delay):
+            return self._processing_delay(request)
+        return self._processing_delay
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        request = Request(
+            method=payload["method"],
+            path=payload["path"],
+            params=dict(payload.get("params", {})),
+            body=payload.get("body"),
+            sender=message.sender,
+        )
+        delay = self._delay_for(request)
+        self.host.network.scheduler.schedule(
+            delay, self._respond, message, request
+        )
+
+    def _respond(self, message: Message, request: Request) -> None:
+        try:
+            response = self.router.dispatch(request)
+        except Exception as exc:  # handler bug -> 500, like a real server
+            response = error(500, f"{type(exc).__name__}: {exc}")
+        if response.ok:
+            self.requests_served += 1
+        else:
+            self.requests_failed += 1
+        self.host.send(
+            message.sender,
+            message.payload["reply_port"],
+            {
+                "request_id": message.payload["request_id"],
+                "status": response.status,
+                "body": response.body,
+                "reason": response.reason,
+            },
+        )
+
+
+class HttpClient:
+    """Issues web-service requests from a simulated host.
+
+    :meth:`request` is asynchronous and returns a :class:`Future`;
+    :meth:`call` is the synchronous convenience used by client
+    applications — it steps the scheduler until the response (or the
+    timeout) arrives.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, host: Host, timeout: float = 5.0):
+        self.host = host
+        self.timeout = timeout
+        self.requests_sent = 0
+        self._reply_port = f"http-reply-{next(self._ids)}"
+        self._pending: Dict[int, Future] = {}
+        self._req_counter = itertools.count(1)
+        host.bind(self._reply_port, self._on_reply)
+
+    def request(
+        self,
+        uri: Union[str, ServiceUri],
+        method: str = GET,
+        params: Optional[Dict[str, str]] = None,
+        body: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Send a request; the future resolves to a :class:`Response`.
+
+        A lost request or response resolves the future with
+        :class:`RequestTimeoutError` after the timeout.
+        """
+        target = uri if isinstance(uri, ServiceUri) else ServiceUri.parse(uri)
+        request_id = next(self._req_counter)
+        future = Future()
+        self._pending[request_id] = future
+        self.requests_sent += 1
+        self.host.send(
+            target.host,
+            _SERVER_PORT,
+            {
+                "method": method,
+                "path": target.path,
+                "params": dict(params or {}),
+                "body": body,
+                "reply_port": self._reply_port,
+                "request_id": request_id,
+            },
+        )
+        deadline = timeout if timeout is not None else self.timeout
+        self.host.network.scheduler.schedule(
+            deadline, self._expire, request_id, target
+        )
+        return future
+
+    def call(
+        self,
+        uri: Union[str, ServiceUri],
+        method: str = GET,
+        params: Optional[Dict[str, str]] = None,
+        body: Any = None,
+        timeout: Optional[float] = None,
+        check: bool = True,
+    ) -> Response:
+        """Synchronous request: drives the scheduler until resolution.
+
+        With *check* (default) a non-2xx response raises
+        :class:`ServiceError`; otherwise the raw :class:`Response` is
+        returned for the caller to inspect.
+        """
+        future = self.request(uri, method, params, body, timeout)
+        scheduler = self.host.network.scheduler
+        while not future.done:
+            if not scheduler.step():
+                raise ConfigurationError(
+                    "scheduler drained with request still pending"
+                )
+        response = future.result()
+        if check and not response.ok:
+            raise ServiceError(response.status, response.reason)
+        return response
+
+    def get(self, uri, params: Optional[Dict[str, str]] = None, **kw
+            ) -> Response:
+        """Synchronous GET."""
+        return self.call(uri, GET, params=params, **kw)
+
+    def post(self, uri, body: Any = None, **kw) -> Response:
+        """Synchronous POST."""
+        return self.call(uri, POST, body=body, **kw)
+
+    def _on_reply(self, message: Message) -> None:
+        payload = message.payload
+        future = self._pending.pop(payload["request_id"], None)
+        if future is None or future.done:
+            return  # response arrived after its timeout fired
+        future.set_result(
+            Response(
+                status=payload["status"],
+                body=payload.get("body"),
+                reason=payload.get("reason", ""),
+            )
+        )
+
+    def _expire(self, request_id: int, target: ServiceUri) -> None:
+        future = self._pending.pop(request_id, None)
+        if future is None or future.done:
+            return
+        future.set_exception(
+            RequestTimeoutError(f"request to {target} timed out")
+        )

@@ -1,0 +1,27 @@
+"""District ontology: the master node's tree of districts/entities/devices."""
+
+from repro.ontology.model import (
+    DeviceNode,
+    DistrictNode,
+    DistrictOntology,
+    EntityNode,
+)
+from repro.ontology.queries import (
+    AreaQuery,
+    ResolvedArea,
+    ResolvedDevice,
+    ResolvedEntity,
+    resolve,
+)
+
+__all__ = [
+    "AreaQuery",
+    "DeviceNode",
+    "DistrictNode",
+    "DistrictOntology",
+    "EntityNode",
+    "ResolvedArea",
+    "ResolvedDevice",
+    "ResolvedEntity",
+    "resolve",
+]

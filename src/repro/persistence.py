@@ -1,0 +1,126 @@
+"""Persistence: ontology snapshots and measurement archives.
+
+Two durable artifacts keep a production deployment restartable and
+auditable:
+
+* **ontology snapshots** — the master's district forest as a JSON file;
+  an alternative recovery path to proxy re-registration after a master
+  restart (see :class:`~repro.simulation.faults.FaultInjector`);
+* **measurement archives** — a :class:`~repro.storage.localdb.
+  LocalDatabase` dumped to JSON, so collected data survives a proxy or
+  measurement-DB restart and can be analysed offline.
+
+Formats are versioned; loading a file with an unknown version fails
+loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.errors import SerializationError
+from repro.ontology.model import DistrictOntology
+from repro.storage.localdb import LocalDatabase
+
+_ONTOLOGY_VERSION = 1
+_ARCHIVE_VERSION = 1
+
+
+def _write_json(path: str, payload: Dict) -> None:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)  # atomic on POSIX
+
+
+def _read_json(path: str) -> Dict:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot load {path!r}: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# ontology snapshots
+
+
+def save_ontology(ontology: DistrictOntology, path: str) -> None:
+    """Write the ontology forest to *path* as a versioned JSON snapshot."""
+    _write_json(path, {
+        "format": "repro-ontology",
+        "version": _ONTOLOGY_VERSION,
+        "ontology": ontology.to_dict(),
+    })
+
+
+def load_ontology(path: str) -> DistrictOntology:
+    """Load an ontology snapshot written by :func:`save_ontology`."""
+    payload = _read_json(path)
+    if payload.get("format") != "repro-ontology":
+        raise SerializationError(f"{path!r} is not an ontology snapshot")
+    if payload.get("version") != _ONTOLOGY_VERSION:
+        raise SerializationError(
+            f"unsupported ontology snapshot version "
+            f"{payload.get('version')!r}"
+        )
+    return DistrictOntology.from_dict(payload["ontology"])
+
+
+# --------------------------------------------------------------------------
+# measurement archives
+
+
+def save_measurements(database: LocalDatabase, path: str) -> None:
+    """Archive every series of a measurement store to *path*."""
+    series = []
+    for device_id in database.devices():
+        for quantity in database.quantities(device_id):
+            pairs = database.series(device_id, quantity).to_pairs()
+            series.append({
+                "device_id": device_id,
+                "quantity": quantity,
+                "samples": [[t, v] for t, v in pairs],
+            })
+    _write_json(path, {
+        "format": "repro-measurements",
+        "version": _ARCHIVE_VERSION,
+        "series": series,
+    })
+
+
+def load_measurements(path: str,
+                      entity_for_device: Dict[str, str] = None
+                      ) -> LocalDatabase:
+    """Rebuild a measurement store from an archive.
+
+    *entity_for_device* optionally restores device -> entity ownership;
+    unknown devices get an empty entity id (the archive itself does not
+    store ownership — that lives in the ontology).
+    """
+    from repro.common.cdf import Measurement
+
+    payload = _read_json(path)
+    if payload.get("format") != "repro-measurements":
+        raise SerializationError(f"{path!r} is not a measurement archive")
+    if payload.get("version") != _ARCHIVE_VERSION:
+        raise SerializationError(
+            f"unsupported archive version {payload.get('version')!r}"
+        )
+    entity_for_device = entity_for_device or {}
+    database = LocalDatabase(retention=None)
+    for record in payload.get("series", []):
+        device_id = record["device_id"]
+        entity_id = entity_for_device.get(device_id, "bld-0000")
+        for t, value in record["samples"]:
+            database.insert(Measurement(
+                device_id=device_id,
+                entity_id=entity_id,
+                quantity=record["quantity"],
+                value=float(value),
+                timestamp=float(t),
+                source="archive",
+            ))
+    return database

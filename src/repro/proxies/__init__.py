@@ -1,0 +1,33 @@
+"""Proxies: the paper's interoperability workhorses.
+
+Device-proxies (three layers: dedicated protocol layer, local database,
+Web Service + pub/sub) abstract field devices; Database-proxies wrap
+each BIM/SIM/GIS export and translate its native encoding into the
+common data format behind a Web Service.
+"""
+
+from repro.proxies.base import Proxy
+from repro.proxies.database_proxy import (
+    BimProxy,
+    DatabaseProxy,
+    GisProxy,
+    SimProxy,
+)
+from repro.proxies.device_proxy import DeviceProxy
+from repro.proxies.translators import (
+    translate_bim,
+    translate_gis_feature,
+    translate_sim,
+)
+
+__all__ = [
+    "BimProxy",
+    "DatabaseProxy",
+    "DeviceProxy",
+    "GisProxy",
+    "Proxy",
+    "SimProxy",
+    "translate_bim",
+    "translate_gis_feature",
+    "translate_sim",
+]

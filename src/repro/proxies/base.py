@@ -1,0 +1,68 @@
+"""Proxy base: Web Service hosting plus master registration.
+
+"Each data source is therefore accompanied with its specific proxy,
+which registers itself on a single master node."
+
+Every proxy owns a Web Service on its host and a ``register_with``
+handshake that POSTs its descriptor to the master's ``/register``
+endpoint.  Subclasses define the descriptor contents and their routes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.errors import (
+    RegistrationError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.network.transport import Host
+from repro.network.webservice import HttpClient, WebService
+
+
+class Proxy(abc.ABC):
+    """A data-source proxy: one Web Service plus a master registration."""
+
+    #: descriptor tag: "device" or "database"; set by subclasses
+    proxy_kind: str = ""
+
+    def __init__(self, host: Host, processing_delay: float = 1e-4):
+        self.host = host
+        self.service = WebService(host, processing_delay=processing_delay)
+        self.registered = False
+        self._client = HttpClient(host)
+
+    @property
+    def uri(self) -> str:
+        """This proxy's Web-Service base URI."""
+        return self.service.base_uri
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @abc.abstractmethod
+    def descriptor(self) -> Dict:
+        """The registration payload sent to the master node."""
+
+    def register_with(self, master_uri: str) -> Dict:
+        """Register on the master node; returns the master's response body.
+
+        Raises :class:`RegistrationError` if the master refuses or is
+        unreachable.
+        """
+        payload = self.descriptor()
+        payload["proxy_kind"] = self.proxy_kind
+        payload["uri"] = self.uri
+        try:
+            response = self._client.post(
+                master_uri.rstrip("/") + "/register", body=payload
+            )
+        except (ServiceError, RequestTimeoutError) as exc:
+            raise RegistrationError(
+                f"master rejected registration of {self.name}: {exc}"
+            ) from exc
+        self.registered = True
+        return response.body

@@ -1,0 +1,268 @@
+"""Database-proxies for BIM, SIM and GIS sources.
+
+"Each proxy offers a Web Service interface which allows data retrieval
+and translation from its database to an open standard, such as JSON or
+XML."  All model routes therefore accept ``?format=json|xml`` and return
+the encoded CDF document; translation counters feed the C5 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common import serialization
+from repro.common.serialization import JSON_FORMAT
+from repro.datasources.bim import BimStore
+from repro.datasources.geometry import BoundingBox
+from repro.datasources.gis import LAYER_BUILDINGS, GisStore
+from repro.datasources.sim import SimStore
+from repro.errors import (
+    QueryError,
+    TranslationError,
+    UnknownEntityError,
+)
+from repro.network.transport import Host
+from repro.network.webservice import GET, Request, Response, error, ok
+from repro.proxies.base import Proxy
+from repro.proxies.translators import (
+    translate_bim,
+    translate_gis_feature,
+    translate_sim,
+)
+
+
+def _format_of(request: Request) -> str:
+    fmt = request.params.get("format", JSON_FORMAT)
+    if fmt not in serialization.FORMATS:
+        raise QueryError(f"unknown format {fmt!r}")
+    return fmt
+
+
+class DatabaseProxy(Proxy):
+    """Common machinery of the three database-proxy families."""
+
+    proxy_kind = "database"
+    source_kind = ""  # bim | sim | gis; set by subclasses
+
+    def __init__(self, host: Host, processing_delay: float = 2e-4):
+        super().__init__(host, processing_delay)
+        self.translations = 0
+
+    def _encode_model(self, model, fmt: str) -> str:
+        self.translations += 1
+        return serialization.encode(model, fmt)
+
+
+class BimProxy(DatabaseProxy):
+    """Proxy wrapping one building's BIM database."""
+
+    source_kind = "bim"
+
+    def __init__(self, host: Host, store: BimStore, entity_id: str,
+                 district_id: str, name: str = "",
+                 gis_feature_id: str = "",
+                 bounds: Optional[BoundingBox] = None):
+        super().__init__(host)
+        self.store = store
+        self.entity_id = entity_id
+        self.district_id = district_id
+        self.entity_name = name or store.project_name
+        # deployment configuration: this building's mapping into the GIS
+        self.gis_feature_id = gis_feature_id
+        self.bounds = bounds
+        self.service.add_route(GET, "/model", self._model_route)
+        self.service.add_route(GET, "/spaces", self._spaces_route)
+        self.service.add_route(GET, "/record/{guid}", self._record_route)
+
+    def translate(self):
+        """The building's CDF model (used in-process by tests/benches)."""
+        return translate_bim(self.store, self.entity_id)
+
+    def descriptor(self) -> Dict:
+        descriptor = {
+            "source_kind": self.source_kind,
+            "district_id": self.district_id,
+            "entity_id": self.entity_id,
+            "entity_type": "building",
+            "name": self.entity_name,
+        }
+        if self.gis_feature_id:
+            descriptor["gis_feature_id"] = self.gis_feature_id
+        if self.bounds is not None:
+            descriptor["bounds"] = self.bounds.to_list()
+        return descriptor
+
+    def _model_route(self, request: Request) -> Response:
+        try:
+            fmt = _format_of(request)
+            encoded = self._encode_model(self.translate(), fmt)
+        except (QueryError, TranslationError) as exc:
+            return error(400, str(exc))
+        return ok({"format": fmt, "document": encoded})
+
+    def _spaces_route(self, request: Request) -> Response:
+        spaces = [
+            {
+                "guid": record["GlobalId"],
+                "name": record["Name"],
+                "properties": self.store.property_sets(record["GlobalId"]),
+            }
+            for record in self.store.spaces()
+        ]
+        return ok({"spaces": spaces})
+
+    def _record_route(self, request: Request) -> Response:
+        guid = request.path_params["guid"]
+        try:
+            record = self.store.record(guid)
+        except UnknownEntityError as exc:
+            return error(404, str(exc))
+        body = dict(record)
+        body["properties"] = self.store.property_sets(guid)
+        return ok(body)
+
+
+class SimProxy(DatabaseProxy):
+    """Proxy wrapping one distribution network's SIM database."""
+
+    source_kind = "sim"
+
+    def __init__(self, host: Host, store: SimStore, entity_id: str,
+                 district_id: str, gis_feature_id: str = "",
+                 bounds: Optional[BoundingBox] = None):
+        super().__init__(host)
+        self.store = store
+        self.entity_id = entity_id
+        self.district_id = district_id
+        self.gis_feature_id = gis_feature_id
+        self.bounds = bounds
+        self.service.add_route(GET, "/model", self._model_route)
+        self.service.add_route(GET, "/service-points",
+                               self._service_points_route)
+        self.service.add_route(GET, "/path/{node_id}", self._path_route)
+
+    def translate(self):
+        return translate_sim(self.store, self.entity_id)
+
+    def descriptor(self) -> Dict:
+        descriptor = {
+            "source_kind": self.source_kind,
+            "district_id": self.district_id,
+            "entity_id": self.entity_id,
+            "entity_type": "network",
+            "name": self.store.network_name,
+            "commodity": self.store.commodity,
+        }
+        if self.gis_feature_id:
+            descriptor["gis_feature_id"] = self.gis_feature_id
+        if self.bounds is not None:
+            descriptor["bounds"] = self.bounds.to_list()
+        return descriptor
+
+    def _model_route(self, request: Request) -> Response:
+        try:
+            fmt = _format_of(request)
+            encoded = self._encode_model(self.translate(), fmt)
+        except (QueryError, TranslationError) as exc:
+            return error(400, str(exc))
+        return ok({"format": fmt, "document": encoded})
+
+    def _service_points_route(self, request: Request) -> Response:
+        return ok({"service_points": self.store.service_points()})
+
+    def _path_route(self, request: Request) -> Response:
+        node_id = request.path_params["node_id"]
+        try:
+            path = self.store.path_to_plant(node_id)
+        except UnknownEntityError as exc:
+            return error(404, str(exc))
+        return ok({"path": path})
+
+
+class GisProxy(DatabaseProxy):
+    """Proxy wrapping a district's GIS database."""
+
+    source_kind = "gis"
+
+    def __init__(self, host: Host, store: GisStore, district_id: str):
+        super().__init__(host)
+        self.store = store
+        self.district_id = district_id
+        self.service.add_route(GET, "/features", self._features_route)
+        self.service.add_route(GET, "/feature/{feature_id}",
+                               self._feature_route)
+        self.service.add_route(GET, "/locate", self._locate_route)
+
+    def translate_feature(self, feature_id: str, entity_id: str,
+                          entity_type: Optional[str] = None):
+        return translate_gis_feature(
+            self.store.feature(feature_id), entity_id, entity_type
+        )
+
+    def descriptor(self) -> Dict:
+        return {
+            "source_kind": self.source_kind,
+            "district_id": self.district_id,
+            "name": self.store.district_name,
+        }
+
+    def _features_route(self, request: Request) -> Response:
+        layer = request.params.get("layer") or None
+        bbox_raw = request.params.get("bbox")
+        try:
+            if bbox_raw:
+                bbox = BoundingBox.from_list(
+                    [float(v) for v in bbox_raw.split(",")]
+                )
+                features = self.store.query_bbox(bbox, layer)
+            elif layer:
+                features = self.store.layer(layer)
+            else:
+                features = self.store.features()
+        except (ValueError, QueryError) as exc:
+            return error(400, f"bad features query: {exc}")
+        except Exception as exc:  # unknown layer
+            return error(400, str(exc))
+        return ok({
+            "features": [
+                {
+                    "feature_id": f.feature_id,
+                    "layer": f.layer,
+                    "wkt": f.wkt,
+                    "properties": f.properties,
+                }
+                for f in features
+            ]
+        })
+
+    def _feature_route(self, request: Request) -> Response:
+        feature_id = request.path_params["feature_id"]
+        try:
+            fmt = _format_of(request)
+            feature = self.store.feature(feature_id)
+        except UnknownEntityError as exc:
+            return error(404, str(exc))
+        except QueryError as exc:
+            return error(400, str(exc))
+        entity_id = request.params.get("entity_id", "bld-0000")
+        try:
+            model = translate_gis_feature(feature, entity_id)
+            encoded = self._encode_model(model, fmt)
+        except TranslationError as exc:
+            return error(500, str(exc))
+        return ok({"format": fmt, "document": encoded})
+
+    def _locate_route(self, request: Request) -> Response:
+        try:
+            x = float(request.params["x"])
+            y = float(request.params["y"])
+        except (KeyError, ValueError):
+            return error(400, "locate needs numeric x and y")
+        hits = self.store.query_point(x, y, LAYER_BUILDINGS)
+        return ok({
+            "features": [
+                {"feature_id": f.feature_id,
+                 "cadastral_id": f.properties.get("cadastral_id")}
+                for f in hits
+            ]
+        })

@@ -1,0 +1,284 @@
+"""The Device-proxy: Figure 1(b)'s three-layer gateway.
+
+* **Dedicated layer** (bottom) — a protocol adapter plus the radio
+  links of the attached devices; decodes native frames into canonical
+  readings, encodes actuation commands back down.
+* **Local database** (middle) — a :class:`LocalDatabase` buffering the
+  collected samples with a retention horizon.
+* **Web Service layer** (top) — REST routes for device discovery, data
+  retrieval (JSON/XML) and remote control, plus publication of every
+  sample into the middleware (and through it to the global measurement
+  database) via publish/subscribe.
+
+Actuation follows real gateway semantics: ``POST /actuate/{device}``
+dispatches the command frame and returns 202 immediately; the device's
+post-command attribute report confirms execution, upon which the proxy
+publishes an :class:`~repro.common.cdf.ActuationResult` on the
+``actuation/<device>`` topic.  A silent device (offline, rejected
+command, lost frame) causes a timeout result instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common import serialization
+from repro.common.cdf import ActuationResult, Measurement
+from repro.common.serialization import JSON_FORMAT
+from repro.devices.base import SimulatedDevice
+from repro.devices.firmware import RadioLink
+from repro.errors import (
+    ConfigurationError,
+    FrameDecodeError,
+    QueryError,
+    SeriesNotFoundError,
+)
+from repro.middleware.peer import MiddlewarePeer
+from repro.middleware.topics import actuation_topic, measurement_topic
+from repro.network.transport import Host
+from repro.network.webservice import (
+    GET,
+    POST,
+    Request,
+    Response,
+    error,
+    ok,
+)
+from repro.protocols.base import ProtocolAdapter, RawReading
+from repro.proxies.base import Proxy
+from repro.storage.localdb import LocalDatabase
+from repro.storage.query import RangeQuery
+
+
+@dataclass
+class _AttachedDevice:
+    device: SimulatedDevice
+    link: RadioLink
+
+
+@dataclass
+class _PendingActuation:
+    device_id: str
+    command: str
+    issued_at: float
+    resolved: bool = False
+
+
+class DeviceProxy(Proxy):
+    """Gateway proxy for one protocol's devices in one entity."""
+
+    proxy_kind = "device"
+
+    def __init__(
+        self,
+        host: Host,
+        adapter: ProtocolAdapter,
+        broker_host: str,
+        district_id: str,
+        retention: Optional[float] = 7 * 86400.0,
+        actuation_timeout: float = 5.0,
+    ):
+        super().__init__(host)
+        self.adapter = adapter
+        self.district_id = district_id
+        self.database = LocalDatabase(retention=retention)
+        self.peer = MiddlewarePeer(host, broker_host)
+        self.actuation_timeout = actuation_timeout
+        self.frames_received = 0
+        self.frames_rejected = 0
+        self.frames_dropped_offline = 0
+        self.measurements_published = 0
+        #: cleared when the proxy process is down (fault injection):
+        #: a dead gateway also stops listening on the radio side
+        self.online = True
+        self._devices: Dict[str, _AttachedDevice] = {}
+        self._by_address: Dict[str, str] = {}  # native address -> device id
+        self._pending: List[_PendingActuation] = []
+        service = self.service
+        service.add_route(GET, "/devices", self._devices_route)
+        service.add_route(GET, "/data", self._data_route)
+        service.add_route(GET, "/latest/{device_id}/{quantity}",
+                          self._latest_route)
+        service.add_route(POST, "/actuate/{device_id}", self._actuate_route)
+
+    # -- dedicated layer -----------------------------------------------------
+
+    def attach_device(self, device: SimulatedDevice, link: RadioLink
+                      ) -> None:
+        """Bind a device's radio link into the dedicated layer."""
+        if device.protocol != self.adapter.name:
+            raise ConfigurationError(
+                f"device {device.device_id} speaks {device.protocol}, "
+                f"proxy speaks {self.adapter.name}"
+            )
+        if device.device_id in self._devices:
+            raise ConfigurationError(
+                f"device {device.device_id} already attached"
+            )
+        if device.address in self._by_address:
+            raise ConfigurationError(
+                f"address {device.address!r} already attached"
+            )
+        self._devices[device.device_id] = _AttachedDevice(device, link)
+        self._by_address[device.address] = device.device_id
+        link.attach_gateway(self._on_frame)
+
+    def devices(self) -> List[SimulatedDevice]:
+        """Attached devices, sorted by id."""
+        return [self._devices[d].device for d in sorted(self._devices)]
+
+    def _on_frame(self, frame: bytes) -> None:
+        if not self.online:
+            self.frames_dropped_offline += 1
+            return
+        now = self.host.network.scheduler.now
+        try:
+            readings = self.adapter.decode_frame(frame, received_at=now)
+        except FrameDecodeError:
+            self.frames_rejected += 1
+            return
+        self.frames_received += 1
+        for reading in readings:
+            self._ingest(reading)
+
+    def _ingest(self, reading: RawReading) -> None:
+        device_id = self._by_address.get(reading.device_address)
+        if device_id is None:
+            self.frames_rejected += 1
+            return
+        device = self._devices[device_id].device
+        measurement = Measurement(
+            device_id=device_id,
+            entity_id=device.entity_id,
+            quantity=reading.quantity,
+            value=reading.value,
+            timestamp=reading.timestamp,
+            source=self.name,
+            metadata={"protocol": self.adapter.name},
+        )
+        self.database.insert(measurement)           # middle layer
+        self._publish(measurement)                  # top layer, pub/sub
+        self._confirm_pending(device_id, measurement)
+
+    def _publish(self, measurement: Measurement) -> None:
+        topic = measurement_topic(
+            self.district_id, measurement.entity_id,
+            measurement.device_id, measurement.quantity,
+        )
+        # retained, so late-joining monitors immediately see last values
+        self.peer.publish(topic, measurement.to_dict(), retain=True)
+        self.measurements_published += 1
+
+    # -- actuation ------------------------------------------------------------
+
+    def actuate(self, device_id: str, command: str,
+                value: Optional[float]) -> None:
+        """Dispatch a command frame to an attached device."""
+        attached = self._devices.get(device_id)
+        if attached is None:
+            raise QueryError(f"no device {device_id!r} on this proxy")
+        frame = self.adapter.encode_command(
+            attached.device.address, command, value
+        )
+        now = self.host.network.scheduler.now
+        pending = _PendingActuation(device_id, command, now)
+        self._pending.append(pending)
+        self.host.network.scheduler.schedule(
+            self.actuation_timeout, self._expire_actuation, pending
+        )
+        attached.link.downlink(frame)
+
+    def _confirm_pending(self, device_id: str, measurement: Measurement
+                         ) -> None:
+        for pending in self._pending:
+            if pending.resolved or pending.device_id != device_id:
+                continue
+            pending.resolved = True
+            result = ActuationResult(
+                device_id=device_id,
+                command=pending.command,
+                accepted=True,
+                detail=f"confirmed by {measurement.quantity} report",
+                completed_at=self.host.network.scheduler.now,
+            )
+            self.peer.publish(actuation_topic(device_id), result.to_dict())
+        self._pending = [p for p in self._pending if not p.resolved]
+
+    def _expire_actuation(self, pending: _PendingActuation) -> None:
+        if pending.resolved:
+            return
+        pending.resolved = True
+        self._pending = [p for p in self._pending if p is not pending]
+        result = ActuationResult(
+            device_id=pending.device_id,
+            command=pending.command,
+            accepted=False,
+            detail="timeout: no post-command report",
+            completed_at=self.host.network.scheduler.now,
+        )
+        self.peer.publish(actuation_topic(pending.device_id),
+                          result.to_dict())
+
+    # -- registration ------------------------------------------------------------
+
+    def descriptor(self) -> Dict:
+        return {
+            "district_id": self.district_id,
+            "protocol": self.adapter.name,
+            "devices": [
+                device.description().to_dict() for device in self.devices()
+            ],
+        }
+
+    # -- web-service routes ------------------------------------------------------
+
+    def _devices_route(self, request: Request) -> Response:
+        fmt = request.params.get("format", JSON_FORMAT)
+        if fmt not in serialization.FORMATS:
+            return error(400, f"unknown format {fmt!r}")
+        document = serialization.encode(
+            [device.description() for device in self.devices()], fmt
+        )
+        return ok({"format": fmt, "document": document})
+
+    def _data_route(self, request: Request) -> Response:
+        try:
+            query = RangeQuery.from_params(request.params)
+            samples = self.database.query(query)
+        except QueryError as exc:
+            return error(400, str(exc))
+        except SeriesNotFoundError as exc:
+            return error(404, str(exc))
+        return ok({"samples": [[t, v] for t, v in samples]})
+
+    def _latest_route(self, request: Request) -> Response:
+        device_id = request.path_params["device_id"]
+        quantity = request.path_params["quantity"]
+        try:
+            timestamp, value = self.database.latest(device_id, quantity)
+        except SeriesNotFoundError as exc:
+            return error(404, str(exc))
+        return ok({"device_id": device_id, "quantity": quantity,
+                   "timestamp": timestamp, "value": value})
+
+    def _actuate_route(self, request: Request) -> Response:
+        device_id = request.path_params["device_id"]
+        body = request.body or {}
+        command = body.get("command")
+        if not command:
+            return error(400, "actuation needs a command")
+        value = body.get("value")
+        try:
+            self.actuate(device_id, command,
+                         None if value is None else float(value))
+        except QueryError as exc:
+            return error(404, str(exc))
+        except Exception as exc:
+            return error(400, f"cannot encode command: {exc}")
+        return Response(202, {
+            "status": "dispatched",
+            "device_id": device_id,
+            "command": command,
+            "result_topic": actuation_topic(device_id),
+        })

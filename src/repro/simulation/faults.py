@@ -1,0 +1,121 @@
+"""Fault injection for robustness experiments.
+
+Wraps a :class:`~repro.simulation.scenario.DeployedDistrict` with the
+failure modes a real district deployment sees — proxy crashes, broker
+outages, master restarts, network partitions — and the recovery actions
+the architecture supports (proxy re-registration rebuilding the
+ontology).  Used by the robustness tests and the churn benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.simulation.scenario import DeployedDistrict
+
+
+class FaultInjector:
+    """Controlled failure and recovery on a deployed district."""
+
+    def __init__(self, deployment: DeployedDistrict):
+        self.deployment = deployment
+        self._offline: List[str] = []
+        self._device_proxy_by_host = {
+            proxy.host.name: proxy
+            for proxy in deployment.device_proxies.values()
+        }
+
+    # -- host-level faults --------------------------------------------------
+
+    def take_offline(self, host_name: str) -> None:
+        """Drop every message to/from *host_name* until restored.
+
+        A dead Device-proxy process also stops listening on its radio
+        side, so its dedicated layer drops frames while offline.
+        """
+        network = self.deployment.network
+        if not network.has_host(host_name):
+            raise ConfigurationError(f"no host {host_name!r} to fail")
+        network.set_host_online(host_name, False)
+        proxy = self._device_proxy_by_host.get(host_name)
+        if proxy is not None:
+            proxy.online = False
+        if host_name not in self._offline:
+            self._offline.append(host_name)
+
+    def restore(self, host_name: str) -> None:
+        """Bring a failed host back."""
+        self.deployment.network.set_host_online(host_name, True)
+        proxy = self._device_proxy_by_host.get(host_name)
+        if proxy is not None:
+            proxy.online = True
+        if host_name in self._offline:
+            self._offline.remove(host_name)
+
+    def restore_all(self) -> None:
+        """Bring every failed host back."""
+        for host_name in list(self._offline):
+            self.restore(host_name)
+
+    @property
+    def offline_hosts(self) -> List[str]:
+        return list(self._offline)
+
+    def partition(self, hosts: Iterable[str]) -> None:
+        """Take a set of hosts offline together."""
+        for host_name in hosts:
+            self.take_offline(host_name)
+
+    # -- component-level faults --------------------------------------------
+
+    def kill_broker(self) -> None:
+        """Middleware outage: publications are lost until restore."""
+        self.take_offline(self.deployment.broker.name)
+
+    def restore_broker(self) -> None:
+        self.restore(self.deployment.broker.name)
+
+    def kill_bim_proxy(self, entity_id: str) -> str:
+        """Take one building's BIM proxy offline; returns its host name."""
+        try:
+            proxy = self.deployment.bim_proxies[entity_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no BIM proxy for {entity_id!r}"
+            ) from None
+        self.take_offline(proxy.host.name)
+        return proxy.host.name
+
+    def kill_device_proxy(self, entity_id: str, protocol: str) -> str:
+        """Take one Device-proxy offline; returns its host name."""
+        try:
+            proxy = self.deployment.device_proxies[(entity_id, protocol)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no device proxy for {entity_id!r}/{protocol!r}"
+            ) from None
+        self.take_offline(proxy.host.name)
+        return proxy.host.name
+
+    # -- master restart and recovery ------------------------------------------
+
+    def restart_master(self) -> None:
+        """Crash-restart the master: its in-memory ontology is lost."""
+        self.deployment.master.reset()
+
+    def reregister_all(self) -> None:
+        """Every proxy re-registers, rebuilding the master's ontology.
+
+        In production this is the periodic registration heartbeat; here
+        the injector triggers one round explicitly.
+        """
+        deployment = self.deployment
+        deployment.measurement_db.register_with(deployment.master.uri)
+        deployment.gis_proxy.register_with(deployment.master.uri)
+        for proxy in deployment.bim_proxies.values():
+            proxy.register_with(deployment.master.uri)
+        for proxy in deployment.sim_proxies.values():
+            proxy.register_with(deployment.master.uri)
+        for proxy in deployment.device_proxies.values():
+            proxy.register_with(deployment.master.uri)

@@ -1,0 +1,92 @@
+"""Measurement utilities for the experiment harness.
+
+Latencies inside the simulation are measured in *simulated* seconds
+(differences of scheduler time around an operation); CPU costs of pure
+translation/encoding code are measured in wall-clock seconds.  The
+recorder keeps both kinds of samples by name and summarises them with
+percentiles for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.network.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Percentile summary of one metric."""
+
+    name: str
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> str:
+        """One formatted table row (times printed in milliseconds)."""
+        return (f"{self.name:<40s} n={self.count:<6d} "
+                f"mean={self.mean * 1e3:9.3f}ms p50={self.p50 * 1e3:9.3f}ms "
+                f"p90={self.p90 * 1e3:9.3f}ms p99={self.p99 * 1e3:9.3f}ms")
+
+
+class MetricsRecorder:
+    """Named sample collections with percentile summaries."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, name: str, value: float) -> None:
+        """Add one sample to metric *name*."""
+        self._samples.setdefault(name, []).append(float(value))
+
+    def samples(self, name: str) -> List[float]:
+        """Raw samples of one metric."""
+        try:
+            return list(self._samples[name])
+        except KeyError:
+            raise QueryError(f"no samples recorded for {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def summary(self, name: str) -> Summary:
+        """Percentile summary of one metric."""
+        values = np.asarray(self.samples(name), dtype=float)
+        return Summary(
+            name=name,
+            count=len(values),
+            mean=float(np.mean(values)),
+            p50=float(np.percentile(values, 50)),
+            p90=float(np.percentile(values, 90)),
+            p99=float(np.percentile(values, 99)),
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+        )
+
+    def summaries(self) -> List[Summary]:
+        return [self.summary(name) for name in self.names()]
+
+    @contextmanager
+    def simulated(self, name: str, scheduler: Scheduler):
+        """Record the simulated time an operation takes."""
+        start = scheduler.now
+        yield
+        self.record(name, scheduler.now - start)
+
+    @contextmanager
+    def wallclock(self, name: str):
+        """Record the wall-clock (CPU) time an operation takes."""
+        start = time.perf_counter()
+        yield
+        self.record(name, time.perf_counter() - start)

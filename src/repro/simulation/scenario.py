@@ -1,0 +1,332 @@
+"""Scenario builder: deploy a synthetic district onto the infrastructure.
+
+Takes a :class:`~repro.datasources.generators.DistrictDataset` and
+stands up the whole Figure 1(a) architecture on one simulated network:
+master node, middleware broker, global measurement database, one GIS
+proxy, one BIM proxy per building, one SIM proxy per network, one
+Device-proxy per (entity, protocol) pair with its device fleet wired
+over radio links, every proxy registered on the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.client import DistrictClient
+from repro.core.master import MasterNode
+from repro.datasources.generators import (
+    DeviceSpec,
+    DistrictDataset,
+    synthesize_district,
+)
+from repro.devices import catalog
+from repro.devices.base import SimulatedDevice
+from repro.devices.energy import DeviceEnergyModel, budget_for_protocol
+from repro.devices.firmware import DeviceFirmware, RadioLink
+from repro.errors import ConfigurationError
+from repro.middleware.broker import Broker
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.protocols.base import make_adapter
+from repro.proxies.database_proxy import BimProxy, GisProxy, SimProxy
+from repro.proxies.device_proxy import DeviceProxy
+from repro.storage.measurementdb import MeasurementDatabase
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of a deployed scenario."""
+
+    seed: int = 0
+    n_buildings: int = 8
+    devices_per_building: int = 5
+    n_networks: int = 1
+    net_base_latency: float = 0.002
+    net_jitter: float = 0.1
+    radio_latency: float = 0.01
+    radio_loss: float = 0.0
+    retention: Optional[float] = 7 * 86400.0
+    start_devices: bool = True
+    office_fraction: float = 0.5
+    #: prepended to every per-district host name; lets several districts
+    #: share one network/master/broker (see :func:`deploy_federation`)
+    host_prefix: str = ""
+
+
+@dataclass
+class DeployedDistrict:
+    """A running deployment plus handles to every component."""
+
+    config: ScenarioConfig
+    dataset: DistrictDataset
+    scheduler: Scheduler
+    network: Network
+    master: MasterNode
+    broker: Broker
+    measurement_db: MeasurementDatabase
+    gis_proxy: GisProxy
+    bim_proxies: Dict[str, BimProxy] = field(default_factory=dict)
+    sim_proxies: Dict[str, SimProxy] = field(default_factory=dict)
+    device_proxies: Dict[Tuple[str, str], DeviceProxy] = \
+        field(default_factory=dict)
+    firmwares: List[DeviceFirmware] = field(default_factory=list)
+    devices: Dict[str, SimulatedDevice] = field(default_factory=dict)
+    energy_models: Dict[str, "DeviceEnergyModel"] = \
+        field(default_factory=dict)
+
+    @property
+    def district_id(self) -> str:
+        return self.dataset.district_id
+
+    def energy_report(self):
+        """Fleet energy standing, shortest projected lifetime first."""
+        from repro.devices.energy import fleet_energy_report
+
+        protocols = {d.device_id: d.protocol
+                     for d in self.dataset.devices}
+        return fleet_energy_report(self.energy_models, protocols,
+                                   self.scheduler.now)
+
+    def run(self, duration: float) -> None:
+        """Advance the whole deployment by *duration* simulated seconds."""
+        self.scheduler.run_for(duration)
+
+    def client(self, name: str = "user", with_broker: bool = True
+               ) -> DistrictClient:
+        """Create an end-user application host + client."""
+        host = self.network.add_host(name)
+        return DistrictClient(
+            host, self.master.uri,
+            broker_host=self.broker.name if with_broker else None,
+        )
+
+    def device_proxy_for(self, device_id: str) -> DeviceProxy:
+        """The Device-proxy owning a device."""
+        for proxy in self.device_proxies.values():
+            if any(d.device_id == device_id for d in proxy.devices()):
+                return proxy
+        raise ConfigurationError(f"no proxy owns device {device_id!r}")
+
+    def stop_devices(self) -> None:
+        """Halt every device's sampling loop."""
+        for firmware in self.firmwares:
+            firmware.stop()
+
+
+def build_device(spec: DeviceSpec, dataset: DistrictDataset
+                 ) -> SimulatedDevice:
+    """Instantiate the simulated device a :class:`DeviceSpec` describes."""
+    seed = int(spec.params.get("seed", 0))
+    common = dict(device_id=spec.device_id, protocol=spec.protocol,
+                  address=spec.address, entity_id=spec.entity_id,
+                  location=spec.location)
+    if spec.kind == "power_meter":
+        building = dataset.building(spec.entity_id)
+        return catalog.power_meter(load=building.load_profile, **common)
+    if spec.kind == "environment_sensor":
+        return catalog.environment_sensor(seed=seed, **common)
+    if spec.kind == "occupancy_sensor":
+        return catalog.occupancy_sensor(**common)
+    if spec.kind == "smart_plug":
+        return catalog.smart_plug(**common)
+    if spec.kind == "hvac_controller":
+        return catalog.hvac_controller(weather=dataset.weather, **common)
+    if spec.kind == "dimmable_light":
+        return catalog.dimmable_light(**common)
+    if spec.kind == "pv_inverter":
+        return catalog.pv_inverter(seed=seed, **common)
+    if spec.kind == "heat_flow_meter":
+        return catalog.heat_flow_meter(seed=seed, **common)
+    raise ConfigurationError(f"unknown device kind {spec.kind!r}")
+
+
+def deploy(config: Optional[ScenarioConfig] = None,
+           dataset: Optional[DistrictDataset] = None) -> DeployedDistrict:
+    """Deploy a district; generates the dataset from *config* if absent."""
+    config = config or ScenarioConfig()
+    scheduler = Scheduler()
+    network = Network(
+        scheduler,
+        latency=LatencyModel(base=config.net_base_latency,
+                             jitter=config.net_jitter, seed=config.seed),
+        seed=config.seed,
+    )
+    broker = Broker(network.add_host("broker"))
+    master = MasterNode(network.add_host("master"))
+    return deploy_into(master, broker, config, dataset)
+
+
+def deploy_into(master: MasterNode, broker: Broker,
+                config: ScenarioConfig,
+                dataset: Optional[DistrictDataset] = None,
+                district_index: int = 1) -> DeployedDistrict:
+    """Deploy one district onto existing master/broker infrastructure.
+
+    The building block of multi-district federations: host names are
+    prefixed with ``config.host_prefix`` so several districts coexist on
+    one simulated network.
+    """
+    network = master.host.network
+    scheduler = network.scheduler
+    prefix = config.host_prefix
+    if dataset is None:
+        dataset = synthesize_district(
+            seed=config.seed,
+            n_buildings=config.n_buildings,
+            devices_per_building=config.devices_per_building,
+            n_networks=config.n_networks,
+            district_index=district_index,
+            office_fraction=config.office_fraction,
+        )
+    measurement_db = MeasurementDatabase(
+        network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id
+    )
+    measurement_db.register_with(master.uri)
+
+    gis_proxy = GisProxy(network.add_host(f"{prefix}proxy-gis"),
+                         dataset.gis, dataset.district_id)
+    gis_proxy.register_with(master.uri)
+
+    deployment = DeployedDistrict(
+        config=config,
+        dataset=dataset,
+        scheduler=scheduler,
+        network=network,
+        master=master,
+        broker=broker,
+        measurement_db=measurement_db,
+        gis_proxy=gis_proxy,
+    )
+
+    for building in dataset.buildings:
+        feature = dataset.gis.feature(building.feature_id)
+        proxy = BimProxy(
+            network.add_host(f"{prefix}proxy-bim-{building.entity_id}"),
+            building.bim,
+            entity_id=building.entity_id,
+            district_id=dataset.district_id,
+            name=building.name,
+            gis_feature_id=building.feature_id,
+            bounds=feature.geometry.bounds(),
+        )
+        proxy.register_with(master.uri)
+        deployment.bim_proxies[building.entity_id] = proxy
+
+    for network_spec in dataset.networks:
+        proxy = SimProxy(
+            network.add_host(f"{prefix}proxy-sim-{network_spec.entity_id}"),
+            network_spec.sim,
+            entity_id=network_spec.entity_id,
+            district_id=dataset.district_id,
+        )
+        proxy.register_with(master.uri)
+        deployment.sim_proxies[network_spec.entity_id] = proxy
+
+    _deploy_devices(deployment)
+    return deployment
+
+
+@dataclass
+class Federation:
+    """Several districts sharing one master, broker and network."""
+
+    scheduler: Scheduler
+    network: Network
+    master: MasterNode
+    broker: Broker
+    districts: Dict[str, DeployedDistrict] = field(default_factory=dict)
+
+    def run(self, duration: float) -> None:
+        """Advance the whole federation by *duration* simulated seconds."""
+        self.scheduler.run_for(duration)
+
+    def district(self, district_id: str) -> DeployedDistrict:
+        try:
+            return self.districts[district_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no district {district_id!r} in federation"
+            ) from None
+
+    def client(self, name: str = "fed-user", with_broker: bool = True
+               ) -> DistrictClient:
+        """A client that can query any district through the one master."""
+        host = self.network.add_host(name)
+        return DistrictClient(
+            host, self.master.uri,
+            broker_host=self.broker.name if with_broker else None,
+        )
+
+
+def deploy_federation(configs) -> Federation:
+    """Deploy several districts onto one shared master and broker.
+
+    Each config gets its own generated district (district ids
+    ``dst-0001``, ``dst-0002``, ...); host names are auto-prefixed.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("federation needs at least one district")
+    base = configs[0]
+    scheduler = Scheduler()
+    network = Network(
+        scheduler,
+        latency=LatencyModel(base=base.net_base_latency,
+                             jitter=base.net_jitter, seed=base.seed),
+        seed=base.seed,
+    )
+    broker = Broker(network.add_host("broker"))
+    master = MasterNode(network.add_host("master"))
+    federation = Federation(scheduler=scheduler, network=network,
+                            master=master, broker=broker)
+    for index, config in enumerate(configs, start=1):
+        if not config.host_prefix:
+            config = ScenarioConfig(**{**config.__dict__,
+                                       "host_prefix": f"d{index}-"})
+        deployment = deploy_into(master, broker, config,
+                                 district_index=index)
+        federation.districts[deployment.district_id] = deployment
+    return federation
+
+
+def _deploy_devices(deployment: DeployedDistrict) -> None:
+    config = deployment.config
+    dataset = deployment.dataset
+    groups: Dict[Tuple[str, str], List[DeviceSpec]] = {}
+    for spec in dataset.devices:
+        groups.setdefault((spec.entity_id, spec.protocol), []).append(spec)
+    for (entity_id, protocol), specs in sorted(groups.items()):
+        host = deployment.network.add_host(
+            f"{config.host_prefix}proxy-dev-{entity_id}-{protocol}"
+        )
+        proxy = DeviceProxy(
+            host,
+            adapter=make_adapter(protocol),
+            broker_host=deployment.broker.name,
+            district_id=dataset.district_id,
+            retention=config.retention,
+        )
+        for spec in specs:
+            device = build_device(spec, dataset)
+            link = RadioLink(
+                deployment.scheduler,
+                latency=config.radio_latency,
+                loss=config.radio_loss,
+                seed=config.seed + len(deployment.firmwares),
+            )
+            proxy.attach_device(device, link)
+            firmware = DeviceFirmware(device, make_adapter(protocol), link,
+                                      deployment.scheduler)
+            energy_model = DeviceEnergyModel(
+                budget_for_protocol(protocol),
+                start_time=deployment.scheduler.now,
+            )
+            firmware.attach_energy_model(energy_model)
+            deployment.energy_models[spec.device_id] = energy_model
+            if config.start_devices:
+                firmware.start()
+            deployment.firmwares.append(firmware)
+            deployment.devices[spec.device_id] = device
+        proxy.register_with(master_uri=deployment.master.uri)
+        deployment.device_proxies[(entity_id, protocol)] = proxy

@@ -1,0 +1,21 @@
+"""Measurement storage: time series, proxy-local DB, global DB."""
+
+from repro.storage.localdb import LocalDatabase
+from repro.storage.measurementdb import MeasurementDatabase
+from repro.storage.query import RangeQuery
+from repro.storage.timeseries import (
+    AGGREGATIONS,
+    TimeSeries,
+    aligned_sum,
+    merge,
+)
+
+__all__ = [
+    "AGGREGATIONS",
+    "LocalDatabase",
+    "MeasurementDatabase",
+    "RangeQuery",
+    "TimeSeries",
+    "aligned_sum",
+    "merge",
+]

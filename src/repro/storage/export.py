@@ -1,0 +1,106 @@
+"""Export of measurement data for downstream analysis tools.
+
+District operators feed retrieved data into spreadsheets and BI tools;
+these helpers turn query results and integrated models into CSV text
+and row dictionaries without any further dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.simtime import isoformat
+from repro.core.integration import IntegratedModel
+from repro.errors import QueryError
+from repro.storage.timeseries import TimeSeries
+
+
+def samples_to_csv(samples: Sequence[Tuple[float, float]],
+                   value_label: str = "value",
+                   iso_timestamps: bool = True) -> str:
+    """Render (t, value) samples as a two-column CSV document."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["timestamp", value_label])
+    for t, value in samples:
+        stamp = isoformat(t) if iso_timestamps else repr(t)
+        writer.writerow([stamp, repr(value)])
+    return out.getvalue()
+
+
+def model_measurements_to_csv(model: IntegratedModel,
+                              quantity: Optional[str] = None) -> str:
+    """Flatten every measurement in an integrated model to long-form CSV.
+
+    Columns: entity, device, quantity, timestamp, value.  Optionally
+    filtered to one *quantity*.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["entity_id", "device_id", "quantity", "timestamp",
+                     "value"])
+    for entity in model.entities.values():
+        for (device_id, q), samples in sorted(entity.measurements.items()):
+            if quantity is not None and q != quantity:
+                continue
+            for t, value in samples:
+                writer.writerow([entity.entity_id, device_id, q,
+                                 isoformat(t), repr(value)])
+    return out.getvalue()
+
+
+def profile_table(profile: Sequence[Tuple[float, float]],
+                  bucket: float) -> List[Dict[str, object]]:
+    """Rows for a bucketed profile: start/end ISO stamps and the value."""
+    if bucket <= 0:
+        raise QueryError("bucket width must be positive")
+    return [
+        {
+            "start": isoformat(t),
+            "end": isoformat(t + bucket),
+            "watts": value,
+        }
+        for t, value in profile
+    ]
+
+
+def downsample(samples: Sequence[Tuple[float, float]], bucket: float,
+               agg: str = "mean") -> List[Tuple[float, float]]:
+    """Re-bucket raw samples; thin wrapper over TimeSeries.resample."""
+    return TimeSeries(list(samples)).resample(bucket, agg)
+
+
+def energy_summary(model: IntegratedModel, bucket: float = 3600.0
+                   ) -> List[Dict[str, object]]:
+    """Per-building energy rows ready for a report or CSV writer."""
+    from repro.core.monitoring import ConsumptionProfiler
+
+    profiler = ConsumptionProfiler(model, bucket=bucket)
+    rows: List[Dict[str, object]] = []
+    for entity in model.buildings:
+        energy = profiler.building_energy_wh(entity.entity_id)
+        area = entity.properties.get("floor_area_m2")
+        rows.append({
+            "entity_id": entity.entity_id,
+            "name": entity.name,
+            "use": entity.properties.get("use", ""),
+            "energy_wh": energy,
+            "floor_area_m2": area,
+            "intensity_wh_per_m2": (energy / area) if area else None,
+        })
+    rows.sort(key=lambda r: -(r["intensity_wh_per_m2"] or 0.0))
+    return rows
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render uniform row dicts as CSV (columns from the first row)."""
+    if not rows:
+        return ""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

@@ -1,0 +1,79 @@
+"""Proxy-local sample database — the Device-proxy's middle layer.
+
+Keyed by (device id, quantity), with an optional retention horizon so a
+constrained gateway does not grow without bound (old samples are pruned
+on insert once they age past ``retention``; the global measurement
+database keeps the full history).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.cdf import Measurement
+from repro.errors import SeriesNotFoundError
+from repro.storage.query import RangeQuery
+from repro.storage.timeseries import TimeSeries
+
+
+class LocalDatabase:
+    """In-memory sample store for one proxy."""
+
+    def __init__(self, retention: Optional[float] = None):
+        self._series: Dict[Tuple[str, str], TimeSeries] = {}
+        self.retention = retention
+        self.inserts = 0
+
+    def insert(self, measurement: Measurement) -> None:
+        """Store one measurement, pruning expired samples of that series."""
+        key = (measurement.device_id, measurement.quantity)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TimeSeries()
+        series.append(measurement.timestamp, measurement.value)
+        self.inserts += 1
+        if self.retention is not None:
+            series.prune_before(measurement.timestamp - self.retention)
+
+    def series(self, device_id: str, quantity: str) -> TimeSeries:
+        """The series for one device quantity; raises if absent."""
+        try:
+            return self._series[(device_id, quantity)]
+        except KeyError:
+            raise SeriesNotFoundError(
+                f"no samples for {device_id}/{quantity}"
+            ) from None
+
+    def has_series(self, device_id: str, quantity: str) -> bool:
+        return (device_id, quantity) in self._series
+
+    def devices(self) -> List[str]:
+        """Sorted device ids present in the store."""
+        return sorted({device for device, _q in self._series})
+
+    def quantities(self, device_id: str) -> List[str]:
+        """Sorted quantities recorded for *device_id*."""
+        return sorted(q for d, q in self._series if d == device_id)
+
+    def latest(self, device_id: str, quantity: str) -> Tuple[float, float]:
+        """Most recent (timestamp, value) for a device quantity."""
+        return self.series(device_id, quantity).latest()
+
+    def query(self, query: RangeQuery) -> List[Tuple[float, float]]:
+        """Run a range query; aggregated if the query asks for buckets."""
+        series = self.series(query.device_id, query.quantity)
+        start = query.start if query.start is not None else float("-inf")
+        end = query.end if query.end is not None else float("inf")
+        if start == float("-inf") and not len(series):
+            return []
+        windowed = series.window(
+            start if start != float("-inf") else series.first()[0],
+            end,
+        ) if len(series) else TimeSeries()
+        if query.bucket is None:
+            return windowed.to_pairs()
+        return windowed.resample(query.bucket, query.agg)
+
+    def sample_count(self) -> int:
+        """Total stored samples across all series."""
+        return sum(len(s) for s in self._series.values())

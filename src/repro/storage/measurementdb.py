@@ -1,0 +1,114 @@
+"""Global measurements database.
+
+The paper's Figure 1(a) shows "one or more measurements databases
+(which store data collected by sensors placed in the district)".  This
+service subscribes to the whole district's measurement topics on the
+middleware and ingests every published sample; a Web Service interface
+serves range queries and per-device freshness so clients (and the
+benchmarks) can ask one place for historical data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.cdf import Measurement
+from repro.errors import QueryError, SeriesNotFoundError
+from repro.middleware.broker import Event
+from repro.middleware.peer import MiddlewarePeer
+from repro.middleware.topics import district_filter
+from repro.network.transport import Host
+from repro.network.webservice import (
+    GET,
+    HttpClient,
+    Request,
+    Response,
+    WebService,
+    error,
+    ok,
+)
+from repro.storage.localdb import LocalDatabase
+from repro.storage.query import RangeQuery
+
+
+class MeasurementDatabase:
+    """District-wide measurement store fed by the pub/sub middleware."""
+
+    def __init__(self, host: Host, broker_host: str, district_id: str):
+        self.host = host
+        self.district_id = district_id
+        self.store = LocalDatabase(retention=None)
+        self.ingested = 0
+        self.rejected = 0
+        self._freshness: Dict[str, float] = {}  # device -> last sample time
+        self.peer = MiddlewarePeer(host, broker_host)
+        self.peer.subscribe(district_filter(district_id), self._on_event)
+        self.service = WebService(host)
+        self.service.add_route(GET, "/measurements", self._query_route)
+        self.service.add_route(GET, "/devices", self._devices_route)
+        self.service.add_route(GET, "/freshness/{device_id}",
+                               self._freshness_route)
+
+    @property
+    def uri(self) -> str:
+        return self.service.base_uri
+
+    def register_with(self, master_uri: str) -> None:
+        """Announce this measurement DB on the master's district root."""
+        client = HttpClient(self.host)
+        client.post(master_uri.rstrip("/") + "/register", body={
+            "proxy_kind": "measurement",
+            "district_id": self.district_id,
+            "uri": self.uri,
+        })
+
+    # -- middleware ingestion ---------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        payload = event.payload
+        if not isinstance(payload, dict) or \
+                payload.get("record") != "measurement":
+            self.rejected += 1
+            return
+        try:
+            measurement = Measurement.from_dict(payload)
+        except Exception:
+            self.rejected += 1
+            return
+        self.store.insert(measurement)
+        self.ingested += 1
+        previous = self._freshness.get(measurement.device_id, float("-inf"))
+        if measurement.timestamp > previous:
+            self._freshness[measurement.device_id] = measurement.timestamp
+
+    # -- direct (in-process) query API ------------------------------------
+
+    def query(self, query: RangeQuery) -> List:
+        """Run a range query against the global store."""
+        return self.store.query(query)
+
+    def freshness(self, device_id: str) -> Optional[float]:
+        """Timestamp of the newest ingested sample for *device_id*."""
+        return self._freshness.get(device_id)
+
+    # -- web-service routes -------------------------------------------------
+
+    def _query_route(self, request: Request) -> Response:
+        try:
+            query = RangeQuery.from_params(request.params)
+            samples = self.store.query(query)
+        except QueryError as exc:
+            return error(400, str(exc))
+        except SeriesNotFoundError as exc:
+            return error(404, str(exc))
+        return ok({"samples": [[t, v] for t, v in samples]})
+
+    def _devices_route(self, request: Request) -> Response:
+        return ok({"devices": self.store.devices()})
+
+    def _freshness_route(self, request: Request) -> Response:
+        device_id = request.path_params["device_id"]
+        last = self._freshness.get(device_id)
+        if last is None:
+            return error(404, f"no samples from {device_id}")
+        return ok({"device_id": device_id, "last_timestamp": last})

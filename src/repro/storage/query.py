@@ -1,0 +1,75 @@
+"""Query structures shared by local and global measurement stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.storage.timeseries import AGGREGATIONS
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A time-range query for one device quantity.
+
+    *bucket*/*agg* request server-side aggregation; when *bucket* is
+    ``None`` raw samples are returned.
+    """
+
+    device_id: str
+    quantity: str
+    start: Optional[float] = None
+    end: Optional[float] = None
+    bucket: Optional[float] = None
+    agg: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.start is not None and self.end is not None \
+                and self.end < self.start:
+            raise QueryError(
+                f"reversed query window [{self.start}, {self.end})"
+            )
+        if self.bucket is not None and self.bucket <= 0:
+            raise QueryError("bucket width must be positive")
+        if self.agg not in AGGREGATIONS:
+            raise QueryError(f"unknown aggregation {self.agg!r}")
+
+    def to_params(self) -> Dict[str, str]:
+        """Encode as flat string params for a web-service request."""
+        params = {"device_id": self.device_id, "quantity": self.quantity,
+                  "agg": self.agg}
+        if self.start is not None:
+            params["start"] = repr(self.start)
+        if self.end is not None:
+            params["end"] = repr(self.end)
+        if self.bucket is not None:
+            params["bucket"] = repr(self.bucket)
+        return params
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "RangeQuery":
+        """Decode from web-service request params."""
+        def opt_float(key: str) -> Optional[float]:
+            raw = params.get(key)
+            if raw is None or raw == "":
+                return None
+            try:
+                return float(raw)
+            except (TypeError, ValueError):
+                raise QueryError(f"bad numeric parameter {key}={raw!r}") \
+                    from None
+
+        try:
+            device_id = params["device_id"]
+            quantity = params["quantity"]
+        except KeyError as exc:
+            raise QueryError(f"missing query parameter {exc}") from None
+        return cls(
+            device_id=device_id,
+            quantity=quantity,
+            start=opt_float("start"),
+            end=opt_float("end"),
+            bucket=opt_float("bucket"),
+            agg=params.get("agg", "mean"),
+        )

@@ -1,0 +1,18 @@
+"""Visualization of energy behaviours: SVG charts, district maps, HTML
+dashboards — the paper's "visualization and simulation of energy
+consumption trends" purpose, with no plotting dependencies."""
+
+from repro.visualization.charts import bar_chart, line_chart
+from repro.visualization.dashboard import build_dashboard
+from repro.visualization.district_map import district_map
+from repro.visualization.svg import LinearScale, SvgDocument, color_scale
+
+__all__ = [
+    "LinearScale",
+    "SvgDocument",
+    "bar_chart",
+    "build_dashboard",
+    "color_scale",
+    "district_map",
+    "line_chart",
+]

@@ -1,0 +1,137 @@
+"""Energy charts rendered as SVG.
+
+Line charts for power profiles (with time axes in simulated hours) and
+bar charts for per-building comparisons — the plots the paper's
+"visualization of energy consumption trends" motivation calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.simtime import isoformat
+from repro.errors import QueryError
+from repro.visualization.svg import LinearScale, SvgDocument, color_scale
+
+_MARGIN_LEFT = 64.0
+_MARGIN_BOTTOM = 36.0
+_MARGIN_TOP = 28.0
+_MARGIN_RIGHT = 16.0
+
+_SERIES_COLORS = ("#2b6cb0", "#c05621", "#2f855a", "#6b46c1",
+                  "#b83280", "#4a5568")
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: float = 720.0,
+    height: float = 280.0,
+    title: str = "",
+    unit: str = "W",
+) -> str:
+    """Render named (t, value) series as a multi-line SVG chart."""
+    populated = {name: list(samples) for name, samples in series.items()
+                 if samples}
+    if not populated:
+        raise QueryError("line chart needs at least one non-empty series")
+    doc = SvgDocument(width, height)
+    all_t = [t for samples in populated.values() for t, _v in samples]
+    all_v = [v for samples in populated.values() for _t, v in samples]
+    x_scale = LinearScale((min(all_t), max(all_t)),
+                          (_MARGIN_LEFT, width - _MARGIN_RIGHT))
+    v_lo, v_hi = min(min(all_v), 0.0), max(all_v)
+    y_scale = LinearScale((v_lo, v_hi),
+                          (height - _MARGIN_BOTTOM, _MARGIN_TOP))
+
+    # axes and gridlines
+    for tick in y_scale.ticks(5):
+        y = y_scale(tick)
+        doc.line(_MARGIN_LEFT, y, width - _MARGIN_RIGHT, y,
+                 stroke="#e2e8f0", stroke_width=1)
+        doc.text(_MARGIN_LEFT - 6, y + 4, f"{tick:,.0f}",
+                 text_anchor="end", font_size=10, fill="#4a5568")
+    for tick in x_scale.ticks(6):
+        x = x_scale(tick)
+        doc.line(x, _MARGIN_TOP, x, height - _MARGIN_BOTTOM,
+                 stroke="#edf2f7", stroke_width=1)
+        stamp = isoformat(tick)[5:16].replace("T", " ")
+        doc.text(x, height - _MARGIN_BOTTOM + 14, stamp,
+                 text_anchor="middle", font_size=9, fill="#4a5568")
+    doc.line(_MARGIN_LEFT, _MARGIN_TOP, _MARGIN_LEFT,
+             height - _MARGIN_BOTTOM, stroke="#a0aec0", stroke_width=1)
+    doc.line(_MARGIN_LEFT, height - _MARGIN_BOTTOM,
+             width - _MARGIN_RIGHT, height - _MARGIN_BOTTOM,
+             stroke="#a0aec0", stroke_width=1)
+
+    # series
+    for index, (name, samples) in enumerate(sorted(populated.items())):
+        color = _SERIES_COLORS[index % len(_SERIES_COLORS)]
+        points = [(x_scale(t), y_scale(v)) for t, v in samples]
+        if len(points) >= 2:
+            doc.polyline(points, stroke=color, stroke_width=1.5)
+        else:
+            doc.circle(points[0][0], points[0][1], 2.5, fill=color)
+        doc.text(width - _MARGIN_RIGHT - 4,
+                 _MARGIN_TOP + 14 * (index + 1) - 4, name,
+                 text_anchor="end", font_size=10, fill=color)
+
+    if title:
+        doc.text(_MARGIN_LEFT, 16, title, font_size=13,
+                 font_weight="bold", fill="#1a202c")
+    doc.text(8, _MARGIN_TOP - 8, unit, font_size=10, fill="#4a5568")
+    return doc.render()
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: float = 720.0,
+    height: float = 280.0,
+    title: str = "",
+    unit: str = "",
+    heat_colors: bool = True,
+    baseline: Optional[float] = None,
+) -> str:
+    """Render labelled values as a vertical bar chart."""
+    if not values:
+        raise QueryError("bar chart needs at least one value")
+    doc = SvgDocument(width, height)
+    labels = list(values)
+    numbers = [values[label] for label in labels]
+    v_hi = max(max(numbers), 0.0)
+    v_lo = min(min(numbers), 0.0)
+    y_scale = LinearScale((v_lo, v_hi or 1.0),
+                          (height - _MARGIN_BOTTOM, _MARGIN_TOP))
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    slot = plot_width / len(labels)
+    bar_width = slot * 0.7
+
+    for tick in y_scale.ticks(5):
+        y = y_scale(tick)
+        doc.line(_MARGIN_LEFT, y, width - _MARGIN_RIGHT, y,
+                 stroke="#e2e8f0", stroke_width=1)
+        doc.text(_MARGIN_LEFT - 6, y + 4, f"{tick:,.0f}",
+                 text_anchor="end", font_size=10, fill="#4a5568")
+
+    zero_y = y_scale(0.0)
+    for index, label in enumerate(labels):
+        value = values[label]
+        x = _MARGIN_LEFT + index * slot + (slot - bar_width) / 2.0
+        top = min(y_scale(value), zero_y)
+        bar_height = abs(y_scale(value) - zero_y)
+        color = (color_scale(value, v_lo, v_hi) if heat_colors
+                 else _SERIES_COLORS[0])
+        doc.rect(x, top, bar_width, max(bar_height, 0.5), fill=color)
+        doc.text(x + bar_width / 2.0, height - _MARGIN_BOTTOM + 14,
+                 label, text_anchor="middle", font_size=9,
+                 fill="#4a5568")
+    if baseline is not None:
+        y = y_scale(baseline)
+        doc.line(_MARGIN_LEFT, y, width - _MARGIN_RIGHT, y,
+                 stroke="#e53e3e", stroke_width=1,
+                 stroke_dasharray="4,3")
+    if title:
+        doc.text(_MARGIN_LEFT, 16, title, font_size=13,
+                 font_weight="bold", fill="#1a202c")
+    if unit:
+        doc.text(8, _MARGIN_TOP - 8, unit, font_size=10, fill="#4a5568")
+    return doc.render()

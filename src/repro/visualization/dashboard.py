@@ -1,0 +1,124 @@
+"""District dashboard: one self-contained HTML report.
+
+Composes the map, the district profile chart, the per-building
+intensity bars and the awareness table into a single HTML document —
+the end-user artifact the paper's "promote user awareness" purpose
+points at, producible offline from one integrated model.
+"""
+
+from __future__ import annotations
+
+import xml.sax.saxutils as _sax
+from typing import Optional
+
+from repro.core.integration import IntegratedModel
+from repro.core.monitoring import ConsumptionProfiler, awareness_report
+from repro.errors import QueryError
+from repro.visualization.charts import bar_chart, line_chart
+from repro.visualization.district_map import district_map
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 24px; color: #1a202c; }}
+ h1 {{ font-size: 20px; }} h2 {{ font-size: 15px; margin-top: 28px; }}
+ table {{ border-collapse: collapse; font-size: 13px; }}
+ th, td {{ border: 1px solid #cbd5e0; padding: 4px 10px;
+           text-align: right; }}
+ th {{ background: #edf2f7; }} td:first-child {{ text-align: left; }}
+ .figure {{ margin: 12px 0; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p>{summary}</p>
+{sections}
+</body>
+</html>
+"""
+
+
+def _table(report) -> str:
+    rows = []
+    for entry in report.ranked:
+        rows.append(
+            "<tr><td>{name}</td><td>{energy:,.1f}</td>"
+            "<td>{area:,.0f}</td><td>{intensity:,.2f}</td>"
+            "<td>{ratio:.2f}x</td><td>{peak:,.1f}</td></tr>".format(
+                name=_sax.escape(
+                    f"{entry.entity_id} {entry.name}".strip()
+                ),
+                energy=entry.energy_wh / 1e3,
+                area=entry.floor_area_m2,
+                intensity=entry.intensity_wh_per_m2,
+                ratio=entry.vs_district_average,
+                peak=entry.peak_watts / 1e3,
+            )
+        )
+    return (
+        "<table><tr><th>building</th><th>kWh</th><th>m&#178;</th>"
+        "<th>Wh/m&#178;</th><th>vs avg</th><th>peak kW</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def build_dashboard(model: IntegratedModel, bucket: float = 3600.0,
+                    title: Optional[str] = None) -> str:
+    """Render a complete district dashboard as an HTML string."""
+    profiler = ConsumptionProfiler(model, bucket=bucket)
+    report = awareness_report(model, bucket=bucket)
+    if not report.buildings:
+        raise QueryError("dashboard needs at least one building")
+    title = title or (f"District energy dashboard — "
+                      f"{model.district_name or model.district_id}")
+
+    profile_series = {}
+    district_profile = profiler.district_profile()
+    if district_profile:
+        profile_series["district"] = district_profile
+    for entity in model.buildings:
+        profile = profiler.building_profile(entity.entity_id)
+        if profile:
+            profile_series[entity.entity_id] = profile
+
+    intensity = {
+        b.entity_id: b.intensity_wh_per_m2
+        for b in report.buildings if b.intensity_wh_per_m2 is not None
+    }
+    sections = []
+    try:
+        sections.append(
+            '<h2>District map (energy intensity)</h2>'
+            f'<div class="figure">'
+            f'{district_map(model, metric=intensity)}</div>'
+        )
+    except QueryError:
+        pass  # model without GIS geometry: skip the map
+    if profile_series:
+        sections.append(
+            '<h2>Power profiles</h2><div class="figure">'
+            + line_chart(profile_series, title="bucketed mean power",
+                         unit="W")
+            + "</div>"
+        )
+    if intensity:
+        average = (sum(intensity.values()) / len(intensity))
+        sections.append(
+            '<h2>Energy intensity by building</h2><div class="figure">'
+            + bar_chart(intensity, title="intensity over the window",
+                        unit="Wh/m2", baseline=average)
+            + "</div>"
+        )
+    sections.append("<h2>Awareness table</h2>" + _table(report))
+
+    summary = (
+        f"{len(model.buildings)} buildings, {model.device_count} devices; "
+        f"{report.district_energy_wh / 1e3:,.1f} kWh over "
+        f"{report.window_hours:.1f} h."
+    )
+    return _PAGE.format(title=_sax.escape(title),
+                        summary=_sax.escape(summary),
+                        sections="\n".join(sections))

@@ -1,0 +1,133 @@
+"""Minimal SVG document builder (no dependencies).
+
+The visualization layer renders district maps and energy charts as SVG
+text, so dashboards and reports can be produced without any plotting
+library.  :class:`SvgDocument` keeps a flat element list and serialises
+to a standalone ``<svg>`` document; helpers build the handful of shapes
+the charts and maps need.
+"""
+
+from __future__ import annotations
+
+import xml.sax.saxutils as _sax
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+
+Point = Tuple[float, float]
+
+
+def _fmt(value: float) -> str:
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def _attrs(attributes: Dict[str, object]) -> str:
+    parts = []
+    for key, value in attributes.items():
+        if value is None:
+            continue
+        name = key.rstrip("_").replace("_", "-")
+        parts.append(f'{name}={_sax.quoteattr(str(value))}')
+    return " ".join(parts)
+
+
+class SvgDocument:
+    """An SVG document with a fixed viewport."""
+
+    def __init__(self, width: float, height: float,
+                 background: Optional[str] = "#ffffff"):
+        if width <= 0 or height <= 0:
+            raise QueryError("SVG viewport must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def raw(self, element: str) -> None:
+        """Append a pre-rendered element string."""
+        self._elements.append(element)
+
+    def rect(self, x: float, y: float, width: float, height: float,
+             **style: object) -> None:
+        self.raw(f'<rect x="{_fmt(x)}" y="{_fmt(y)}" '
+                 f'width="{_fmt(width)}" height="{_fmt(height)}" '
+                 f'{_attrs(style)} />')
+
+    def circle(self, cx: float, cy: float, r: float, **style: object
+               ) -> None:
+        self.raw(f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" '
+                 f'r="{_fmt(r)}" {_attrs(style)} />')
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             **style: object) -> None:
+        self.raw(f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" '
+                 f'x2="{_fmt(x2)}" y2="{_fmt(y2)}" {_attrs(style)} />')
+
+    def polyline(self, points: Sequence[Point], **style: object) -> None:
+        if len(points) < 2:
+            raise QueryError("polyline needs two or more points")
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self.raw(f'<polyline points="{coords}" fill="none" '
+                 f'{_attrs(style)} />')
+
+    def polygon(self, points: Sequence[Point], **style: object) -> None:
+        if len(points) < 3:
+            raise QueryError("polygon needs three or more points")
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self.raw(f'<polygon points="{coords}" {_attrs(style)} />')
+
+    def text(self, x: float, y: float, content: str,
+             **style: object) -> None:
+        body = _sax.escape(content)
+        self.raw(f'<text x="{_fmt(x)}" y="{_fmt(y)}" '
+                 f'{_attrs(style)}>{body}</text>')
+
+    def render(self) -> str:
+        """Serialise to a standalone SVG document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}" '
+            f'font-family="sans-serif">'
+        )
+        return header + "".join(self._elements) + "</svg>"
+
+
+def color_scale(value: float, lo: float, hi: float) -> str:
+    """Map a value onto a green-to-red heat colour (hex)."""
+    if hi <= lo:
+        fraction = 0.0
+    else:
+        fraction = min(max((value - lo) / (hi - lo), 0.0), 1.0)
+    red = int(40 + 215 * fraction)
+    green = int(180 - 120 * fraction)
+    blue = 60
+    return f"#{red:02x}{green:02x}{blue:02x}"
+
+
+class LinearScale:
+    """Maps a data interval onto a pixel interval (possibly flipped)."""
+
+    def __init__(self, domain: Tuple[float, float],
+                 pixels: Tuple[float, float]):
+        d0, d1 = domain
+        if d1 == d0:
+            d1 = d0 + 1.0  # degenerate domain: avoid division by zero
+        self.d0, self.d1 = d0, d1
+        self.p0, self.p1 = pixels
+
+    def __call__(self, value: float) -> float:
+        fraction = (value - self.d0) / (self.d1 - self.d0)
+        return self.p0 + fraction * (self.p1 - self.p0)
+
+    def ticks(self, count: int = 5) -> List[float]:
+        """Evenly spaced domain values for axis labelling."""
+        if count < 2:
+            raise QueryError("need at least two ticks")
+        step = (self.d1 - self.d0) / (count - 1)
+        return [self.d0 + i * step for i in range(count)]

@@ -1,0 +1,174 @@
+"""Tests for the Common Data Format record types."""
+
+import pytest
+
+from repro.common.cdf import (
+    ActuationCommand,
+    ActuationResult,
+    ActuatorCapability,
+    Component,
+    DeviceDescription,
+    EntityModel,
+    Measurement,
+    Relation,
+    SensorCapability,
+    record_from_dict,
+    records_from_dicts,
+)
+from repro.errors import SerializationError, UnitError
+
+
+def sample_measurement(**overrides):
+    base = dict(
+        device_id="dev-0001",
+        entity_id="bld-0001",
+        quantity="power",
+        value=1234.5,
+        timestamp=3600.0,
+        source="proxy-bld-0001",
+        metadata={"protocol": "zigbee"},
+    )
+    base.update(overrides)
+    return Measurement(**base)
+
+
+def sample_device(**overrides):
+    base = dict(
+        device_id="dev-0001",
+        entity_id="bld-0001",
+        protocol="zigbee",
+        sensors=(SensorCapability("power", 60.0),),
+        actuators=(ActuatorCapability("switch", (0.0, 1.0)),),
+        vendor="STMicroelectronics",
+        location="storey-2/room-204",
+    )
+    base.update(overrides)
+    return DeviceDescription(**base)
+
+
+def sample_model(**overrides):
+    base = dict(
+        entity_id="bld-0001",
+        entity_type="building",
+        source_kind="bim",
+        name="Corso Duca 24",
+        properties={"floor_area_m2": 5400.0, "storeys": 6},
+        geometry={"type": "Point", "coordinates": [7.66, 45.06]},
+        components=(
+            Component("sp-01", "space", "Room 204", {"area_m2": 35.0}),
+        ),
+        relations=(Relation("contains", "bld-0001", "sp-01"),),
+    )
+    base.update(overrides)
+    return EntityModel(**base)
+
+
+class TestMeasurement:
+    def test_unit_derived_from_quantity(self):
+        assert sample_measurement().unit == "W"
+
+    def test_round_trip(self):
+        m = sample_measurement()
+        assert Measurement.from_dict(m.to_dict()) == m
+
+    def test_unknown_quantity_rejected(self):
+        with pytest.raises(UnitError):
+            sample_measurement(quantity="vibes")
+
+    def test_from_dict_missing_field(self):
+        data = sample_measurement().to_dict()
+        del data["value"]
+        with pytest.raises(SerializationError, match="value"):
+            Measurement.from_dict(data)
+
+    def test_from_dict_coerces_numeric_strings(self):
+        data = sample_measurement().to_dict()
+        data["value"] = "10.5"
+        assert Measurement.from_dict(data).value == 10.5
+
+
+class TestDeviceDescription:
+    def test_round_trip(self):
+        d = sample_device()
+        assert DeviceDescription.from_dict(d.to_dict()) == d
+
+    def test_quantities_property(self):
+        d = sample_device(
+            sensors=(
+                SensorCapability("power", 60.0),
+                SensorCapability("temperature", 300.0),
+            )
+        )
+        assert d.quantities == ("power", "temperature")
+
+    def test_is_actuator(self):
+        assert sample_device().is_actuator
+        assert not sample_device(actuators=()).is_actuator
+
+    def test_actuator_capability_without_range(self):
+        cap = ActuatorCapability("reset")
+        again = ActuatorCapability.from_dict(cap.to_dict())
+        assert again.value_range is None
+
+
+class TestEntityModel:
+    def test_round_trip(self):
+        m = sample_model()
+        assert EntityModel.from_dict(m.to_dict()) == m
+
+    def test_unknown_entity_type_rejected(self):
+        with pytest.raises(SerializationError):
+            sample_model(entity_type="spaceship")
+
+    def test_unknown_source_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            sample_model(source_kind="csv")
+
+    def test_component_lookup(self):
+        m = sample_model()
+        assert m.component("sp-01").name == "Room 204"
+        with pytest.raises(KeyError):
+            m.component("sp-99")
+
+    def test_geometry_optional(self):
+        m = sample_model(geometry=None)
+        assert EntityModel.from_dict(m.to_dict()).geometry is None
+
+
+class TestActuation:
+    def test_command_round_trip(self):
+        cmd = ActuationCommand("dev-0001", "setpoint", 21.5, issued_at=10.0)
+        assert ActuationCommand.from_dict(cmd.to_dict()) == cmd
+
+    def test_command_without_value(self):
+        cmd = ActuationCommand("dev-0001", "toggle")
+        assert ActuationCommand.from_dict(cmd.to_dict()).value is None
+
+    def test_result_round_trip(self):
+        res = ActuationResult("dev-0001", "setpoint", True, "ok", 11.0)
+        assert ActuationResult.from_dict(res.to_dict()) == res
+
+
+class TestDispatch:
+    def test_record_from_dict_dispatches_each_type(self):
+        for record in (
+            sample_measurement(),
+            sample_device(),
+            sample_model(),
+            ActuationCommand("dev-0001", "switch", 1.0),
+            ActuationResult("dev-0001", "switch", True),
+        ):
+            assert record_from_dict(record.to_dict()) == record
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            record_from_dict({"record": "hologram"})
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            record_from_dict({"device_id": "dev-0001"})
+
+    def test_records_from_dicts(self):
+        records = [sample_measurement(), sample_device()]
+        dicts = [r.to_dict() for r in records]
+        assert records_from_dicts(dicts) == records

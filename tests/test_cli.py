@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_protocols_lists_all_four(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ieee802154", "zigbee", "enocean", "opcua"):
+            assert name in out
+
+    def test_experiments_lists_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id, _desc, target in EXPERIMENTS:
+            assert exp_id in out
+            assert target in out
+
+    def test_generate_describes_district(self, capsys):
+        assert main(["generate", "--buildings", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dst-0001" in out
+        assert out.count("bld-") == 3
+        assert "device protocols:" in out
+
+    def test_generate_is_deterministic(self, capsys):
+        main(["generate", "--buildings", "3", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["generate", "--buildings", "3", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_demo_runs_small_district(self, capsys):
+        assert main(["demo", "--buildings", "2", "--devices", "2",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 buildings" in out
+        assert "sources=bim+gis" in out
+
+    def test_monitor_prints_report(self, capsys):
+        assert main(["monitor", "--buildings", "2", "--days", "0.25",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "district peak" in out
+        assert "Wh/m2" in out
+
+    def test_energy_report(self, capsys):
+        assert main(["energy", "--buildings", "2", "--days", "0.1",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "life (days)" in out
+        assert "mains/harvest" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dance"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,114 @@
+"""Tests for CSV/report export helpers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.integration import integrate
+from repro.errors import QueryError
+from repro.ontology.queries import (
+    ResolvedArea,
+    ResolvedDevice,
+    ResolvedEntity,
+)
+from repro.common.cdf import EntityModel
+from repro.storage.export import (
+    downsample,
+    energy_summary,
+    model_measurements_to_csv,
+    profile_table,
+    rows_to_csv,
+    samples_to_csv,
+)
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def small_model():
+    feeder = ResolvedDevice("dev-0100", "svc://p/", "zigbee",
+                            ("power", "energy"), False)
+    entity = ResolvedEntity("bld-0001", "building", "B1", {}, "",
+                            (feeder,))
+    resolved = ResolvedArea("dst-0001", "D", (), (), (entity,))
+    bim = EntityModel(entity_id="bld-0001", entity_type="building",
+                      source_kind="bim", name="B1",
+                      properties={"floor_area_m2": 500.0, "use": "office"})
+    return integrate(resolved, {"bld-0001": [bim]}, {
+        "bld-0001": {
+            ("dev-0100", "power"): [(0.0, 1000.0), (3600.0, 1000.0)],
+            ("dev-0100", "energy"): [(3600.0, 1000.0)],
+        },
+    })
+
+
+class TestSamplesCsv:
+    def test_iso_timestamps(self):
+        text = samples_to_csv([(0.0, 1.5), (3600.0, 2.0)], "watts")
+        rows = parse_csv(text)
+        assert rows[0] == ["timestamp", "watts"]
+        assert rows[1] == ["2015-01-01T00:00:00Z", "1.5"]
+        assert rows[2][0] == "2015-01-01T01:00:00Z"
+
+    def test_raw_timestamps(self):
+        text = samples_to_csv([(12.5, 3.0)], iso_timestamps=False)
+        rows = parse_csv(text)
+        assert rows[1] == ["12.5", "3.0"]
+
+    def test_empty(self):
+        rows = parse_csv(samples_to_csv([]))
+        assert rows == [["timestamp", "value"]]
+
+
+class TestModelCsv:
+    def test_long_form_rows(self):
+        text = model_measurements_to_csv(small_model())
+        rows = parse_csv(text)
+        assert rows[0] == ["entity_id", "device_id", "quantity",
+                           "timestamp", "value"]
+        assert len(rows) == 1 + 3  # 2 power + 1 energy samples
+
+    def test_quantity_filter(self):
+        text = model_measurements_to_csv(small_model(), quantity="energy")
+        rows = parse_csv(text)
+        assert len(rows) == 2
+        assert rows[1][2] == "energy"
+
+
+class TestProfileTable:
+    def test_rows_have_bucket_bounds(self):
+        rows = profile_table([(0.0, 100.0), (3600.0, 200.0)], 3600.0)
+        assert rows[0]["start"] == "2015-01-01T00:00:00Z"
+        assert rows[0]["end"] == "2015-01-01T01:00:00Z"
+        assert rows[1]["watts"] == 200.0
+
+    def test_bad_bucket(self):
+        with pytest.raises(QueryError):
+            profile_table([], 0.0)
+
+
+class TestDownsample:
+    def test_downsample_means(self):
+        samples = [(0.0, 1.0), (30.0, 3.0), (60.0, 5.0)]
+        assert downsample(samples, 60.0) == [(0.0, 2.0), (60.0, 5.0)]
+
+
+class TestEnergySummary:
+    def test_summary_rows(self):
+        rows = energy_summary(small_model())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["entity_id"] == "bld-0001"
+        assert row["energy_wh"] == pytest.approx(1000.0)
+        assert row["intensity_wh_per_m2"] == pytest.approx(2.0)
+
+    def test_rows_to_csv(self):
+        text = rows_to_csv(energy_summary(small_model()))
+        rows = parse_csv(text)
+        assert rows[0][0] == "entity_id"
+        assert rows[1][0] == "bld-0001"
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,153 @@
+"""Robustness tests: failure injection and recovery."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RequestTimeoutError
+from repro.ontology import AreaQuery
+from repro.simulation.faults import FaultInjector
+from repro.simulation.scenario import ScenarioConfig, deploy
+
+
+@pytest.fixture
+def deployment():
+    d = deploy(ScenarioConfig(seed=21, n_buildings=3,
+                              devices_per_building=3, n_networks=1,
+                              net_jitter=0.0))
+    d.run(300.0)
+    return d
+
+
+@pytest.fixture
+def injector(deployment):
+    return FaultInjector(deployment)
+
+
+class TestBrokerOutage:
+    def test_ingestion_stops_and_resumes(self, deployment, injector):
+        before = deployment.measurement_db.ingested
+        assert before > 0
+        injector.kill_broker()
+        deployment.run(300.0)
+        during = deployment.measurement_db.ingested
+        assert during <= before + 2  # at most in-flight stragglers
+        injector.restore_broker()
+        deployment.run(300.0)
+        assert deployment.measurement_db.ingested > during
+
+    def test_queries_survive_broker_outage(self, deployment, injector):
+        # the request/response plane is independent of the middleware
+        injector.kill_broker()
+        client = deployment.client("fault-user", with_broker=False)
+        model = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id)
+        )
+        assert len(model.buildings) == 3
+
+
+class TestProxyOutage:
+    def test_strict_client_raises_on_dark_proxy(self, deployment,
+                                                injector):
+        entity = deployment.dataset.buildings[0].entity_id
+        injector.kill_bim_proxy(entity)
+        client = deployment.client("strict-user", with_broker=False)
+        client.http.timeout = 0.5
+        with pytest.raises(RequestTimeoutError):
+            client.build_area_model(
+                AreaQuery(district_id=deployment.district_id,
+                          entity_ids=(entity,))
+            )
+
+    def test_lenient_client_degrades(self, deployment, injector):
+        entity = deployment.dataset.buildings[0].entity_id
+        injector.kill_bim_proxy(entity)
+        client = deployment.client("lenient-user", with_broker=False)
+        client.http.timeout = 0.5
+        model = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id),
+            strict=False,
+        )
+        degraded = model.entity(entity)
+        assert "bim" not in degraded.sources
+        assert "gis" in degraded.sources  # the GIS proxy is still up
+        assert client.fetch_failures == 1
+        # the other buildings are complete
+        others = [e for e in model.buildings if e.entity_id != entity]
+        assert all("bim" in e.sources for e in others)
+
+    def test_restored_proxy_serves_again(self, deployment, injector):
+        entity = deployment.dataset.buildings[0].entity_id
+        injector.kill_bim_proxy(entity)
+        injector.restore_all()
+        client = deployment.client("recovered-user", with_broker=False)
+        model = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id,
+                      entity_ids=(entity,))
+        )
+        assert "bim" in model.entity(entity).sources
+
+    def test_device_proxy_outage_stops_its_ingest(self, deployment,
+                                                  injector):
+        spec = deployment.dataset.buildings[0].devices[0]
+        host = injector.kill_device_proxy(spec.entity_id, spec.protocol)
+        deployment.run(2.0)  # drain in-flight
+        proxy = deployment.device_proxies[(spec.entity_id, spec.protocol)]
+        frames_before = proxy.frames_received
+        deployment.run(300.0)
+        assert proxy.frames_received == frames_before
+        assert host in injector.offline_hosts
+
+    def test_unknown_targets_rejected(self, deployment, injector):
+        with pytest.raises(ConfigurationError):
+            injector.kill_bim_proxy("bld-9999")
+        with pytest.raises(ConfigurationError):
+            injector.kill_device_proxy("bld-0001", "lorawan")
+        with pytest.raises(ConfigurationError):
+            injector.take_offline("ghost-host")
+
+
+class TestMasterRestart:
+    def test_restart_loses_ontology(self, deployment, injector):
+        injector.restart_master()
+        client = deployment.client("post-crash-user", with_broker=False)
+        from repro.errors import ServiceError
+        with pytest.raises(ServiceError) as exc:
+            client.resolve(AreaQuery(district_id=deployment.district_id))
+        assert exc.value.status == 404
+
+    def test_reregistration_rebuilds_ontology(self, deployment, injector):
+        before = deployment.master.ontology.node_count()
+        injector.restart_master()
+        assert deployment.master.ontology.node_count() == 0
+        injector.reregister_all()
+        assert deployment.master.ontology.node_count() == before
+        client = deployment.client("rebuilt-user", with_broker=False)
+        model = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id), with_data=True,
+        )
+        assert len(model.buildings) == 3
+        assert model.device_count == len(deployment.dataset.devices)
+
+
+class TestPartition:
+    def test_partitioned_building_unreachable_others_fine(self, deployment,
+                                                          injector):
+        target = deployment.dataset.buildings[1]
+        hosts = [f"proxy-bim-{target.entity_id}"]
+        hosts += [
+            proxy.host.name
+            for (entity, _p), proxy in deployment.device_proxies.items()
+            if entity == target.entity_id
+        ]
+        injector.partition(hosts)
+        client = deployment.client("partition-user", with_broker=False)
+        client.http.timeout = 0.5
+        model = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id),
+            strict=False,
+        )
+        assert "bim" not in model.entity(target.entity_id).sources
+        intact = [b for b in model.buildings
+                  if b.entity_id != target.entity_id]
+        assert all("bim" in b.sources for b in intact)
+        injector.restore_all()
+        assert injector.offline_hosts == []

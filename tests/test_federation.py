@@ -1,0 +1,75 @@
+"""Tests for multi-district federations on one master.
+
+The paper: "The ontology depicts the structure of one or more
+districts, each one structured as a tree."
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ontology import AreaQuery
+from repro.simulation import ScenarioConfig, deploy_federation
+
+
+@pytest.fixture(scope="module")
+def federation():
+    fed = deploy_federation([
+        ScenarioConfig(seed=1, n_buildings=3, devices_per_building=3,
+                       n_networks=1, net_jitter=0.0),
+        ScenarioConfig(seed=2, n_buildings=2, devices_per_building=2,
+                       n_networks=0, net_jitter=0.0),
+    ])
+    fed.run(600.0)
+    return fed
+
+
+class TestFederation:
+    def test_two_district_trees_on_one_master(self, federation):
+        districts = federation.master.ontology.districts()
+        assert {d.district_id for d in districts} == \
+            {"dst-0001", "dst-0002"}
+
+    def test_each_district_resolves_independently(self, federation):
+        client = federation.client("fed-user-1")
+        first = client.resolve(AreaQuery(district_id="dst-0001"))
+        second = client.resolve(AreaQuery(district_id="dst-0002"))
+        assert len(first.entities) == 4   # 3 buildings + 1 network
+        assert len(second.entities) == 2  # 2 buildings
+
+    def test_measurements_stay_in_their_district(self, federation):
+        first = federation.district("dst-0001")
+        second = federation.district("dst-0002")
+        assert first.measurement_db.ingested > 0
+        assert second.measurement_db.ingested > 0
+        # each global DB only holds its own district's devices
+        first_devices = set(first.measurement_db.store.devices())
+        expected_first = {d.device_id for d in first.dataset.devices}
+        assert first_devices <= expected_first
+
+    def test_integration_per_district(self, federation):
+        client = federation.client("fed-user-2")
+        model = client.build_area_model(
+            AreaQuery(district_id="dst-0002"), with_data=True,
+        )
+        assert len(model.buildings) == 2
+        assert model.district_id == "dst-0002"
+        for building in model.buildings:
+            assert "bim" in building.source_kinds
+
+    def test_shared_broker_scopes_topics(self, federation):
+        client = federation.client("fed-sub")
+        events = []
+        client.subscribe_measurements(events.append,
+                                      district_id="dst-0002")
+        federation.run(120.0)
+        assert events
+        assert all(e.topic.startswith("district/dst-0002/")
+                   for e in events)
+
+    def test_unknown_district_lookup(self, federation):
+        with pytest.raises(ConfigurationError):
+            federation.district("dst-0404")
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deploy_federation([])

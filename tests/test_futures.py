@@ -1,0 +1,75 @@
+"""Tests for the simulation future/promise primitive."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.futures import Future
+
+
+class TestFuture:
+    def test_resolves_with_result(self):
+        future = Future()
+        assert not future.done
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+
+    def test_resolves_with_exception(self):
+        future = Future()
+        future.set_exception(ValueError("boom"))
+        assert future.done
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+    def test_result_before_resolution_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            Future().result()
+
+    def test_double_resolution_rejected(self):
+        future = Future()
+        future.set_result(1)
+        with pytest.raises(ConfigurationError):
+            future.set_result(2)
+        with pytest.raises(ConfigurationError):
+            future.set_exception(RuntimeError())
+
+    def test_callback_after_resolution_fires_immediately(self):
+        future = Future()
+        future.set_result("x")
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_callbacks_fire_once_in_order(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(lambda f: seen.append("a"))
+        future.add_done_callback(lambda f: seen.append("b"))
+        future.set_result(None)
+        assert seen == ["a", "b"]
+
+    def test_callback_sees_exception_result(self):
+        future = Future()
+        outcomes = []
+
+        def check(f):
+            try:
+                outcomes.append(f.result())
+            except KeyError:
+                outcomes.append("raised")
+
+        future.add_done_callback(check)
+        future.set_exception(KeyError("k"))
+        assert outcomes == ["raised"]
+
+    def test_callback_added_during_dispatch_fires(self):
+        future = Future()
+        seen = []
+
+        def first(f):
+            seen.append("first")
+            f.add_done_callback(lambda g: seen.append("nested"))
+
+        future.add_done_callback(first)
+        future.set_result(None)
+        assert seen == ["first", "nested"]

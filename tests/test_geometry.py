@@ -1,0 +1,143 @@
+"""Tests for WKT geometry and spatial predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasources import geometry as G
+from repro.errors import QueryError
+
+
+class TestBoundingBox:
+    def test_contains(self):
+        box = G.BoundingBox(0, 0, 10, 10)
+        assert box.contains((5, 5))
+        assert box.contains((0, 0))  # edges inclusive
+        assert not box.contains((11, 5))
+
+    def test_intersects(self):
+        a = G.BoundingBox(0, 0, 10, 10)
+        assert a.intersects(G.BoundingBox(5, 5, 15, 15))
+        assert a.intersects(G.BoundingBox(10, 10, 20, 20))  # touching
+        assert not a.intersects(G.BoundingBox(11, 11, 20, 20))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(QueryError):
+            G.BoundingBox(10, 0, 0, 10)
+
+    def test_expanded(self):
+        box = G.BoundingBox(0, 0, 10, 10).expanded(5)
+        assert box.to_list() == [-5, -5, 15, 15]
+
+    def test_list_round_trip(self):
+        box = G.BoundingBox(1, 2, 3, 4)
+        assert G.BoundingBox.from_list(box.to_list()) == box
+
+    def test_from_list_wrong_arity(self):
+        with pytest.raises(QueryError):
+            G.BoundingBox.from_list([1, 2, 3])
+
+    def test_around_points(self):
+        box = G.BoundingBox.around([(0, 5), (10, -5), (3, 3)])
+        assert box.to_list() == [0, -5, 10, 5]
+
+    def test_around_empty_rejected(self):
+        with pytest.raises(QueryError):
+            G.BoundingBox.around([])
+
+
+class TestGeometryOps:
+    def test_rectangle_area(self):
+        rect = G.rectangle(0, 0, 10, 20)
+        assert rect.area() == pytest.approx(200.0)
+
+    def test_point_area_zero(self):
+        assert G.point(1, 2).area() == 0.0
+
+    def test_linestring_length(self):
+        line = G.linestring([(0, 0), (3, 4), (3, 14)])
+        assert line.length() == pytest.approx(15.0)
+
+    def test_centroid(self):
+        rect = G.rectangle(5, 7, 4, 4)
+        assert rect.centroid() == pytest.approx((5.0, 7.0))
+
+    def test_point_in_polygon(self):
+        rect = G.rectangle(0, 0, 10, 10)
+        assert rect.contains_point((0, 0))
+        assert rect.contains_point((4.9, -4.9))
+        assert not rect.contains_point((5.1, 0))
+        assert not rect.contains_point((100, 100))
+
+    def test_point_in_concave_polygon(self):
+        # L-shaped polygon
+        shape = G.polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert shape.contains_point((1, 3))
+        assert shape.contains_point((3, 1))
+        assert not shape.contains_point((3, 3))  # the notch
+
+    def test_contains_point_false_for_non_polygon(self):
+        assert not G.point(0, 0).contains_point((0, 0))
+
+    def test_bounds(self):
+        line = G.linestring([(0, 5), (10, -5)])
+        assert line.bounds().to_list() == [0, -5, 10, 5]
+
+    def test_constructor_validation(self):
+        with pytest.raises(QueryError):
+            G.linestring([(0, 0)])
+        with pytest.raises(QueryError):
+            G.polygon([(0, 0), (1, 1)])
+
+
+class TestWkt:
+    @pytest.mark.parametrize(
+        "geom",
+        [
+            G.point(7.5, -3.25),
+            G.linestring([(0, 0), (10, 10), (20, 0)]),
+            G.polygon([(0, 0), (10, 0), (10, 10), (0, 10)]),
+        ],
+        ids=lambda g: g.kind,
+    )
+    def test_round_trip(self, geom):
+        assert G.parse_wkt(geom.to_wkt()) == geom
+
+    def test_parse_closed_polygon_ring(self):
+        geom = G.parse_wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+        assert len(geom.points) == 4  # closing vertex stripped
+
+    def test_parse_case_insensitive(self):
+        assert G.parse_wkt("point (1 2)").kind == "POINT"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "CIRCLE (0 0)",
+            "POINT (1)",
+            "POINT (1 2, 3 4)",
+            "LINESTRING (1 1)",
+            "POLYGON (0 0, 1 0, 1 1)",  # missing inner ring parens
+            "POINT (a b)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            G.parse_wkt(bad)
+
+    @given(st.floats(-1e5, 1e5), st.floats(-1e5, 1e5))
+    def test_point_round_trip_property(self, x, y):
+        geom = G.point(x, y)
+        again = G.parse_wkt(geom.to_wkt())
+        assert again.points[0] == pytest.approx(geom.points[0], abs=1e-3)
+
+    @given(
+        st.floats(-1e4, 1e4), st.floats(-1e4, 1e4),
+        st.floats(1, 500), st.floats(1, 500),
+    )
+    def test_rectangle_centroid_and_containment(self, cx, cy, w, h):
+        rect = G.rectangle(cx, cy, w, h)
+        assert rect.centroid() == pytest.approx((cx, cy), abs=1e-6)
+        assert rect.contains_point((cx, cy))
+        assert rect.area() == pytest.approx(w * h, rel=1e-9)

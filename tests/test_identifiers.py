@@ -1,0 +1,100 @@
+"""Tests for entity ids and service URIs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.identifiers import (
+    ENTITY_KINDS,
+    EntityId,
+    ServiceUri,
+    entity_kind,
+    make_entity_id,
+    service_uri,
+)
+from repro.errors import ConfigurationError, QueryError
+
+
+class TestEntityId:
+    def test_valid_building_id(self):
+        eid = EntityId("bld-0007")
+        assert eid.kind == "building"
+        assert str(eid) == "bld-0007"
+
+    @pytest.mark.parametrize(
+        "value,kind",
+        [
+            ("dst-torino", "district"),
+            ("net-heat-01", "network"),
+            ("dev-00a3", "device"),
+            ("src-gis-1", "datasource"),
+        ],
+    )
+    def test_kinds(self, value, kind):
+        assert EntityId(value).kind == kind
+
+    @pytest.mark.parametrize(
+        "bad", ["", "bld", "xyz-1", "bld_0007", "BLD-0007", "bld-", "bld-a b"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            EntityId(bad)
+
+    def test_entity_kind_helper(self):
+        assert entity_kind("net-0001") == "network"
+
+    def test_make_entity_id_round_trip(self):
+        eid = make_entity_id("dev", 163)
+        assert eid == "dev-0163"
+        assert entity_kind(eid) == "device"
+
+    def test_make_entity_id_unknown_prefix(self):
+        with pytest.raises(ConfigurationError):
+            make_entity_id("zzz", 1)
+
+    @given(st.sampled_from(sorted(ENTITY_KINDS)), st.integers(0, 10**6))
+    def test_make_entity_id_always_parses(self, prefix, index):
+        assert entity_kind(make_entity_id(prefix, index)) == ENTITY_KINDS[prefix]
+
+
+class TestServiceUri:
+    def test_parse_full(self):
+        uri = ServiceUri.parse("svc://proxy-bld-0001/data/latest")
+        assert uri.host == "proxy-bld-0001"
+        assert uri.path == "/data/latest"
+
+    def test_parse_no_path_defaults_root(self):
+        assert ServiceUri.parse("svc://master").path == "/"
+
+    def test_round_trip(self):
+        text = "svc://master/resolve"
+        assert str(ServiceUri.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["http://master/", "svc:/master", "svc://", "svc://ho st/x", "master/x"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            ServiceUri.parse(bad)
+
+    def test_join_adds_segment(self):
+        uri = ServiceUri("master", "/api")
+        assert str(uri.join("resolve")) == "svc://master/api/resolve"
+
+    def test_join_with_leading_slash(self):
+        uri = ServiceUri("master", "/api/")
+        assert str(uri.join("/resolve")) == "svc://master/api/resolve"
+
+    def test_service_uri_helper_normalises_path(self):
+        assert service_uri("h1", "x/y") == "svc://h1/x/y"
+
+    @given(
+        st.from_regex(r"[a-z][a-z0-9\-]{0,20}", fullmatch=True),
+        st.from_regex(r"/[a-z0-9/\-]{0,30}", fullmatch=True),
+    )
+    def test_parse_format_round_trip(self, host, path):
+        uri = ServiceUri(host, path)
+        again = ServiceUri.parse(str(uri))
+        assert again.host == host
+        assert again.path == path

@@ -1,0 +1,193 @@
+"""Unit tests for client-side integration (merge, conflicts, joins)."""
+
+import pytest
+
+from repro.common.cdf import EntityModel, Relation
+from repro.core.integration import integrate
+from repro.errors import IntegrationError
+from repro.ontology.queries import (
+    ResolvedArea,
+    ResolvedDevice,
+    ResolvedEntity,
+)
+
+
+def resolved_area(entities):
+    return ResolvedArea(
+        district_id="dst-0001",
+        district_name="D",
+        gis_uris=("svc://proxy-gis/",),
+        measurement_uris=(),
+        entities=tuple(entities),
+    )
+
+
+def resolved_entity(entity_id="bld-0001", entity_type="building",
+                    devices=()):
+    return ResolvedEntity(
+        entity_id=entity_id,
+        entity_type=entity_type,
+        name="",
+        proxy_uris={},
+        gis_feature_id="",
+        devices=tuple(devices),
+    )
+
+
+def bim_model(entity_id="bld-0001", **props):
+    defaults = {"floor_area_m2": 1000.0, "cadastral_id": "TO-01-1000"}
+    defaults.update(props)
+    return EntityModel(entity_id=entity_id, entity_type="building",
+                       source_kind="bim", name="HQ", properties=defaults)
+
+
+def gis_model(entity_id="bld-0001", **props):
+    defaults = {"cadastral_id": "TO-01-1000", "height_m": 12.0}
+    defaults.update(props)
+    return EntityModel(
+        entity_id=entity_id, entity_type="building", source_kind="gis",
+        name="Via Roma 1", properties=defaults,
+        geometry={"type": "Polygon", "bounds": [0, 0, 10, 10],
+                  "centroid": [5, 5], "coordinates": [], "area_m2": 100.0},
+    )
+
+
+class TestMerge:
+    def test_properties_unioned_with_provenance(self):
+        model = integrate(
+            resolved_area([resolved_entity()]),
+            {"bld-0001": [bim_model(), gis_model()]},
+        )
+        entity = model.entity("bld-0001")
+        assert entity.properties["floor_area_m2"] == 1000.0
+        assert entity.provenance["floor_area_m2"] == "bim"
+        assert entity.properties["height_m"] == 12.0
+        assert entity.provenance["height_m"] == "gis"
+
+    def test_geometry_comes_from_gis(self):
+        model = integrate(
+            resolved_area([resolved_entity()]),
+            {"bld-0001": [bim_model(), gis_model()]},
+        )
+        assert model.entity("bld-0001").geometry["type"] == "Polygon"
+
+    def test_agreeing_sources_no_conflict(self):
+        model = integrate(
+            resolved_area([resolved_entity()]),
+            {"bld-0001": [bim_model(), gis_model()]},
+        )
+        assert model.conflicts == []
+
+    def test_disagreeing_sources_recorded_not_overwritten(self):
+        model = integrate(
+            resolved_area([resolved_entity()]),
+            {"bld-0001": [bim_model(cadastral_id="TO-01-1000"),
+                          gis_model(cadastral_id="TO-01-9999")]},
+        )
+        conflicts = model.conflicts
+        assert len(conflicts) == 1
+        assert conflicts[0].prop == "cadastral_id"
+        sources = dict(conflicts[0].values)
+        assert sources == {"bim": "TO-01-1000", "gis": "TO-01-9999"}
+        # precedence: BIM wins the merged view for building attributes
+        assert model.entity("bld-0001").properties["cadastral_id"] == \
+            "TO-01-1000"
+
+    def test_name_falls_back_to_model_name(self):
+        model = integrate(
+            resolved_area([resolved_entity()]),
+            {"bld-0001": [gis_model()]},
+        )
+        assert model.entity("bld-0001").name == "Via Roma 1"
+
+    def test_mismatched_model_rejected(self):
+        with pytest.raises(IntegrationError):
+            integrate(
+                resolved_area([resolved_entity()]),
+                {"bld-0001": [bim_model(entity_id="bld-0002")]},
+            )
+
+    def test_duplicate_source_rejected(self):
+        with pytest.raises(IntegrationError):
+            integrate(
+                resolved_area([resolved_entity()]),
+                {"bld-0001": [bim_model(), bim_model()]},
+            )
+
+    def test_missing_models_still_integrates(self):
+        model = integrate(resolved_area([resolved_entity()]), {})
+        entity = model.entity("bld-0001")
+        assert entity.sources == {}
+        assert entity.properties == {}
+
+    def test_unknown_entity_lookup_raises(self):
+        model = integrate(resolved_area([resolved_entity()]), {})
+        with pytest.raises(IntegrationError):
+            model.entity("bld-0404")
+
+
+class TestMeasurementsAttachment:
+    def test_measurements_mapped(self):
+        device = ResolvedDevice("dev-0001", "svc://proxy-dev/", "zigbee",
+                                ("power",), False)
+        model = integrate(
+            resolved_area([resolved_entity(devices=[device])]),
+            {"bld-0001": [bim_model()]},
+            {"bld-0001": {("dev-0001", "power"): [(0.0, 1.0), (60.0, 2.0)]}},
+        )
+        entity = model.entity("bld-0001")
+        assert entity.samples("dev-0001", "power") == [(0.0, 1.0),
+                                                       (60.0, 2.0)]
+        assert entity.samples("dev-0001", "energy") == []
+
+    def test_device_count(self):
+        devices = [
+            ResolvedDevice(f"dev-000{i}", "svc://p/", "zigbee",
+                           ("power",), False)
+            for i in range(3)
+        ]
+        model = integrate(
+            resolved_area([resolved_entity(devices=devices)]), {}
+        )
+        assert model.device_count == 3
+
+
+class TestServedBuildingsJoin:
+    def build_model(self, serves_parcel="TO-01-1000"):
+        sim = EntityModel(
+            entity_id="net-0001", entity_type="network",
+            source_kind="sim", name="N1",
+            properties={"commodity": "heat"},
+            relations=(
+                Relation("serves", "n-c0", serves_parcel,
+                         {"key": "cadastral_id"}),
+            ),
+        )
+        return integrate(
+            resolved_area([
+                resolved_entity(),
+                resolved_entity("net-0001", "network"),
+            ]),
+            {"bld-0001": [bim_model(), gis_model()],
+             "net-0001": [sim]},
+        )
+
+    def test_join_resolves_parcel_to_building(self):
+        model = self.build_model()
+        assert model.served_buildings("net-0001") == ["bld-0001"]
+
+    def test_join_with_unknown_parcel_empty(self):
+        model = self.build_model(serves_parcel="TO-99-0000")
+        assert model.served_buildings("net-0001") == []
+
+    def test_join_requires_sim_model(self):
+        model = integrate(
+            resolved_area([resolved_entity("net-0001", "network")]), {}
+        )
+        with pytest.raises(IntegrationError):
+            model.served_buildings("net-0001")
+
+    def test_building_and_network_partitions(self):
+        model = self.build_model()
+        assert [e.entity_id for e in model.buildings] == ["bld-0001"]
+        assert [e.entity_id for e in model.networks] == ["net-0001"]

@@ -1,0 +1,218 @@
+"""Tests for the self-configuring multihop mesh."""
+
+import pytest
+
+from repro.devices.catalog import power_meter, smart_plug
+from repro.devices.firmware import DeviceFirmware
+from repro.devices.mesh import GATEWAY, MeshNetwork
+from repro.devices.profiles import ConstantProfile
+from repro.errors import ConfigurationError
+from repro.network.scheduler import Scheduler
+from repro.protocols import make_adapter
+
+
+def chain_mesh(scheduler=None, spacing=50.0, count=3):
+    """Nodes in a line: n1 at 50 m, n2 at 100 m, ... (range 60 m)."""
+    mesh = MeshNetwork(scheduler or Scheduler(), radio_range_m=60.0,
+                       per_hop_latency=0.01)
+    links = {}
+    for index in range(1, count + 1):
+        node_id = f"n{index}"
+        links[node_id] = mesh.add_node(node_id, (index * spacing, 0.0))
+    return mesh, links
+
+
+class TestTopologyFormation:
+    def test_chain_ranks(self):
+        mesh, _links = chain_mesh()
+        assert mesh.hops("n1") == 1
+        assert mesh.hops("n2") == 2
+        assert mesh.hops("n3") == 3
+
+    def test_parents_follow_chain(self):
+        mesh, _links = chain_mesh()
+        assert mesh.parent("n1") == GATEWAY
+        assert mesh.parent("n2") == "n1"
+        assert mesh.parent("n3") == "n2"
+
+    def test_route(self):
+        mesh, _links = chain_mesh()
+        assert mesh.route("n3") == ["n3", "n2", "n1", GATEWAY]
+
+    def test_out_of_range_node_unreachable(self):
+        mesh = MeshNetwork(Scheduler(), radio_range_m=60.0)
+        mesh.add_node("far", (500.0, 0.0))
+        assert mesh.hops("far") is None
+        assert mesh.route("far") == []
+
+    def test_direct_neighbour_single_hop(self):
+        mesh = MeshNetwork(Scheduler(), radio_range_m=60.0)
+        mesh.add_node("near", (10.0, 0.0))
+        assert mesh.hops("near") == 1
+
+    def test_new_node_extends_reachability(self):
+        mesh = MeshNetwork(Scheduler(), radio_range_m=60.0)
+        mesh.add_node("far", (100.0, 0.0))
+        assert mesh.hops("far") is None
+        mesh.add_node("relay", (50.0, 0.0))  # bridges the gap
+        assert mesh.hops("far") == 2
+
+    def test_duplicate_and_reserved_ids_rejected(self):
+        mesh = MeshNetwork(Scheduler())
+        mesh.add_node("a", (10.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            mesh.add_node("a", (20.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            mesh.add_node(GATEWAY, (0.0, 0.0))
+
+    def test_hop_histogram(self):
+        mesh, _links = chain_mesh(count=3)
+        assert mesh.hop_histogram() == {1: 1, 2: 1, 3: 1}
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(Scheduler(), radio_range_m=0.0)
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(Scheduler(), per_hop_latency=-1.0)
+
+
+class TestFrameRouting:
+    def test_uplink_pays_per_hop_latency(self):
+        scheduler = Scheduler()
+        mesh, links = chain_mesh(scheduler)
+        received = []
+        links["n3"].attach_gateway(
+            lambda frame: received.append(scheduler.now)
+        )
+        links["n3"].uplink(b"frame")
+        scheduler.run_until_idle()
+        assert received == [pytest.approx(0.03)]  # 3 hops * 10 ms
+
+    def test_nearer_node_arrives_sooner(self):
+        scheduler = Scheduler()
+        mesh, links = chain_mesh(scheduler)
+        arrivals = {}
+        for node in ("n1", "n3"):
+            links[node].attach_gateway(
+                lambda frame, n=node: arrivals.setdefault(
+                    n, scheduler.now)
+            )
+            links[node].uplink(b"x")
+        scheduler.run_until_idle()
+        assert arrivals["n1"] < arrivals["n3"]
+
+    def test_unreachable_node_drops(self):
+        scheduler = Scheduler()
+        mesh = MeshNetwork(scheduler, radio_range_m=60.0)
+        link = mesh.add_node("far", (500.0, 0.0))
+        link.attach_gateway(lambda frame: None)
+        link.uplink(b"lost")
+        scheduler.run_until_idle()
+        assert link.frames_dropped == 1
+        assert link.frames_up == 0
+
+    def test_downlink_routed_too(self):
+        scheduler = Scheduler()
+        mesh, links = chain_mesh(scheduler)
+        received = []
+        links["n2"].attach_device(received.append)
+        links["n2"].downlink(b"cmd")
+        scheduler.run_until_idle()
+        assert received == [b"cmd"]
+
+
+class TestSelfHealing:
+    def test_relay_failure_cuts_downstream(self):
+        mesh, links = chain_mesh()
+        mesh.fail_node("n2")
+        assert mesh.hops("n1") == 1
+        assert mesh.hops("n3") is None  # n3 only reached through n2
+
+    def test_reparenting_around_failure(self):
+        # diamond: two possible relays at rank 1
+        mesh = MeshNetwork(Scheduler(), radio_range_m=60.0)
+        mesh.add_node("left", (40.0, 20.0))
+        mesh.add_node("right", (40.0, -20.0))
+        mesh.add_node("leaf", (80.0, 0.0))
+        assert mesh.hops("leaf") == 2
+        first_parent = mesh.parent("leaf")
+        mesh.fail_node(first_parent)
+        # self-healed: the other relay carries the leaf now
+        assert mesh.hops("leaf") == 2
+        assert mesh.parent("leaf") != first_parent
+
+    def test_revive_restores_routes(self):
+        mesh, _links = chain_mesh()
+        mesh.fail_node("n2")
+        mesh.revive_node("n2")
+        assert mesh.hops("n3") == 3
+
+    def test_in_flight_frame_dropped_when_path_dies(self):
+        scheduler = Scheduler()
+        mesh, links = chain_mesh(scheduler)
+        received = []
+        links["n3"].attach_gateway(received.append)
+        links["n3"].uplink(b"doomed")
+        mesh.fail_node("n2")  # before the frame lands
+        scheduler.run_until_idle()
+        assert received == []
+        assert links["n3"].frames_dropped == 1
+
+    def test_fail_unknown_or_gateway_rejected(self):
+        mesh, _links = chain_mesh()
+        with pytest.raises(ConfigurationError):
+            mesh.fail_node("ghost")
+        with pytest.raises(ConfigurationError):
+            mesh.fail_node(GATEWAY)
+
+    def test_reconfiguration_counter(self):
+        mesh, _links = chain_mesh()  # 3 adds = 3 reconfigurations
+        before = mesh.reconfigurations
+        mesh.fail_node("n3")
+        assert mesh.reconfigurations == before + 1
+
+
+class TestFirmwareOverMesh:
+    def test_device_proxy_works_over_mesh(self):
+        from repro.middleware.broker import Broker
+        from repro.network.transport import LatencyModel, Network
+        from repro.proxies.device_proxy import DeviceProxy
+
+        net = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+        Broker(net.add_host("broker"))
+        proxy = DeviceProxy(net.add_host("proxy"), make_adapter("zigbee"),
+                            "broker", "dst-0001")
+        mesh = MeshNetwork(net.scheduler, radio_range_m=60.0,
+                           per_hop_latency=0.01)
+        mesh.add_node("relay", (50.0, 0.0))
+        link = mesh.add_node("meter-node", (100.0, 0.0))
+        device = power_meter("dev-0001", "zigbee",
+                             "00:12:4b:00:00:00:00:01", "bld-0001",
+                             ConstantProfile(640.0))
+        proxy.attach_device(device, link)
+        DeviceFirmware(device, make_adapter("zigbee"), link,
+                       net.scheduler).start()
+        net.scheduler.run_until(121.0)
+        _t, value = proxy.database.latest("dev-0001", "power")
+        assert value == pytest.approx(640.0, rel=0.01)
+
+    def test_actuation_over_mesh(self):
+        from repro.middleware.broker import Broker
+        from repro.network.transport import LatencyModel, Network
+        from repro.proxies.device_proxy import DeviceProxy
+
+        net = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+        Broker(net.add_host("broker"))
+        proxy = DeviceProxy(net.add_host("proxy"), make_adapter("zigbee"),
+                            "broker", "dst-0001")
+        mesh = MeshNetwork(net.scheduler, radio_range_m=60.0)
+        link = mesh.add_node("plug-node", (30.0, 0.0))
+        device = smart_plug("dev-0002", "zigbee",
+                            "00:12:4b:00:00:00:00:02", "bld-0001",
+                            ConstantProfile(75.0))
+        proxy.attach_device(device, link)
+        DeviceFirmware(device, make_adapter("zigbee"), link,
+                       net.scheduler).start()
+        proxy.actuate("dev-0002", "switch", 0.0)
+        net.scheduler.run_until(1.0)
+        assert device.channel("state").read(0.0) == 0.0

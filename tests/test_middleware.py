@@ -1,0 +1,159 @@
+"""Tests for the pub/sub broker and peer API."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.middleware.broker import Broker
+from repro.middleware.peer import connect
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+@pytest.fixture
+def broker(net):
+    return Broker(net.add_host("broker"))
+
+
+def make_peer(net, name):
+    return connect(net.add_host(name), "broker")
+
+
+class TestPublishSubscribe:
+    def test_event_reaches_subscriber(self, net, broker):
+        publisher = make_peer(net, "pub")
+        subscriber = make_peer(net, "sub")
+        events = []
+        subscriber.subscribe("metrics/#", events.append)
+        net.scheduler.run_until_idle()  # let the subscription register
+        publisher.publish("metrics/power", {"w": 120})
+        net.scheduler.run_until_idle()
+        assert len(events) == 1
+        assert events[0].topic == "metrics/power"
+        assert events[0].payload == {"w": 120}
+        assert events[0].publisher == "pub"
+        assert events[0].delivered_at > events[0].published_at
+
+    def test_non_matching_topic_not_delivered(self, net, broker):
+        publisher = make_peer(net, "pub")
+        subscriber = make_peer(net, "sub")
+        events = []
+        subscriber.subscribe("metrics/energy", events.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("metrics/power", 1)
+        net.scheduler.run_until_idle()
+        assert events == []
+
+    def test_multiple_subscribers_fanout(self, net, broker):
+        publisher = make_peer(net, "pub")
+        inboxes = []
+        for i in range(5):
+            inbox = []
+            make_peer(net, f"sub{i}").subscribe("t/x", inbox.append)
+            inboxes.append(inbox)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/x", "hello")
+        net.scheduler.run_until_idle()
+        assert all(len(inbox) == 1 for inbox in inboxes)
+        assert broker.stats.fanout_deliveries == 5
+
+    def test_one_peer_multiple_subscriptions(self, net, broker):
+        peer = make_peer(net, "p")
+        seen_a, seen_b = [], []
+        peer.subscribe("a/#", seen_a.append)
+        peer.subscribe("a/b", seen_b.append)
+        net.scheduler.run_until_idle()
+        peer.publish("a/b", 1)
+        net.scheduler.run_until_idle()
+        assert len(seen_a) == 1 and len(seen_b) == 1
+
+    def test_publish_before_subscription_ack_not_delivered(self, net, broker):
+        publisher = make_peer(net, "pub")
+        subscriber = make_peer(net, "sub")
+        events = []
+        subscriber.subscribe("t/x", events.append)
+        # no run_until_idle: publish races ahead of the subscribe
+        publisher.publish("t/x", 1)
+        net.scheduler.run_until_idle()
+        # the subscribe message was sent before the publish, so with FIFO
+        # ordering on equal latency it lands first and the event arrives
+        assert broker.stats.published == 1
+
+    def test_unsubscribe_stops_delivery(self, net, broker):
+        publisher = make_peer(net, "pub")
+        subscriber = make_peer(net, "sub")
+        events = []
+        sub = subscriber.subscribe("t/#", events.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        sub.unsubscribe()
+        net.scheduler.run_until_idle()
+        publisher.publish("t/2", 2)
+        net.scheduler.run_until_idle()
+        assert [e.payload for e in events] == [1]
+        assert broker.subscription_count() == 0
+
+    def test_wildcard_and_literal_counters(self, net, broker):
+        peer = make_peer(net, "p")
+        sub = peer.subscribe("x/+", lambda e: None)
+        net.scheduler.run_until_idle()
+        peer.publish("x/1", None)
+        peer.publish("x/2", None)
+        net.scheduler.run_until_idle()
+        assert sub.events_received == 2
+        assert peer.events_published == 2
+        assert broker.stats.published == 2
+
+
+class TestRobustness:
+    def test_bad_topic_publish_raises_locally(self, net, broker):
+        peer = make_peer(net, "p")
+        with pytest.raises(ConfigurationError):
+            peer.publish("bad//topic", 1)
+
+    def test_bad_filter_raises_locally(self, net, broker):
+        peer = make_peer(net, "p")
+        with pytest.raises(ConfigurationError):
+            peer.subscribe("a/#/b", lambda e: None)
+
+    def test_connect_requires_broker_on_network(self, net):
+        host = net.add_host("lonely")
+        with pytest.raises(ConfigurationError):
+            connect(host, "missing-broker")
+
+    def test_offline_subscriber_messages_dropped(self, net, broker):
+        publisher = make_peer(net, "pub")
+        subscriber = make_peer(net, "sub")
+        events = []
+        subscriber.subscribe("t/#", events.append)
+        net.scheduler.run_until_idle()
+        net.set_host_online("sub", False)
+        publisher.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        assert events == []
+
+    def test_unknown_verb_ignored(self, net, broker):
+        peer_host = net.add_host("raw")
+        peer_host.send("broker", "pubsub", {"verb": "dance"})
+        net.scheduler.run_until_idle()  # must not raise
+        assert broker.stats.published == 0
+
+
+class TestBrokerScaling:
+    def test_many_subscribers_each_get_event(self, net, broker):
+        publisher = make_peer(net, "pub")
+        count = 50
+        inboxes = []
+        for i in range(count):
+            inbox = []
+            make_peer(net, f"s{i}").subscribe("big/#", inbox.append)
+            inboxes.append(inbox)
+        net.scheduler.run_until_idle()
+        publisher.publish("big/event", {"n": 1})
+        net.scheduler.run_until_idle()
+        assert sum(len(i) for i in inboxes) == count

@@ -1,0 +1,202 @@
+"""Tests for the district ontology and area-query resolution."""
+
+import pytest
+
+from repro.datasources.geometry import BoundingBox
+from repro.errors import OntologyError, QueryError, UnknownEntityError
+from repro.ontology.model import (
+    DeviceNode,
+    DistrictOntology,
+    EntityNode,
+)
+from repro.ontology.queries import AreaQuery, ResolvedArea, resolve
+
+
+def build_ontology():
+    onto = DistrictOntology()
+    district = onto.add_district("dst-0001", "Test District")
+    district.gis_uris.append("svc://proxy-gis/")
+    district.measurement_uris.append("svc://mdb/")
+    onto.add_entity("dst-0001", EntityNode(
+        entity_id="bld-0001", entity_type="building", name="B1",
+        proxy_uris={"bim": "svc://proxy-bim-1/"},
+        gis_feature_id="ft-00001",
+        bounds=BoundingBox(0, 0, 50, 50),
+    ))
+    onto.add_entity("dst-0001", EntityNode(
+        entity_id="bld-0002", entity_type="building", name="B2",
+        proxy_uris={"bim": "svc://proxy-bim-2/"},
+        gis_feature_id="ft-00002",
+        bounds=BoundingBox(100, 100, 150, 150),
+    ))
+    onto.add_entity("dst-0001", EntityNode(
+        entity_id="net-0001", entity_type="network", name="N1",
+        proxy_uris={"sim": "svc://proxy-sim-1/"},
+    ))
+    onto.add_device("dst-0001", "bld-0001", DeviceNode(
+        device_id="dev-0101", proxy_uri="svc://proxy-dev-1/",
+        protocol="zigbee", quantities=("power", "energy"),
+    ))
+    onto.add_device("dst-0001", "bld-0001", DeviceNode(
+        device_id="dev-0102", proxy_uri="svc://proxy-dev-1/",
+        protocol="enocean", quantities=("temperature", "humidity"),
+    ))
+    onto.add_device("dst-0001", "bld-0002", DeviceNode(
+        device_id="dev-0201", proxy_uri="svc://proxy-dev-2/",
+        protocol="zigbee", quantities=("power",), is_actuator=True,
+    ))
+    return onto
+
+
+class TestOntologyStructure:
+    def test_node_count(self):
+        assert build_ontology().node_count() == 1 + 3 + 3
+
+    def test_duplicate_district_rejected(self):
+        onto = build_ontology()
+        with pytest.raises(OntologyError):
+            onto.add_district("dst-0001")
+
+    def test_non_district_id_rejected(self):
+        with pytest.raises(OntologyError):
+            DistrictOntology().add_district("bld-0001")
+
+    def test_duplicate_entity_rejected(self):
+        onto = build_ontology()
+        with pytest.raises(OntologyError):
+            onto.add_entity("dst-0001", EntityNode("bld-0001", "building"))
+
+    def test_device_id_validated(self):
+        onto = build_ontology()
+        with pytest.raises(OntologyError):
+            onto.add_device("dst-0001", "bld-0001",
+                            DeviceNode("bld-0009", "svc://x/", "zigbee"))
+
+    def test_duplicate_device_rejected(self):
+        onto = build_ontology()
+        with pytest.raises(OntologyError):
+            onto.add_device("dst-0001", "bld-0001",
+                            DeviceNode("dev-0101", "svc://x/", "zigbee"))
+
+    def test_find_entity(self):
+        onto = build_ontology()
+        district, entity = onto.find_entity("net-0001")
+        assert district.district_id == "dst-0001"
+        assert entity.entity_type == "network"
+        with pytest.raises(UnknownEntityError):
+            onto.find_entity("bld-9999")
+
+    def test_find_device(self):
+        onto = build_ontology()
+        district, entity, device = onto.find_device("dev-0201")
+        assert entity.entity_id == "bld-0002"
+        assert device.is_actuator
+        with pytest.raises(UnknownEntityError):
+            onto.find_device("dev-9999")
+
+    def test_unknown_district(self):
+        with pytest.raises(UnknownEntityError):
+            build_ontology().district("dst-0999")
+
+    def test_serialization_round_trip(self):
+        onto = build_ontology()
+        again = DistrictOntology.from_dict(onto.to_dict())
+        assert again.to_dict() == onto.to_dict()
+        assert again.node_count() == onto.node_count()
+        # bounds survive the round trip
+        entity = again.district("dst-0001").entity("bld-0001")
+        assert entity.bounds == BoundingBox(0, 0, 50, 50)
+
+
+class TestAreaQuerySerialization:
+    def test_params_round_trip_full(self):
+        query = AreaQuery(
+            district_id="dst-0001",
+            entity_ids=("bld-0001", "bld-0002"),
+            bbox=BoundingBox(0, 0, 10, 10),
+            entity_type="building",
+            quantity="power",
+        )
+        assert AreaQuery.from_params(query.to_params()) == query
+
+    def test_params_round_trip_minimal(self):
+        query = AreaQuery(district_id="dst-0001")
+        again = AreaQuery.from_params(query.to_params())
+        assert again == query
+        assert again.bbox is None and again.entity_ids == ()
+
+    def test_missing_district_rejected(self):
+        with pytest.raises(QueryError):
+            AreaQuery.from_params({})
+
+    def test_bad_bbox_rejected(self):
+        with pytest.raises(QueryError):
+            AreaQuery.from_params({"district_id": "dst-0001",
+                                   "bbox": "1,2,three,4"})
+
+    def test_bad_entity_type_rejected(self):
+        with pytest.raises(QueryError):
+            AreaQuery(district_id="dst-0001", entity_type="starport")
+
+
+class TestResolution:
+    def test_whole_district(self):
+        resolved = resolve(build_ontology(), AreaQuery("dst-0001"))
+        assert set(resolved.entity_ids) == {"bld-0001", "bld-0002",
+                                            "net-0001"}
+        assert resolved.device_count == 3
+        assert resolved.gis_uris == ("svc://proxy-gis/",)
+        assert resolved.measurement_uris == ("svc://mdb/",)
+
+    def test_by_entity_ids(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001", entity_ids=("bld-0002",)))
+        assert resolved.entity_ids == ["bld-0002"]
+
+    def test_by_bbox(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001",
+                                     bbox=BoundingBox(0, 0, 60, 60)))
+        # bld-0001 intersects; bld-0002 does not; net-0001 has no bounds
+        assert resolved.entity_ids == ["bld-0001"]
+
+    def test_by_entity_type(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001", entity_type="network"))
+        assert resolved.entity_ids == ["net-0001"]
+
+    def test_by_quantity_filters_entities_and_devices(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001", quantity="temperature"))
+        assert resolved.entity_ids == ["bld-0001"]
+        devices = resolved.entities[0].devices
+        assert [d.device_id for d in devices] == ["dev-0102"]
+
+    def test_empty_result_is_valid(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001", quantity="co2"))
+        assert resolved.entities == ()
+
+    def test_unknown_district_raises(self):
+        with pytest.raises(UnknownEntityError):
+            resolve(build_ontology(), AreaQuery("dst-0404"))
+
+    def test_combined_filters(self):
+        resolved = resolve(build_ontology(), AreaQuery(
+            "dst-0001", entity_type="building", quantity="power",
+            bbox=BoundingBox(90, 90, 200, 200),
+        ))
+        assert resolved.entity_ids == ["bld-0002"]
+
+    def test_resolved_area_round_trip(self):
+        resolved = resolve(build_ontology(), AreaQuery("dst-0001"))
+        again = ResolvedArea.from_dict(resolved.to_dict())
+        assert again == resolved
+
+    def test_proxy_uris_surface_in_resolution(self):
+        resolved = resolve(build_ontology(),
+                           AreaQuery("dst-0001", entity_ids=("bld-0001",)))
+        entity = resolved.entities[0]
+        assert entity.proxy_uris == {"bim": "svc://proxy-bim-1/"}
+        assert entity.gis_feature_id == "ft-00001"
+        assert entity.devices[0].proxy_uri == "svc://proxy-dev-1/"

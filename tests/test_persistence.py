@@ -1,0 +1,129 @@
+"""Tests for ontology snapshots and measurement archives."""
+
+import json
+
+import pytest
+
+from repro.common.cdf import Measurement
+from repro.errors import SerializationError
+from repro.persistence import (
+    load_measurements,
+    load_ontology,
+    save_measurements,
+    save_ontology,
+)
+from repro.storage.localdb import LocalDatabase
+
+from tests.test_ontology import build_ontology
+
+
+class TestOntologySnapshots:
+    def test_round_trip(self, tmp_path):
+        ontology = build_ontology()
+        path = str(tmp_path / "ontology.json")
+        save_ontology(ontology, path)
+        again = load_ontology(path)
+        assert again.to_dict() == ontology.to_dict()
+        assert again.node_count() == ontology.node_count()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        with open(path, "w") as handle:
+            json.dump({"format": "something-else"}, handle)
+        with pytest.raises(SerializationError):
+            load_ontology(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = str(tmp_path / "old.json")
+        with open(path, "w") as handle:
+            json.dump({"format": "repro-ontology", "version": 99,
+                       "ontology": {}}, handle)
+        with pytest.raises(SerializationError):
+            load_ontology(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ontology(str(tmp_path / "ghost.json"))
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = str(tmp_path / "corrupt.json")
+        with open(path, "w") as handle:
+            handle.write("{broken")
+        with pytest.raises(SerializationError):
+            load_ontology(path)
+
+    def test_master_restart_recovery_from_snapshot(self, tmp_path):
+        from repro.network.scheduler import Scheduler
+        from repro.network.transport import LatencyModel, Network
+        from repro.core.master import MasterNode
+        from repro.ontology.queries import AreaQuery
+
+        net = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+        master = MasterNode(net.add_host("master"))
+        master.ontology = build_ontology()
+        path = str(tmp_path / "snapshot.json")
+        save_ontology(master.ontology, path)
+        master.reset()  # crash
+        master.ontology = load_ontology(path)  # recovery
+        resolved = master.resolve_area(AreaQuery("dst-0001"))
+        assert len(resolved.entities) == 3
+
+
+class TestMeasurementArchives:
+    def build_db(self):
+        db = LocalDatabase()
+        for i in range(5):
+            db.insert(Measurement(
+                device_id="dev-0001", entity_id="bld-0001",
+                quantity="power", value=float(100 + i),
+                timestamp=i * 60.0,
+            ))
+        db.insert(Measurement(
+            device_id="dev-0002", entity_id="bld-0002",
+            quantity="temperature", value=21.5, timestamp=0.0,
+        ))
+        return db
+
+    def test_round_trip_preserves_samples(self, tmp_path):
+        db = self.build_db()
+        path = str(tmp_path / "archive.json")
+        save_measurements(db, path)
+        again = load_measurements(
+            path, entity_for_device={"dev-0001": "bld-0001",
+                                     "dev-0002": "bld-0002"},
+        )
+        assert again.sample_count() == db.sample_count()
+        assert again.series("dev-0001", "power").to_pairs() == \
+            db.series("dev-0001", "power").to_pairs()
+        assert again.latest("dev-0002", "temperature") == (0.0, 21.5)
+
+    def test_ownership_defaults_when_unknown(self, tmp_path):
+        db = self.build_db()
+        path = str(tmp_path / "archive.json")
+        save_measurements(db, path)
+        again = load_measurements(path)
+        assert again.has_series("dev-0001", "power")
+
+    def test_empty_database_round_trips(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        save_measurements(LocalDatabase(), path)
+        assert load_measurements(path).sample_count() == 0
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "onto.json")
+        save_ontology(build_ontology(), path)
+        with pytest.raises(SerializationError):
+            load_measurements(path)
+
+    def test_deployment_archive_workflow(self, tmp_path):
+        from repro.simulation import ScenarioConfig, deploy
+
+        district = deploy(ScenarioConfig(seed=31, n_buildings=2,
+                                         devices_per_building=2,
+                                         net_jitter=0.0))
+        district.run(300.0)
+        path = str(tmp_path / "measurements.json")
+        save_measurements(district.measurement_db.store, path)
+        restored = load_measurements(path)
+        assert restored.sample_count() == \
+            district.measurement_db.store.sample_count()

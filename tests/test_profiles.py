@@ -1,0 +1,204 @@
+"""Tests for synthetic load/environment profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.simtime import SECONDS_PER_DAY, SECONDS_PER_HOUR, duration
+from repro.devices import profiles as P
+from repro.errors import ConfigurationError
+
+
+class TestCombinators:
+    def test_constant(self):
+        assert P.ConstantProfile(5.0).value(123.0) == 5.0
+
+    def test_sum(self):
+        total = P.ConstantProfile(2.0) + P.ConstantProfile(3.0)
+        assert total.value(0.0) == 5.0
+
+    def test_scaled(self):
+        assert P.ConstantProfile(4.0).scaled(0.25).value(0.0) == 1.0
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P.SumProfile(())
+
+    def test_clamped(self):
+        clamped = P.ClampedProfile(P.ConstantProfile(-5.0), lo=0.0)
+        assert clamped.value(0.0) == 0.0
+
+    def test_clamp_reversed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P.ClampedProfile(P.ConstantProfile(0.0), lo=1.0, hi=0.0)
+
+    def test_noise_is_deterministic(self):
+        noisy = P.NoisyProfile(P.ConstantProfile(0.0), sigma=1.0, seed=3)
+        assert noisy.value(100.0) == noisy.value(100.0)
+
+    def test_noise_differs_across_time(self):
+        noisy = P.NoisyProfile(P.ConstantProfile(0.0), sigma=1.0, seed=3)
+        # one sample per correlation slot: each slot gets fresh noise
+        samples = {noisy.value(t * 137.0) for t in range(20)}
+        assert len(samples) > 10
+
+    def test_noise_constant_within_correlation_time(self):
+        noisy = P.NoisyProfile(P.ConstantProfile(0.0), sigma=1.0, seed=3,
+                               correlation_time=60.0)
+        assert noisy.value(120.0) == noisy.value(179.9)
+        assert noisy.value(120.0) != noisy.value(180.0)
+
+    def test_noise_bad_correlation_time(self):
+        with pytest.raises(ConfigurationError):
+            P.NoisyProfile(P.ConstantProfile(0.0), sigma=1.0,
+                           correlation_time=0.0)
+
+    def test_noise_bounded_by_sigma(self):
+        noisy = P.NoisyProfile(P.ConstantProfile(0.0), sigma=2.0, seed=1)
+        assert all(abs(noisy.value(t * 7.3)) <= 2.0 for t in range(100))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P.NoisyProfile(P.ConstantProfile(0.0), sigma=-1.0)
+
+    def test_step_profile(self):
+        step = P.StepProfile([(10.0, 5.0), (20.0, 2.0)], default=1.0)
+        assert step.value(0.0) == 1.0
+        assert step.value(10.0) == 5.0
+        assert step.value(15.0) == 5.0
+        assert step.value(25.0) == 2.0
+
+
+class TestDailyShapes:
+    def test_peak_at_peak_hour(self):
+        shape = P.DailyShapeProfile(base=10.0, amplitude=100.0,
+                                    peak_hour=14.0)
+        peak = shape.value(duration(hours=14))
+        off_peak = shape.value(duration(hours=3))
+        assert peak == pytest.approx(110.0, rel=0.01)
+        assert off_peak < peak / 2
+
+    def test_circular_wraparound(self):
+        shape = P.DailyShapeProfile(base=0.0, amplitude=10.0, peak_hour=23.5)
+        # 00:30 is one hour from the 23:30 peak, not 23 hours
+        assert shape.value(duration(hours=0.5)) > 5.0
+
+    def test_office_occupancy_hours(self):
+        office = P.OfficeOccupancyProfile()
+        monday_10am = duration(days=4, hours=10)  # 2015-01-05 was a Monday
+        monday_3am = duration(days=4, hours=3)
+        assert office.value(monday_10am) > 0.5
+        assert office.value(monday_3am) <= 0.05
+
+    def test_office_empty_on_weekend(self):
+        office = P.OfficeOccupancyProfile()
+        saturday_noon = duration(days=2, hours=12)  # 2015-01-03
+        assert office.value(saturday_noon) <= 0.05
+
+    def test_office_bad_hours_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P.OfficeOccupancyProfile(open_hour=18.0, close_hour=8.0)
+
+    def test_residential_evening_peak(self):
+        home = P.ResidentialProfile(base_watts=100.0, peak_watts=1000.0)
+        evening = home.value(duration(days=4, hours=19.5))
+        night = home.value(duration(days=4, hours=3))
+        assert evening > 2 * night
+
+    @given(st.floats(0, 30 * SECONDS_PER_DAY))
+    def test_occupancy_in_unit_range(self, t):
+        assert 0.0 <= P.OfficeOccupancyProfile().value(t) <= 1.0
+
+
+class TestWeatherAndHvac:
+    def test_weather_seasonal_swing(self):
+        weather = P.WeatherProfile(annual_mean=12.0, annual_swing=10.0)
+        january = weather.value(duration(days=15, hours=12))
+        july = weather.value(duration(days=196, hours=12))
+        assert july > january + 10.0
+
+    def test_hvac_zero_when_warm(self):
+        warm = P.ConstantProfile(25.0)
+        hvac = P.HvacProfile(warm, setpoint=20.0)
+        assert hvac.value(0.0) == 0.0
+
+    def test_hvac_power_grows_with_cold(self):
+        hvac_mild = P.HvacProfile(P.ConstantProfile(15.0), setpoint=20.0)
+        hvac_cold = P.HvacProfile(P.ConstantProfile(-5.0), setpoint=20.0)
+        assert hvac_cold.value(0.0) > hvac_mild.value(0.0)
+
+    def test_hvac_power_capped(self):
+        hvac = P.HvacProfile(P.ConstantProfile(-40.0), setpoint=22.0,
+                             max_power=2000.0)
+        assert hvac.value(0.0) == 2000.0
+
+    def test_hvac_setpoint_mutation_changes_power(self):
+        hvac = P.HvacProfile(P.ConstantProfile(10.0), setpoint=20.0)
+        before = hvac.value(0.0)
+        hvac.setpoint = 24.0
+        assert hvac.value(0.0) > before
+
+    def test_hvac_bad_cop(self):
+        with pytest.raises(ConfigurationError):
+            P.HvacProfile(P.ConstantProfile(0.0), cop=0.0)
+
+    def test_pv_zero_at_night(self):
+        pv = P.PhotovoltaicProfile(3000.0)
+        assert pv.value(duration(days=180, hours=2)) == 0.0
+
+    def test_pv_negative_at_noon_in_summer(self):
+        pv = P.PhotovoltaicProfile(3000.0)
+        assert pv.value(duration(days=180, hours=13)) < -500.0
+
+    def test_pv_summer_exceeds_winter(self):
+        pv = P.PhotovoltaicProfile(3000.0)
+        summer = pv.value(duration(days=180, hours=13))
+        winter = pv.value(duration(days=10, hours=13))
+        assert summer < winter  # more negative = more generation
+
+
+class TestCompositeLoads:
+    def test_office_load_positive_and_daily(self):
+        weather = P.WeatherProfile()
+        load = P.office_building_load(2000.0, weather)
+        workday = load.value(duration(days=4, hours=11))
+        night = load.value(duration(days=4, hours=3))
+        assert workday > night
+        assert night >= 0.0
+
+    def test_residential_load_positive(self):
+        load = P.residential_building_load(12, P.WeatherProfile())
+        assert load.value(duration(days=4, hours=20)) > 0.0
+
+
+class TestEnergyCounter:
+    def test_monotone_accumulation(self):
+        counter = P.EnergyCounter(P.ConstantProfile(1000.0))
+        assert counter.read(3600.0) == pytest.approx(1000.0)
+        assert counter.read(7200.0) == pytest.approx(2000.0)
+
+    def test_read_in_past_rejected(self):
+        counter = P.EnergyCounter(P.ConstantProfile(100.0))
+        counter.read(100.0)
+        with pytest.raises(ConfigurationError):
+            counter.read(50.0)
+
+    def test_same_time_read_is_stable(self):
+        counter = P.EnergyCounter(P.ConstantProfile(100.0))
+        first = counter.read(500.0)
+        assert counter.read(500.0) == first
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P.EnergyCounter(P.ConstantProfile(1.0), step=0.0)
+
+    @given(st.floats(10, SECONDS_PER_HOUR * 5))
+    def test_counter_never_decreases(self, horizon):
+        counter = P.EnergyCounter(
+            P.NoisyProfile(P.ConstantProfile(500.0), 100.0, seed=2)
+        )
+        previous = 0.0
+        for k in range(1, 5):
+            current = counter.read(horizon * k / 4.0)
+            assert current >= previous - 1e-9
+            previous = current

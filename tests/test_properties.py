@@ -1,0 +1,221 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that hold for *any* input: query filters only narrow results,
+topic wildcard hierarchies are supersets, windowed aggregation conserves
+samples, CDF documents round-trip through both encodings, and unit
+conversions compose linearly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import serialization
+from repro.common.cdf import (
+    Component,
+    EntityModel,
+    Relation,
+)
+from repro.common.units import convert
+from repro.datasources.geometry import BoundingBox
+from repro.middleware.topics import topic_matches
+from repro.ontology.model import DeviceNode, DistrictOntology, EntityNode
+from repro.ontology.queries import AreaQuery, resolve
+from repro.storage.timeseries import TimeSeries
+
+# ---------------------------------------------------------------------------
+# strategies
+
+level = st.from_regex(r"[a-z0-9\-]{1,8}", fullmatch=True)
+topic_strategy = st.lists(level, min_size=1, max_size=6).map("/".join)
+
+samples_strategy = st.lists(
+    st.tuples(st.floats(0, 1e6), st.floats(-1e6, 1e6)),
+    min_size=0, max_size=60,
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-2**31, 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+entity_model_strategy = st.builds(
+    EntityModel,
+    entity_id=st.from_regex(r"bld-[0-9]{4}", fullmatch=True),
+    entity_type=st.just("building"),
+    source_kind=st.sampled_from(["bim", "gis", "sim"]),
+    name=st.text(max_size=16),
+    properties=st.dictionaries(
+        st.from_regex(r"[a-z_]{1,10}", fullmatch=True), json_scalars,
+        max_size=6,
+    ),
+    components=st.lists(
+        st.builds(
+            Component,
+            component_id=st.from_regex(r"c-[0-9]{3}", fullmatch=True),
+            component_type=st.sampled_from(["space", "storey", "segment"]),
+            name=st.text(max_size=8),
+            properties=st.dictionaries(
+                st.from_regex(r"[a-z]{1,6}", fullmatch=True), json_scalars,
+                max_size=3,
+            ),
+        ),
+        max_size=4,
+    ).map(tuple),
+    relations=st.lists(
+        st.builds(
+            Relation,
+            relation=st.sampled_from(["contains", "feeds", "serves"]),
+            subject=st.from_regex(r"[a-z0-9\-]{1,8}", fullmatch=True),
+            object=st.from_regex(r"[a-z0-9\-]{1,8}", fullmatch=True),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+# ---------------------------------------------------------------------------
+# topics
+
+
+@given(topic_strategy)
+def test_hash_matches_every_topic(topic):
+    assert topic_matches("#", topic)
+
+
+@given(topic_strategy)
+def test_prefix_hash_matches_descendants(topic):
+    levels = topic.split("/")
+    for cut in range(1, len(levels)):
+        pattern = "/".join(levels[:cut]) + "/#"
+        assert topic_matches(pattern, topic)
+
+
+@given(topic_strategy, st.data())
+def test_plus_is_narrower_than_hash(topic, data):
+    levels = topic.split("/")
+    index = data.draw(st.integers(0, len(levels) - 1))
+    plussed = list(levels)
+    plussed[index] = "+"
+    pattern = "/".join(plussed)
+    # anything the + pattern matches, the same-prefix # pattern matches
+    assert topic_matches(pattern, topic)
+    if index > 0:
+        hash_pattern = "/".join(levels[:index]) + "/#"
+        assert topic_matches(hash_pattern, topic)
+
+
+# ---------------------------------------------------------------------------
+# ontology resolution monotonicity
+
+
+def build_ontology(n_entities):
+    onto = DistrictOntology()
+    onto.add_district("dst-0001")
+    for i in range(n_entities):
+        if i % 3:
+            entity_id, entity_type = f"bld-{i + 1:04d}", "building"
+        else:
+            entity_id, entity_type = f"net-{i + 1:04d}", "network"
+        node = EntityNode(
+            entity_id=entity_id,
+            entity_type=entity_type,
+            bounds=BoundingBox(i * 10.0, 0.0, i * 10.0 + 8.0, 8.0),
+        )
+        node.add_device(DeviceNode(
+            device_id=f"dev-{i + 1:04d}", proxy_uri="svc://p/",
+            protocol="zigbee",
+            quantities=("power",) if i % 2 else ("temperature",),
+        ))
+        onto.add_entity("dst-0001", node)
+    return onto
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(1, 12),
+    st.sampled_from([None, "building", "network"]),
+    st.sampled_from([None, "power", "temperature", "co2"]),
+)
+def test_filters_only_narrow(n_entities, entity_type, quantity):
+    onto = build_ontology(n_entities)
+    everything = resolve(onto, AreaQuery("dst-0001"))
+    filtered = resolve(onto, AreaQuery("dst-0001",
+                                       entity_type=entity_type,
+                                       quantity=quantity))
+    assert set(filtered.entity_ids) <= set(everything.entity_ids)
+    assert filtered.device_count <= everything.device_count
+
+
+@settings(max_examples=30)
+@given(st.integers(1, 12), st.floats(0, 120), st.floats(1, 120))
+def test_bbox_filter_subset_of_wider_bbox(n_entities, x0, width):
+    onto = build_ontology(n_entities)
+    narrow = resolve(onto, AreaQuery(
+        "dst-0001", bbox=BoundingBox(x0, 0.0, x0 + width, 8.0)))
+    wide = resolve(onto, AreaQuery(
+        "dst-0001", bbox=BoundingBox(x0 - 10, -1.0, x0 + width + 10, 9.0)))
+    assert set(narrow.entity_ids) <= set(wide.entity_ids)
+
+
+# ---------------------------------------------------------------------------
+# time series
+
+
+@given(samples_strategy)
+def test_window_partition_conserves_samples(samples):
+    series = TimeSeries(samples)
+    if not len(series):
+        return
+    lo = series.first()[0]
+    hi = series.latest()[0] + 1.0
+    mid = (lo + hi) / 2.0
+    left = series.window(lo, mid)
+    right = series.window(mid, hi)
+    assert len(left) + len(right) == len(series)
+
+
+@given(samples_strategy, st.sampled_from([60.0, 900.0, 3600.0]))
+def test_resample_count_conserves_samples(samples, bucket):
+    series = TimeSeries(samples)
+    counted = sum(v for _b, v in series.resample(bucket, "count"))
+    assert counted == len(series)
+
+
+@given(samples_strategy)
+def test_mean_between_min_and_max(samples):
+    series = TimeSeries(samples)
+    if not len(series):
+        return
+    assert series.minimum() <= series.mean() <= series.maximum()
+
+
+# ---------------------------------------------------------------------------
+# serialization
+
+
+@settings(max_examples=50)
+@given(entity_model_strategy)
+def test_entity_model_round_trips_both_formats(model):
+    assert serialization.from_json(serialization.to_json(model)) == model
+    assert serialization.from_xml(serialization.to_xml(model)) == model
+
+
+# ---------------------------------------------------------------------------
+# units
+
+
+@given(
+    st.sampled_from([("power", "kW"), ("energy", "kWh"),
+                     ("temperature", "degF"), ("pressure", "bar")]),
+    st.floats(-1e4, 1e4), st.floats(-1e4, 1e4),
+)
+def test_conversions_are_affine(pair, a, b):
+    quantity, unit = pair
+    # affine maps satisfy f(a) - f(b) == f'(a - b) with zero offset
+    lhs = convert(a, quantity, unit) - convert(b, quantity, unit)
+    rhs = convert(a - b, quantity, unit) - convert(0.0, quantity, unit)
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for the relay-mode master (the redirect ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.relay import RelayingMaster, decode_relayed_models
+from repro.datasources.bim import build_office_bim
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import HttpClient
+from repro.proxies.database_proxy import BimProxy
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+@pytest.fixture
+def master(net):
+    return RelayingMaster(net.add_host("master"))
+
+
+def deploy_building(net, master, index):
+    rng = np.random.RandomState(index)
+    store = build_office_bim(rng, f"B{index}", 2, 2, 1000.0,
+                             f"TO-01-{1000 + index}", 2000)
+    proxy = BimProxy(net.add_host(f"proxy-bim-{index}"), store,
+                     f"bld-{index:04d}", "dst-0001")
+    proxy.register_with(master.uri)
+    return proxy
+
+
+class TestRelayFetch:
+    def test_fetch_returns_models_inline(self, net, master):
+        deploy_building(net, master, 1)
+        deploy_building(net, master, 2)
+        client = HttpClient(net.add_host("user"))
+        response = client.get(master.uri.rstrip("/") + "/fetch",
+                              params={"district_id": "dst-0001"})
+        entities = response.body["entities"]
+        assert len(entities) == 2
+        models = decode_relayed_models(entities[0])
+        assert len(models) == 1
+        assert models[0].source_kind == "bim"
+        assert master.relays_served == 1
+
+    def test_relay_traffic_flows_through_master(self, net, master):
+        deploy_building(net, master, 1)
+        client = HttpClient(net.add_host("user"))
+        before = dict(net.stats.per_host_received)
+        client.get(master.uri.rstrip("/") + "/fetch",
+                   params={"district_id": "dst-0001"})
+        after = net.stats.per_host_received
+        # master receives the user's request AND the proxy's reply
+        assert after["master"] - before.get("master", 0) >= 2
+
+    def test_dark_proxy_degrades_not_fails(self, net, master):
+        proxy = deploy_building(net, master, 1)
+        proxy.service.close()  # proxy goes dark after registration
+        client = HttpClient(net.add_host("user"))
+        response = client.get(master.uri.rstrip("/") + "/fetch",
+                              params={"district_id": "dst-0001"},
+                              timeout=30.0)
+        entities = response.body["entities"]
+        assert entities[0]["models"] == []
+
+    def test_fetch_unknown_district_404(self, net, master):
+        client = HttpClient(net.add_host("user"))
+        response = client.call(master.uri.rstrip("/") + "/fetch",
+                               params={"district_id": "dst-0404"},
+                               check=False)
+        assert response.status == 404
+
+    def test_fetch_bad_query_400(self, net, master):
+        client = HttpClient(net.add_host("user"))
+        response = client.call(master.uri.rstrip("/") + "/fetch",
+                               params={"district_id": "dst-0001",
+                                       "bbox": "junk"},
+                               check=False)
+        assert response.status == 400
+
+    def test_redirect_endpoints_still_work(self, net, master):
+        deploy_building(net, master, 1)
+        client = HttpClient(net.add_host("user"))
+        resolved = client.get(master.uri.rstrip("/") + "/resolve",
+                              params={"district_id": "dst-0001"})
+        assert len(resolved.body["entities"]) == 1

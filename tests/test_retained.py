@@ -1,0 +1,98 @@
+"""Tests for retained messages (late-join last-value transfer)."""
+
+import pytest
+
+from repro.middleware.broker import Broker
+from repro.middleware.peer import connect
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+
+
+@pytest.fixture
+def net():
+    network = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+    Broker(network.add_host("broker"))
+    return network
+
+
+class TestRetainedMessages:
+    def test_late_subscriber_receives_last_value(self, net):
+        publisher = connect(net.add_host("pub"), "broker")
+        publisher.publish("state/plant", {"v": 1}, retain=True)
+        publisher.publish("state/plant", {"v": 2}, retain=True)
+        net.scheduler.run_until_idle()
+        events = []
+        late = connect(net.add_host("late"), "broker")
+        late.subscribe("state/#", events.append)
+        net.scheduler.run_until_idle()
+        assert len(events) == 1
+        assert events[0].payload == {"v": 2}  # only the latest value
+        assert events[0].retained
+
+    def test_non_retained_not_replayed(self, net):
+        publisher = connect(net.add_host("pub"), "broker")
+        publisher.publish("state/plant", {"v": 1})  # retain=False
+        net.scheduler.run_until_idle()
+        events = []
+        late = connect(net.add_host("late"), "broker")
+        late.subscribe("state/#", events.append)
+        net.scheduler.run_until_idle()
+        assert events == []
+
+    def test_retained_replay_respects_filter(self, net):
+        publisher = connect(net.add_host("pub"), "broker")
+        publisher.publish("a/x", 1, retain=True)
+        publisher.publish("b/y", 2, retain=True)
+        net.scheduler.run_until_idle()
+        events = []
+        late = connect(net.add_host("late"), "broker")
+        late.subscribe("a/+", events.append)
+        net.scheduler.run_until_idle()
+        assert [e.payload for e in events] == [1]
+
+    def test_live_events_not_marked_retained(self, net):
+        publisher = connect(net.add_host("pub"), "broker")
+        events = []
+        subscriber = connect(net.add_host("sub"), "broker")
+        subscriber.subscribe("live/#", events.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("live/x", 7, retain=True)
+        net.scheduler.run_until_idle()
+        assert len(events) == 1
+        assert not events[0].retained
+
+    def test_multiple_retained_topics_all_replayed(self, net):
+        publisher = connect(net.add_host("pub"), "broker")
+        for i in range(5):
+            publisher.publish(f"metrics/m{i}", i, retain=True)
+        net.scheduler.run_until_idle()
+        events = []
+        late = connect(net.add_host("late"), "broker")
+        late.subscribe("metrics/#", events.append)
+        net.scheduler.run_until_idle()
+        assert sorted(e.payload for e in events) == [0, 1, 2, 3, 4]
+
+    def test_device_proxy_measurements_are_retained(self, net):
+        from repro.devices.catalog import power_meter
+        from repro.devices.firmware import DeviceFirmware, RadioLink
+        from repro.devices.profiles import ConstantProfile
+        from repro.protocols import make_adapter
+        from repro.proxies.device_proxy import DeviceProxy
+
+        proxy = DeviceProxy(net.add_host("proxy"), make_adapter("zigbee"),
+                            "broker", "dst-0001")
+        device = power_meter("dev-0001", "zigbee",
+                             "00:12:4b:00:00:00:00:01", "bld-0001",
+                             ConstantProfile(800.0))
+        link = RadioLink(net.scheduler, latency=0.01)
+        proxy.attach_device(device, link)
+        DeviceFirmware(device, make_adapter("zigbee"), link,
+                       net.scheduler).start()
+        net.scheduler.run_until(121.0)
+        # a monitor joining now still learns the current power
+        events = []
+        late = connect(net.add_host("late-monitor"), "broker")
+        late.subscribe("district/#", events.append)
+        net.scheduler.run_until_idle()
+        assert any(e.retained and e.payload["quantity"] == "power"
+                   for e in events)

@@ -1,0 +1,149 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(3.0, fired.append, "c")
+        sched.schedule(1.0, fired.append, "a")
+        sched.schedule(2.0, fired.append, "b")
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sched = Scheduler()
+        fired = []
+        for name in "abc":
+            sched.schedule(1.0, fired.append, name)
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(5.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [5.0]
+        assert sched.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run_until_idle()
+        with pytest.raises(ConfigurationError):
+            sched.schedule(-0.5, lambda: None)
+        with pytest.raises(ConfigurationError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_event(self):
+        sched = Scheduler()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sched.schedule(1.0, lambda: fired.append("inner"))
+
+        sched.schedule(1.0, outer)
+        sched.run_until_idle()
+        assert fired == ["outer", "inner"]
+        assert sched.now == 2.0
+
+    def test_cancel_prevents_firing(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for i in range(4):
+            sched.schedule(float(i + 1), lambda: None)
+        sched.run_until_idle()
+        assert sched.events_processed == 4
+
+
+class TestRunUntil:
+    def test_run_until_executes_due_events_only(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "early")
+        sched.schedule(10.0, fired.append, "late")
+        sched.run_until(5.0)
+        assert fired == ["early"]
+        assert sched.now == 5.0
+
+    def test_run_until_includes_boundary(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(5.0, fired.append, "edge")
+        sched.run_until(5.0)
+        assert fired == ["edge"]
+
+    def test_run_for_relative(self):
+        sched = Scheduler()
+        sched.run_for(10.0)
+        assert sched.now == 10.0
+        sched.run_for(5.0)
+        assert sched.now == 15.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sched = Scheduler()
+        times = []
+        sched.every(2.0, lambda: times.append(sched.now))
+        sched.run_until(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_initial_delay(self):
+        sched = Scheduler()
+        times = []
+        sched.every(2.0, lambda: times.append(sched.now), initial_delay=0.5)
+        sched.run_until(5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop_halts_firings(self):
+        sched = Scheduler()
+        times = []
+        task = sched.every(1.0, lambda: times.append(sched.now))
+        sched.run_until(2.5)
+        task.stop()
+        sched.run_until(10.0)
+        assert times == [1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_from_within_callback(self):
+        sched = Scheduler()
+        count = []
+
+        def tick():
+            count.append(sched.now)
+            if len(count) == 3:
+                task.stop()
+
+        task = sched.every(1.0, tick)
+        sched.run_until(10.0)
+        assert len(count) == 3
+
+    def test_zero_period_rejected(self):
+        sched = Scheduler()
+        with pytest.raises(ConfigurationError):
+            sched.every(0.0, lambda: None)
+
+    def test_run_until_idle_guards_against_runaway(self):
+        sched = Scheduler()
+        sched.every(1.0, lambda: None)
+        with pytest.raises(ConfigurationError):
+            sched.run_until_idle(max_events=100)

@@ -1,0 +1,131 @@
+"""Tests for JSON and XML codecs of CDF documents."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import serialization as ser
+from repro.common.cdf import DeviceDescription, Measurement, SensorCapability
+from repro.errors import SerializationError
+
+from tests.test_cdf import sample_device, sample_measurement, sample_model
+
+
+ALL_SAMPLES = [sample_measurement(), sample_device(), sample_model()]
+
+
+class TestJson:
+    @pytest.mark.parametrize("record", ALL_SAMPLES, ids=lambda r: type(r).__name__)
+    def test_single_record_round_trip(self, record):
+        assert ser.from_json(ser.to_json(record)) == record
+
+    def test_list_round_trip(self):
+        docs = ALL_SAMPLES
+        assert ser.from_json(ser.to_json(docs)) == docs
+
+    def test_empty_list(self):
+        assert ser.from_json(ser.to_json([])) == []
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SerializationError):
+            ser.from_json("{not json")
+
+    def test_scalar_document_rejected(self):
+        with pytest.raises(SerializationError):
+            ser.from_json("42")
+
+    def test_non_record_object_rejected(self):
+        with pytest.raises(SerializationError):
+            ser.to_json(object())
+
+    def test_indent_is_cosmetic(self):
+        record = sample_measurement()
+        assert ser.from_json(ser.to_json(record, indent=2)) == record
+
+
+class TestXml:
+    @pytest.mark.parametrize("record", ALL_SAMPLES, ids=lambda r: type(r).__name__)
+    def test_single_record_round_trip(self, record):
+        assert ser.from_xml(ser.to_xml(record)) == record
+
+    def test_list_round_trip(self):
+        docs = ALL_SAMPLES
+        assert ser.from_xml(ser.to_xml(docs)) == docs
+
+    def test_single_element_list_stays_list(self):
+        docs = [sample_measurement()]
+        decoded = ser.from_xml(ser.to_xml(docs))
+        assert isinstance(decoded, list) and decoded == docs
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(SerializationError):
+            ser.from_xml("<cdf><broken")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(SerializationError):
+            ser.from_xml("<html></html>")
+
+    def test_preserves_scalar_types(self):
+        model = sample_model(properties={"storeys": 6, "height": 21.5,
+                                         "heated": True, "tag": None,
+                                         "name": "A"})
+        again = ser.from_xml(ser.to_xml(model))
+        assert again.properties == model.properties
+        assert isinstance(again.properties["storeys"], int)
+        assert isinstance(again.properties["height"], float)
+        assert again.properties["heated"] is True
+        assert again.properties["tag"] is None
+
+
+class TestFormatDispatch:
+    @pytest.mark.parametrize("fmt", ser.FORMATS)
+    def test_encode_decode(self, fmt):
+        record = sample_measurement()
+        assert ser.decode(ser.encode(record, fmt), fmt) == record
+
+    def test_unknown_format(self):
+        with pytest.raises(SerializationError):
+            ser.encode(sample_measurement(), "yaml")
+        with pytest.raises(SerializationError):
+            ser.decode("{}", "yaml")
+
+
+# hypothesis: any measurement round-trips through both codecs exactly
+measurement_strategy = st.builds(
+    Measurement,
+    device_id=st.from_regex(r"dev-[0-9a-f]{4}", fullmatch=True),
+    entity_id=st.from_regex(r"bld-[0-9]{4}", fullmatch=True),
+    quantity=st.sampled_from(["power", "energy", "temperature", "humidity"]),
+    value=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    timestamp=st.floats(0, 1e9),
+    source=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=20,
+    ),
+)
+
+
+@given(measurement_strategy)
+def test_json_round_trip_property(measurement):
+    assert ser.from_json(ser.to_json(measurement)) == measurement
+
+
+@given(measurement_strategy)
+def test_xml_round_trip_property(measurement):
+    assert ser.from_xml(ser.to_xml(measurement)) == measurement
+
+
+@given(st.lists(measurement_strategy, max_size=5))
+def test_list_round_trip_property(measurements):
+    assert ser.from_json(ser.to_json(measurements)) == measurements
+
+
+def test_device_with_empty_capabilities_round_trips():
+    device = DeviceDescription(
+        device_id="dev-0009",
+        protocol="enocean",
+        entity_id="bld-0002",
+        sensors=(SensorCapability("temperature", 120.0),),
+    )
+    for fmt in ser.FORMATS:
+        assert ser.decode(ser.encode(device, fmt), fmt) == device

@@ -1,0 +1,208 @@
+"""Tests for the proxy-local DB, query objects and global measurement DB."""
+
+import pytest
+
+from repro.common.cdf import Measurement
+from repro.errors import QueryError, SeriesNotFoundError
+from repro.middleware.broker import Broker
+from repro.middleware.peer import connect
+from repro.middleware.topics import measurement_topic
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import HttpClient
+from repro.storage.localdb import LocalDatabase
+from repro.storage.measurementdb import MeasurementDatabase
+from repro.storage.query import RangeQuery
+
+
+def meas(device="dev-0001", quantity="power", value=100.0, t=0.0,
+         entity="bld-0001"):
+    return Measurement(device_id=device, entity_id=entity,
+                       quantity=quantity, value=value, timestamp=t)
+
+
+class TestLocalDatabase:
+    def test_insert_and_latest(self):
+        db = LocalDatabase()
+        db.insert(meas(value=1.0, t=0.0))
+        db.insert(meas(value=2.0, t=60.0))
+        assert db.latest("dev-0001", "power") == (60.0, 2.0)
+        assert db.inserts == 2
+
+    def test_devices_and_quantities(self):
+        db = LocalDatabase()
+        db.insert(meas(device="dev-0002", quantity="power"))
+        db.insert(meas(device="dev-0001", quantity="temperature"))
+        db.insert(meas(device="dev-0001", quantity="power"))
+        assert db.devices() == ["dev-0001", "dev-0002"]
+        assert db.quantities("dev-0001") == ["power", "temperature"]
+
+    def test_missing_series_raises(self):
+        db = LocalDatabase()
+        with pytest.raises(SeriesNotFoundError):
+            db.series("dev-0009", "power")
+
+    def test_query_raw(self):
+        db = LocalDatabase()
+        for i in range(5):
+            db.insert(meas(value=float(i), t=i * 60.0))
+        result = db.query(RangeQuery("dev-0001", "power", start=60.0,
+                                     end=240.0))
+        assert result == [(60.0, 1.0), (120.0, 2.0), (180.0, 3.0)]
+
+    def test_query_aggregated(self):
+        db = LocalDatabase()
+        for i in range(4):
+            db.insert(meas(value=float(i), t=i * 30.0))
+        result = db.query(RangeQuery("dev-0001", "power", bucket=60.0,
+                                     agg="mean"))
+        assert result == [(0.0, 0.5), (60.0, 2.5)]
+
+    def test_query_unbounded_window(self):
+        db = LocalDatabase()
+        db.insert(meas(value=7.0, t=100.0))
+        assert db.query(RangeQuery("dev-0001", "power")) == [(100.0, 7.0)]
+
+    def test_retention_prunes(self):
+        db = LocalDatabase(retention=100.0)
+        db.insert(meas(value=1.0, t=0.0))
+        db.insert(meas(value=2.0, t=50.0))
+        db.insert(meas(value=3.0, t=200.0))
+        series = db.series("dev-0001", "power")
+        assert series.to_pairs() == [(200.0, 3.0)]
+
+    def test_sample_count(self):
+        db = LocalDatabase()
+        db.insert(meas())
+        db.insert(meas(quantity="temperature", value=20.0))
+        assert db.sample_count() == 2
+
+    def test_has_series(self):
+        db = LocalDatabase()
+        assert not db.has_series("dev-0001", "power")
+        db.insert(meas())
+        assert db.has_series("dev-0001", "power")
+
+
+class TestRangeQuery:
+    def test_params_round_trip(self):
+        q = RangeQuery("dev-0001", "power", start=10.0, end=20.0,
+                       bucket=900.0, agg="max")
+        assert RangeQuery.from_params(q.to_params()) == q
+
+    def test_optional_fields_round_trip(self):
+        q = RangeQuery("dev-0001", "power")
+        again = RangeQuery.from_params(q.to_params())
+        assert again.start is None and again.bucket is None
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery("d", "power", start=20.0, end=10.0)
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery("d", "power", bucket=-5.0)
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery("d", "power", agg="p95")
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery.from_params({"quantity": "power"})
+
+    def test_bad_numeric_param_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery.from_params(
+                {"device_id": "d", "quantity": "power", "start": "soon"}
+            )
+
+
+@pytest.fixture
+def district_net():
+    net = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+    Broker(net.add_host("broker"))
+    mdb = MeasurementDatabase(net.add_host("mdb"), "broker", "dst-0001")
+    publisher = connect(net.add_host("proxy"), "broker")
+    net.scheduler.run_until_idle()  # subscription handshake
+    return net, mdb, publisher
+
+
+class TestMeasurementDatabase:
+    def publish(self, net, publisher, m):
+        topic = measurement_topic("dst-0001", m.entity_id, m.device_id,
+                                  m.quantity)
+        publisher.publish(topic, m.to_dict())
+        net.scheduler.run_until_idle()
+
+    def test_ingests_published_measurements(self, district_net):
+        net, mdb, publisher = district_net
+        self.publish(net, publisher, meas(value=42.0, t=10.0))
+        assert mdb.ingested == 1
+        assert mdb.store.latest("dev-0001", "power") == (10.0, 42.0)
+
+    def test_rejects_non_measurement_payloads(self, district_net):
+        net, mdb, publisher = district_net
+        topic = measurement_topic("dst-0001", "bld-0001", "dev-0001", "power")
+        publisher.publish(topic, {"record": "hologram"})
+        publisher.publish(topic, "not even a dict")
+        net.scheduler.run_until_idle()
+        assert mdb.ingested == 0
+        assert mdb.rejected == 2
+
+    def test_freshness_tracks_newest(self, district_net):
+        net, mdb, publisher = district_net
+        self.publish(net, publisher, meas(t=100.0))
+        self.publish(net, publisher, meas(t=50.0))  # late arrival
+        assert mdb.freshness("dev-0001") == 100.0
+        assert mdb.freshness("dev-0009") is None
+
+    def test_ignores_other_districts(self, district_net):
+        net, mdb, publisher = district_net
+        m = meas()
+        topic = measurement_topic("dst-0999", m.entity_id, m.device_id,
+                                  m.quantity)
+        publisher.publish(topic, m.to_dict())
+        net.scheduler.run_until_idle()
+        assert mdb.ingested == 0
+
+    def test_web_service_query(self, district_net):
+        net, mdb, publisher = district_net
+        for i in range(3):
+            self.publish(net, publisher, meas(value=float(i), t=i * 60.0))
+        client = HttpClient(net.add_host("user"))
+        query = RangeQuery("dev-0001", "power", start=0.0, end=1000.0)
+        resp = client.get("svc://mdb/measurements", params=query.to_params())
+        assert resp.body["samples"] == [[0.0, 0.0], [60.0, 1.0],
+                                        [120.0, 2.0]]
+
+    def test_web_service_404_for_unknown_series(self, district_net):
+        net, mdb, publisher = district_net
+        client = HttpClient(net.add_host("user"))
+        query = RangeQuery("dev-0404", "power")
+        resp = client.call("svc://mdb/measurements",
+                           params=query.to_params(), check=False)
+        assert resp.status == 404
+
+    def test_web_service_400_for_bad_query(self, district_net):
+        net, mdb, publisher = district_net
+        client = HttpClient(net.add_host("user"))
+        resp = client.call("svc://mdb/measurements",
+                           params={"device_id": "d"}, check=False)
+        assert resp.status == 400
+
+    def test_devices_route(self, district_net):
+        net, mdb, publisher = district_net
+        self.publish(net, publisher, meas(device="dev-0002"))
+        client = HttpClient(net.add_host("user"))
+        resp = client.get("svc://mdb/devices")
+        assert resp.body["devices"] == ["dev-0002"]
+
+    def test_freshness_route(self, district_net):
+        net, mdb, publisher = district_net
+        self.publish(net, publisher, meas(t=77.0))
+        client = HttpClient(net.add_host("user"))
+        resp = client.get("svc://mdb/freshness/dev-0001")
+        assert resp.body["last_timestamp"] == 77.0
+        missing = client.call("svc://mdb/freshness/dev-0404", check=False)
+        assert missing.status == 404

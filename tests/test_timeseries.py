@@ -1,0 +1,177 @@
+"""Tests for the time-series primitive."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.timeseries import TimeSeries, aligned_sum, merge
+
+
+def series_from(pairs):
+    s = TimeSeries()
+    for t, v in pairs:
+        s.append(t, v)
+    return s
+
+
+class TestAppendAndOrder:
+    def test_in_order_append(self):
+        s = series_from([(0, 1.0), (10, 2.0), (20, 3.0)])
+        assert len(s) == 3
+        assert s.to_pairs() == [(0, 1.0), (10, 2.0), (20, 3.0)]
+
+    def test_out_of_order_append_sorts(self):
+        s = series_from([(10, 2.0), (0, 1.0), (5, 1.5)])
+        assert [t for t, _v in s.to_pairs()] == [0, 5, 10]
+
+    def test_duplicate_timestamps_kept_in_order(self):
+        s = series_from([(5, 1.0), (5, 2.0)])
+        assert s.to_pairs() == [(5, 1.0), (5, 2.0)]
+
+    def test_latest_and_first(self):
+        s = series_from([(0, 1.0), (10, 2.0)])
+        assert s.latest() == (10, 2.0)
+        assert s.first() == (0, 1.0)
+
+    def test_empty_series_raises(self):
+        s = TimeSeries()
+        with pytest.raises(StorageError):
+            s.latest()
+        with pytest.raises(StorageError):
+            s.first()
+        with pytest.raises(StorageError):
+            s.mean()
+
+    def test_constructor_accepts_samples(self):
+        s = TimeSeries([(1, 1.0), (0, 0.0)])
+        assert s.to_pairs() == [(0, 0.0), (1, 1.0)]
+
+    @given(st.lists(st.tuples(st.floats(0, 1e6), st.floats(-1e3, 1e3)),
+                    max_size=50))
+    def test_times_always_sorted(self, pairs):
+        s = series_from(pairs)
+        times = [t for t, _v in s.to_pairs()]
+        assert times == sorted(times)
+
+
+class TestWindow:
+    def test_half_open_interval(self):
+        s = series_from([(0, 1.0), (5, 2.0), (10, 3.0)])
+        w = s.window(0, 10)
+        assert w.to_pairs() == [(0, 1.0), (5, 2.0)]
+
+    def test_empty_window(self):
+        s = series_from([(0, 1.0)])
+        assert len(s.window(5, 10)) == 0
+
+    def test_reversed_window_raises(self):
+        with pytest.raises(StorageError):
+            series_from([(0, 1.0)]).window(10, 5)
+
+    def test_value_at_sample_and_hold(self):
+        s = series_from([(0, 1.0), (10, 2.0)])
+        assert s.value_at(0) == 1.0
+        assert s.value_at(5) == 1.0
+        assert s.value_at(10) == 2.0
+        assert s.value_at(100) == 2.0
+
+    def test_value_at_before_first_raises(self):
+        s = series_from([(10, 2.0)])
+        with pytest.raises(StorageError):
+            s.value_at(5)
+
+
+class TestResample:
+    def test_mean_buckets(self):
+        s = series_from([(0, 1.0), (30, 3.0), (60, 10.0)])
+        assert s.resample(60.0, "mean") == [(0.0, 2.0), (60.0, 10.0)]
+
+    @pytest.mark.parametrize(
+        "agg,expected",
+        [("sum", 4.0), ("min", 1.0), ("max", 3.0), ("last", 3.0),
+         ("first", 1.0), ("count", 2.0)],
+    )
+    def test_aggregations(self, agg, expected):
+        s = series_from([(0, 1.0), (30, 3.0)])
+        assert s.resample(60.0, agg) == [(0.0, expected)]
+
+    def test_empty_buckets_omitted(self):
+        s = series_from([(0, 1.0), (180, 2.0)])
+        starts = [b for b, _v in s.resample(60.0)]
+        assert starts == [0.0, 180.0]
+
+    def test_empty_series(self):
+        assert TimeSeries().resample(60.0) == []
+
+    def test_unknown_aggregation(self):
+        with pytest.raises(StorageError):
+            series_from([(0, 1.0)]).resample(60.0, "median-ish")
+
+    def test_bad_bucket(self):
+        with pytest.raises(StorageError):
+            series_from([(0, 1.0)]).resample(0.0)
+
+    @given(st.lists(st.tuples(st.floats(0, 1e5), st.floats(-100, 100)),
+                    min_size=1, max_size=40))
+    def test_count_aggregation_conserves_samples(self, pairs):
+        s = series_from(pairs)
+        counted = sum(v for _b, v in s.resample(900.0, "count"))
+        assert counted == len(pairs)
+
+
+class TestIntegration:
+    def test_constant_power_integrates_to_energy(self):
+        # 1000 W held for 3600 s = 1000 Wh
+        s = series_from([(0, 1000.0), (3600, 1000.0)])
+        assert s.integrate_hours() == pytest.approx(1000.0)
+
+    def test_single_point_integrates_to_zero(self):
+        assert series_from([(0, 5.0)]).integrate_hours() == 0.0
+
+    def test_ramp(self):
+        s = series_from([(0, 0.0), (3600, 100.0)])
+        assert s.integrate_hours() == pytest.approx(50.0)
+
+
+class TestPrune:
+    def test_prune_removes_old(self):
+        s = series_from([(0, 1.0), (10, 2.0), (20, 3.0)])
+        removed = s.prune_before(15)
+        assert removed == 2
+        assert s.to_pairs() == [(20, 3.0)]
+
+    def test_prune_noop(self):
+        s = series_from([(10, 1.0)])
+        assert s.prune_before(5) == 0
+        assert len(s) == 1
+
+
+class TestStats:
+    def test_min_max_mean(self):
+        s = series_from([(0, 1.0), (1, 5.0), (2, 3.0)])
+        assert s.minimum() == 1.0
+        assert s.maximum() == 5.0
+        assert s.mean() == 3.0
+
+
+class TestMergeAndAlignedSum:
+    def test_merge_orders_samples(self):
+        a = series_from([(0, 1.0), (20, 2.0)])
+        b = series_from([(10, 5.0)])
+        merged = merge([a, b])
+        assert merged.to_pairs() == [(0, 1.0), (10, 5.0), (20, 2.0)]
+
+    def test_aligned_sum_adds_levels(self):
+        a = series_from([(0, 100.0), (60, 200.0)])
+        b = series_from([(0, 50.0), (60, 50.0)])
+        total = aligned_sum([a, b], 60.0)
+        assert total == [(0.0, 150.0), (60.0, 250.0)]
+
+    def test_aligned_sum_partial_coverage(self):
+        a = series_from([(0, 100.0)])
+        b = series_from([(60, 50.0)])
+        assert aligned_sum([a, b], 60.0) == [(0.0, 100.0), (60.0, 50.0)]
+
+    def test_aligned_sum_empty(self):
+        assert aligned_sum([], 60.0) == []

@@ -1,0 +1,123 @@
+"""Tests for the pub/sub topic grammar."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.middleware import topics
+
+
+class TestValidation:
+    @pytest.mark.parametrize("topic", ["a", "a/b", "district/d1/device/x"])
+    def test_valid_topics(self, topic):
+        assert topics.validate_topic(topic)
+
+    @pytest.mark.parametrize("bad", ["", "/a", "a/", "a//b"])
+    def test_malformed_topics(self, bad):
+        with pytest.raises(ConfigurationError):
+            topics.validate_topic(bad)
+
+    @pytest.mark.parametrize("bad", ["a/+/b".replace("+", "#") + "/c"])
+    def test_hash_must_be_last(self, bad):
+        with pytest.raises(ConfigurationError):
+            topics.validate_filter("a/#/b")
+
+    def test_wildcards_rejected_in_concrete_topics(self):
+        with pytest.raises(ConfigurationError):
+            topics.validate_topic("a/+/b")
+        with pytest.raises(ConfigurationError):
+            topics.validate_topic("a/#")
+
+    def test_join_rejects_bad_levels(self):
+        with pytest.raises(ConfigurationError):
+            topics.join("a", "", "b")
+        with pytest.raises(ConfigurationError):
+            topics.join("a", "b/c")
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b/d", False),
+            ("a/+/c", "a/b/c", True),
+            ("a/+/c", "a/b/d", False),
+            ("a/+/+", "a/b/c", True),
+            ("a/#", "a/b/c/d", True),
+            # MQTT semantics: 'a/#' also matches the parent level 'a'
+            ("a/#", "a", True),
+            ("#", "anything/at/all", True),
+            ("a/b", "a/b/c", False),
+            ("a/b/c", "a/b", False),
+            ("+", "a", True),
+            ("+", "a/b", False),
+        ],
+    )
+    def test_matching_table(self, pattern, topic, expected):
+        assert topics.topic_matches(pattern, topic) is expected
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,5}", fullmatch=True),
+                    min_size=1, max_size=6))
+    def test_topic_matches_itself(self, levels):
+        topic = "/".join(levels)
+        assert topics.topic_matches(topic, topic)
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,5}", fullmatch=True),
+                    min_size=1, max_size=6))
+    def test_multi_wildcard_matches_everything_at_depth(self, levels):
+        topic = "/".join(levels)
+        assert topics.topic_matches("#", topic)
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,5}", fullmatch=True),
+                    min_size=2, max_size=6),
+           st.data())
+    def test_single_wildcard_substitution(self, levels, data):
+        index = data.draw(st.integers(0, len(levels) - 1))
+        pattern_levels = list(levels)
+        pattern_levels[index] = "+"
+        assert topics.topic_matches("/".join(pattern_levels),
+                                    "/".join(levels))
+
+
+class TestCanonicalTopics:
+    def test_measurement_topic_layout(self):
+        topic = topics.measurement_topic("dst-0001", "bld-0002",
+                                         "dev-0003", "power")
+        assert topic == (
+            "district/dst-0001/entity/bld-0002/device/dev-0003/power"
+        )
+
+    def test_measurement_filter_matches_topic(self):
+        topic = topics.measurement_topic("dst-1", "bld-2", "dev-3", "power")
+        assert topics.topic_matches(
+            topics.measurement_filter(district_id="dst-1"), topic
+        )
+        assert topics.topic_matches(
+            topics.measurement_filter(quantity="power"), topic
+        )
+        assert not topics.topic_matches(
+            topics.measurement_filter(quantity="energy"), topic
+        )
+
+    def test_district_filter_matches_all_district_events(self):
+        pattern = topics.district_filter("dst-1")
+        topic = topics.measurement_topic("dst-1", "bld-2", "dev-3", "energy")
+        assert topics.topic_matches(pattern, topic)
+        other = topics.measurement_topic("dst-2", "bld-2", "dev-3", "energy")
+        assert not topics.topic_matches(pattern, other)
+
+    def test_topic_device_extraction(self):
+        topic = topics.measurement_topic("d", "e", "dev-0042", "power")
+        assert topics.topic_device(topic) == "dev-0042"
+
+    def test_topic_device_missing(self):
+        with pytest.raises(ConfigurationError):
+            topics.topic_device("a/b/c")
+
+    def test_topics_overlap(self):
+        filters = ["x/#", "y/+"]
+        assert topics.topics_overlap(filters, "x/1/2")
+        assert topics.topics_overlap(filters, "y/1")
+        assert not topics.topics_overlap(filters, "z/1")

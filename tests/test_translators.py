@@ -1,0 +1,154 @@
+"""Tests for native-to-CDF translators."""
+
+import numpy as np
+import pytest
+
+from repro.common.serialization import from_json, from_xml, to_json, to_xml
+from repro.datasources import geometry as G
+from repro.datasources.bim import BimStore, build_office_bim
+from repro.datasources.gis import LAYER_BUILDINGS, GisStore
+from repro.datasources.sim import (
+    COMMODITY_HEAT,
+    NODE_CONSUMER,
+    NODE_JUNCTION,
+    NODE_PLANT,
+    SimStore,
+)
+from repro.errors import TranslationError
+from repro.proxies.translators import (
+    translate_bim,
+    translate_gis_feature,
+    translate_sim,
+)
+
+
+@pytest.fixture
+def bim():
+    rng = np.random.RandomState(0)
+    return build_office_bim(rng, "HQ", storeys=2, spaces_per_storey=3,
+                            floor_area_m2=2400.0,
+                            cadastral_id="TO-01-1000", year_built=1990)
+
+
+@pytest.fixture
+def sim():
+    store = SimStore("heat-1", COMMODITY_HEAT)
+    store.add_node("plant", NODE_PLANT, 0, 0, capacity_kw=900)
+    store.add_node("j1", NODE_JUNCTION, 40, 0)
+    store.add_node("c1", NODE_CONSUMER, 80, 0, capacity_kw=70)
+    store.add_edge("e1", "plant", "j1", length_m=40, rating=400)
+    store.add_edge("e2", "j1", "c1", length_m=40, rating=80)
+    store.add_service_point("c1", "TO-01-1000")
+    return store
+
+
+class TestBimTranslation:
+    def test_building_properties(self, bim):
+        model = translate_bim(bim, "bld-0001")
+        assert model.entity_id == "bld-0001"
+        assert model.entity_type == "building"
+        assert model.source_kind == "bim"
+        assert model.name == "HQ"
+        assert model.properties["floor_area_m2"] == 2400.0
+        assert model.properties["storeys"] == 2
+        assert model.properties["cadastral_id"] == "TO-01-1000"
+
+    def test_components_cover_storeys_and_spaces(self, bim):
+        model = translate_bim(bim, "bld-0001")
+        storeys = [c for c in model.components
+                   if c.component_type == "storey"]
+        spaces = [c for c in model.components if c.component_type == "space"]
+        assert len(storeys) == 2
+        assert len(spaces) == 6
+        assert all(s.properties["area_m2"] > 0 for s in spaces)
+
+    def test_containment_relations(self, bim):
+        model = translate_bim(bim, "bld-0001")
+        contains = [r for r in model.relations if r.relation == "contains"]
+        # 2 building->storey + 6 storey->space
+        assert len(contains) == 8
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_bim(BimStore("empty"), "bld-0001")
+
+    def test_model_serializes_both_formats(self, bim):
+        model = translate_bim(bim, "bld-0001")
+        assert from_json(to_json(model)) == model
+        assert from_xml(to_xml(model)) == model
+
+
+class TestSimTranslation:
+    def test_network_properties(self, sim):
+        model = translate_sim(sim, "net-0001")
+        assert model.entity_type == "network"
+        assert model.source_kind == "sim"
+        assert model.properties["commodity"] == COMMODITY_HEAT
+        assert model.properties["total_length_m"] == 80.0
+        assert model.properties["consumer_count"] == 1
+
+    def test_components_cover_nodes_and_edges(self, sim):
+        model = translate_sim(sim, "net-0001")
+        kinds = {c.component_type for c in model.components}
+        assert kinds == {"plant", "junction", "consumer", "segment"}
+        assert len(model.components) == 5
+
+    def test_feeds_and_serves_relations(self, sim):
+        model = translate_sim(sim, "net-0001")
+        feeds = [r for r in model.relations if r.relation == "feeds"]
+        serves = [r for r in model.relations if r.relation == "serves"]
+        assert len(feeds) == 2
+        assert len(serves) == 1
+        assert serves[0].object == "TO-01-1000"
+        assert serves[0].properties["key"] == "cadastral_id"
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_sim(SimStore("empty", COMMODITY_HEAT), "net-0001")
+
+    def test_model_serializes_both_formats(self, sim):
+        model = translate_sim(sim, "net-0001")
+        assert from_json(to_json(model)) == model
+        assert from_xml(to_xml(model)) == model
+
+
+class TestGisTranslation:
+    def test_feature_to_model(self):
+        gis = GisStore("d")
+        feature = gis.add_feature(
+            LAYER_BUILDINGS, G.rectangle(50, 50, 20, 10),
+            {"cadastral_id": "TO-01-1000", "address": "Via Roma 1",
+             "height_m": 12.0},
+        )
+        model = translate_gis_feature(feature, "bld-0001")
+        assert model.source_kind == "gis"
+        assert model.entity_type == "building"
+        assert model.name == "Via Roma 1"
+        assert model.properties["cadastral_id"] == "TO-01-1000"
+        geometry = model.geometry
+        assert geometry["type"] == "Polygon"
+        assert geometry["centroid"] == [50.0, 50.0]
+        assert geometry["area_m2"] == pytest.approx(200.0)
+        assert geometry["bounds"] == [40.0, 45.0, 60.0, 55.0]
+
+    def test_explicit_entity_type(self):
+        gis = GisStore("d")
+        feature = gis.add_feature(LAYER_BUILDINGS, G.point(0, 0), {})
+        model = translate_gis_feature(feature, "dst-0001", "district")
+        assert model.entity_type == "district"
+
+    def test_bad_geometry_rejected(self):
+        gis = GisStore("d")
+        feature = gis.add_feature(LAYER_BUILDINGS, G.point(0, 0), {})
+        feature.wkt = "POINT (broken"
+        with pytest.raises(TranslationError):
+            translate_gis_feature(feature, "bld-0001")
+
+    def test_model_serializes_both_formats(self):
+        gis = GisStore("d")
+        feature = gis.add_feature(LAYER_BUILDINGS,
+                                  G.rectangle(0, 0, 10, 10),
+                                  {"cadastral_id": "X"})
+        model = translate_gis_feature(feature, "bld-0001")
+        assert from_json(to_json(model)) == model
+        assert from_xml(to_xml(model)) == model

@@ -1,0 +1,214 @@
+"""Tests for the simulated transport layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownHostError
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network, estimate_size
+
+
+@pytest.fixture
+def net():
+    sched = Scheduler()
+    network = Network(sched, latency=LatencyModel(jitter=0.0))
+    return network
+
+
+class TestHosts:
+    def test_add_and_lookup(self, net):
+        host = net.add_host("master")
+        assert net.host("master") is host
+        assert net.has_host("master")
+
+    def test_duplicate_host_rejected(self, net):
+        net.add_host("master")
+        with pytest.raises(ConfigurationError):
+            net.add_host("master")
+
+    def test_unknown_host_lookup(self, net):
+        with pytest.raises(UnknownHostError):
+            net.host("ghost")
+
+    def test_bind_duplicate_port_rejected(self, net):
+        host = net.add_host("a")
+        host.bind("p", lambda m: None)
+        with pytest.raises(ConfigurationError):
+            host.bind("p", lambda m: None)
+
+    def test_unbind_then_rebind(self, net):
+        host = net.add_host("a")
+        host.bind("p", lambda m: None)
+        host.unbind("p")
+        host.bind("p", lambda m: None)  # no error
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("data", inbox.append)
+        net.send("a", "b", "data", {"x": 1})
+        net.scheduler.run_until_idle()
+        assert len(inbox) == 1
+        msg = inbox[0]
+        assert msg.payload == {"x": 1}
+        assert msg.sender == "a"
+        assert msg.delivered_at > msg.sent_at
+
+    def test_loopback_is_fast(self, net):
+        a = net.add_host("a")
+        inbox = []
+        a.bind("self", inbox.append)
+        a.send("a", "self", "ping")
+        net.scheduler.run_until_idle()
+        assert inbox[0].delivered_at - inbox[0].sent_at <= 1e-4
+
+    def test_send_to_unknown_host_raises(self, net):
+        net.add_host("a")
+        with pytest.raises(UnknownHostError):
+            net.send("a", "ghost", "p", None)
+
+    def test_send_from_unknown_host_raises(self, net):
+        net.add_host("b")
+        with pytest.raises(UnknownHostError):
+            net.send("ghost", "b", "p", None)
+
+    def test_unbound_port_drops(self, net):
+        net.add_host("a")
+        net.add_host("b")
+        net.send("a", "b", "nowhere", None)
+        net.scheduler.run_until_idle()
+        assert net.stats.messages_dropped == 1
+        assert net.stats.messages_delivered == 0
+
+    def test_larger_message_takes_longer(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        received = []
+        b.bind("p", lambda m: received.append(m))
+        net.send("a", "b", "p", "x")
+        net.send("a", "b", "p", "y" * 100_000)
+        net.scheduler.run_until_idle()
+        small = next(m for m in received if m.payload == "x")
+        large = next(m for m in received if m.payload != "x")
+        assert (large.delivered_at - large.sent_at) > (
+            small.delivered_at - small.sent_at
+        )
+
+
+class TestFailureInjection:
+    def test_offline_host_drops_messages(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        net.set_host_online("b", False)
+        net.send("a", "b", "p", 1)
+        net.scheduler.run_until_idle()
+        assert inbox == []
+        assert net.stats.messages_dropped == 1
+
+    def test_host_restored(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        net.set_host_online("b", False)
+        net.send("a", "b", "p", 1)
+        net.set_host_online("b", True)
+        net.send("a", "b", "p", 2)
+        net.scheduler.run_until_idle()
+        assert [m.payload for m in inbox] == [2]
+
+    def test_host_going_down_mid_flight_drops(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        net.send("a", "b", "p", 1)
+        net.set_host_online("b", False)  # before delivery event fires
+        net.scheduler.run_until_idle()
+        assert inbox == []
+
+    def test_drop_probability_drops_some(self):
+        sched = Scheduler()
+        net = Network(sched, latency=LatencyModel(jitter=0.0),
+                      drop_probability=0.5, seed=42)
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        for i in range(200):
+            net.send("a", "b", "p", i)
+        sched.run_until_idle()
+        assert 0 < len(inbox) < 200
+
+    def test_bad_drop_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(Scheduler(), drop_probability=1.0)
+
+
+class TestLatencyModel:
+    def test_deterministic_without_jitter(self):
+        model = LatencyModel(base=0.01, bandwidth=1e6, jitter=0.0)
+        assert model.delay("a", "b", 1000) == pytest.approx(0.011)
+
+    def test_jitter_varies_but_positive(self):
+        model = LatencyModel(jitter=0.3, seed=7)
+        delays = [model.delay("a", "b", 100) for _ in range(50)]
+        assert len(set(delays)) > 1
+        assert all(d > 0 for d in delays)
+
+    def test_same_seed_same_sequence(self):
+        d1 = [LatencyModel(seed=3).delay("a", "b", 10) for _ in range(1)]
+        d2 = [LatencyModel(seed=3).delay("a", "b", 10) for _ in range(1)]
+        assert d1 == d2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(base=-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(bandwidth=0.0)
+
+
+class TestEstimateSize:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 1),
+            (b"abcd", 4),
+            ("hello", 5),
+        ],
+    )
+    def test_simple_payloads(self, payload, expected):
+        assert estimate_size(payload) == expected
+
+    def test_dict_payload_counts_json_bytes(self):
+        assert estimate_size({"a": 1}) == len('{"a": 1}')
+
+    def test_opaque_object_flat_charge(self):
+        assert estimate_size(object) == 256 or estimate_size(object) > 0
+
+
+class TestStats:
+    def test_counters(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        b.bind("p", lambda m: None)
+        net.send("a", "b", "p", "payload")
+        net.scheduler.run_until_idle()
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 1
+        assert net.stats.bytes_sent >= 7
+        assert net.stats.per_host_received["b"] == 1
+
+    def test_reset(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        b.bind("p", lambda m: None)
+        net.send("a", "b", "p", 1)
+        net.scheduler.run_until_idle()
+        net.stats.reset()
+        assert net.stats.messages_sent == 0
+        assert net.stats.per_host_received == {}

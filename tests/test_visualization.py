@@ -1,0 +1,204 @@
+"""Tests for the SVG/HTML visualization layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.common.cdf import EntityModel
+from repro.core.integration import integrate
+from repro.errors import QueryError
+from repro.ontology.queries import (
+    ResolvedArea,
+    ResolvedDevice,
+    ResolvedEntity,
+)
+from repro.visualization.charts import bar_chart, line_chart
+from repro.visualization.dashboard import build_dashboard
+from repro.visualization.district_map import district_map
+from repro.visualization.svg import LinearScale, SvgDocument, color_scale
+
+
+def parse_svg(text):
+    root = ET.fromstring(text)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestSvgDocument:
+    def test_render_is_valid_xml(self):
+        doc = SvgDocument(100, 50)
+        doc.rect(0, 0, 10, 10, fill="#ff0000")
+        doc.circle(5, 5, 2, fill="#00ff00")
+        doc.line(0, 0, 10, 10, stroke="#000")
+        doc.polyline([(0, 0), (5, 5)], stroke="#000")
+        doc.polygon([(0, 0), (5, 0), (5, 5)], fill="#ccc")
+        doc.text(1, 1, "hello <world> & co")
+        root = parse_svg(doc.render())
+        tags = [child.tag.split("}")[-1] for child in root]
+        assert tags.count("rect") == 2  # background + drawn rect
+        assert "polygon" in tags and "text" in tags
+
+    def test_text_is_escaped(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.text(0, 0, "<script>")
+        assert "<script>" not in doc.render()
+
+    def test_invalid_shapes_rejected(self):
+        doc = SvgDocument(10, 10)
+        with pytest.raises(QueryError):
+            doc.polyline([(0, 0)])
+        with pytest.raises(QueryError):
+            doc.polygon([(0, 0), (1, 1)])
+        with pytest.raises(QueryError):
+            SvgDocument(0, 10)
+
+    def test_attribute_name_mangling(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.rect(0, 0, 1, 1, stroke_width=2, fill="#fff")
+        assert 'stroke-width="2"' in doc.render()
+
+
+class TestScalesAndColors:
+    def test_linear_scale_maps_endpoints(self):
+        scale = LinearScale((0.0, 10.0), (100.0, 200.0))
+        assert scale(0.0) == 100.0
+        assert scale(10.0) == 200.0
+        assert scale(5.0) == 150.0
+
+    def test_flipped_scale(self):
+        scale = LinearScale((0.0, 10.0), (200.0, 100.0))
+        assert scale(10.0) == 100.0
+
+    def test_degenerate_domain_does_not_blow_up(self):
+        scale = LinearScale((5.0, 5.0), (0.0, 100.0))
+        assert 0.0 <= scale(5.0) <= 100.0
+
+    def test_ticks(self):
+        scale = LinearScale((0.0, 100.0), (0.0, 1.0))
+        assert scale.ticks(5) == [0.0, 25.0, 50.0, 75.0, 100.0]
+        with pytest.raises(QueryError):
+            scale.ticks(1)
+
+    def test_color_scale_extremes(self):
+        cold = color_scale(0.0, 0.0, 1.0)
+        hot = color_scale(1.0, 0.0, 1.0)
+        assert cold != hot
+        assert cold.startswith("#") and len(cold) == 7
+
+    def test_color_scale_clamps(self):
+        assert color_scale(-5.0, 0.0, 1.0) == color_scale(0.0, 0.0, 1.0)
+        assert color_scale(9.0, 0.0, 1.0) == color_scale(1.0, 0.0, 1.0)
+
+
+class TestCharts:
+    def test_line_chart_renders_series(self):
+        svg = line_chart({
+            "a": [(0.0, 1.0), (3600.0, 2.0)],
+            "b": [(0.0, 3.0), (3600.0, 1.0)],
+        }, title="test")
+        root = parse_svg(svg)
+        polylines = [c for c in root if c.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_line_chart_single_point_series(self):
+        svg = line_chart({"solo": [(0.0, 5.0)]})
+        root = parse_svg(svg)
+        assert any(c.tag.endswith("circle") for c in root)
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(QueryError):
+            line_chart({})
+        with pytest.raises(QueryError):
+            line_chart({"empty": []})
+
+    def test_bar_chart_renders_bars(self):
+        svg = bar_chart({"b1": 10.0, "b2": 20.0, "b3": 5.0},
+                        baseline=12.0)
+        root = parse_svg(svg)
+        rects = [c for c in root if c.tag.endswith("rect")]
+        assert len(rects) >= 4  # background + 3 bars
+
+    def test_bar_chart_negative_values(self):
+        svg = bar_chart({"pv": -5.0, "load": 10.0})
+        parse_svg(svg)  # renders without error
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(QueryError):
+            bar_chart({})
+
+
+def integrated_model():
+    feeder = ResolvedDevice("dev-0100", "svc://p/", "zigbee",
+                            ("power", "energy"), False)
+    entities = []
+    models = {}
+    data = {}
+    for index in (1, 2):
+        entity_id = f"bld-000{index}"
+        entities.append(ResolvedEntity(entity_id, "building",
+                                       f"B{index}", {}, "", (feeder,)))
+        coords = [[index * 50.0, 0.0], [index * 50.0 + 20.0, 0.0],
+                  [index * 50.0 + 20.0, 20.0], [index * 50.0, 20.0]]
+        models[entity_id] = [
+            EntityModel(entity_id=entity_id, entity_type="building",
+                        source_kind="bim", name=f"B{index}",
+                        properties={"floor_area_m2": 400.0 * index}),
+            EntityModel(entity_id=entity_id, entity_type="building",
+                        source_kind="gis", name=f"B{index}",
+                        geometry={
+                            "type": "Polygon",
+                            "coordinates": coords,
+                            "centroid": [index * 50.0 + 10.0, 10.0],
+                            "area_m2": 400.0,
+                            "bounds": [index * 50.0, 0.0,
+                                       index * 50.0 + 20.0, 20.0],
+                        }),
+        ]
+        data[entity_id] = {("dev-0100", "power"):
+                           [(h * 3600.0, 1000.0 * index)
+                            for h in range(6)]}
+    resolved = ResolvedArea("dst-0001", "Test District", (), (),
+                            tuple(entities))
+    return integrate(resolved, models, data)
+
+
+class TestDistrictMap:
+    def test_map_renders_footprints(self):
+        model = integrated_model()
+        svg = district_map(model, metric={"bld-0001": 1.0,
+                                          "bld-0002": 3.0})
+        root = parse_svg(svg)
+        polygons = [c for c in root if c.tag.endswith("polygon")]
+        assert len(polygons) == 2
+
+    def test_metric_colors_differ(self):
+        model = integrated_model()
+        svg = district_map(model, metric={"bld-0001": 0.0,
+                                          "bld-0002": 10.0})
+        root = parse_svg(svg)
+        fills = {c.get("fill") for c in root
+                 if c.tag.endswith("polygon")}
+        assert len(fills) == 2
+
+    def test_no_geometry_rejected(self):
+        resolved = ResolvedArea("dst-0001", "D", (), (), (
+            ResolvedEntity("bld-0001", "building", "B", {}, "", ()),
+        ))
+        model = integrate(resolved, {})
+        with pytest.raises(QueryError):
+            district_map(model)
+
+
+class TestDashboard:
+    def test_dashboard_is_complete_html(self):
+        html = build_dashboard(integrated_model())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "Awareness table" in html
+        assert "bld-0001" in html
+
+    def test_dashboard_without_buildings_rejected(self):
+        resolved = ResolvedArea("dst-0001", "D", (), (), ())
+        model = integrate(resolved, {})
+        with pytest.raises(QueryError):
+            build_dashboard(model)

@@ -1,0 +1,188 @@
+"""Tests for the simulated REST web-service layer."""
+
+import pytest
+
+from repro.errors import RequestTimeoutError, ServiceError
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import (
+    GET,
+    POST,
+    HttpClient,
+    Request,
+    Router,
+    WebService,
+    error,
+    ok,
+)
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+@pytest.fixture
+def service(net):
+    host = net.add_host("server")
+    svc = WebService(host)
+
+    @svc.route(GET, "/ping")
+    def ping(request):
+        return ok("pong")
+
+    @svc.route(GET, "/items/{item_id}")
+    def get_item(request):
+        return ok({"item": request.path_params["item_id"]})
+
+    @svc.route(POST, "/items/{item_id}")
+    def set_item(request):
+        return ok({"item": request.path_params["item_id"],
+                   "body": request.body})
+
+    @svc.route(GET, "/fail")
+    def fail(request):
+        return error(503, "maintenance")
+
+    @svc.route(GET, "/crash")
+    def crash(request):
+        raise RuntimeError("handler bug")
+
+    return svc
+
+
+@pytest.fixture
+def client(net, service):
+    return HttpClient(net.add_host("client"))
+
+
+class TestRouter:
+    def test_dispatch_literal(self):
+        router = Router()
+        router.add(GET, "/a", lambda r: ok(1))
+        assert router.dispatch(Request(GET, "/a")).body == 1
+
+    def test_dispatch_with_params(self):
+        router = Router()
+        router.add(GET, "/d/{x}/{y}", lambda r: ok(r.path_params))
+        resp = router.dispatch(Request(GET, "/d/foo/bar"))
+        assert resp.body == {"x": "foo", "y": "bar"}
+
+    def test_no_match_404(self):
+        router = Router()
+        resp = router.dispatch(Request(GET, "/missing"))
+        assert resp.status == 404
+
+    def test_method_mismatch_404(self):
+        router = Router()
+        router.add(POST, "/a", lambda r: ok(1))
+        assert router.dispatch(Request(GET, "/a")).status == 404
+
+    def test_param_does_not_cross_segments(self):
+        router = Router()
+        router.add(GET, "/d/{x}", lambda r: ok(r.path_params))
+        assert router.dispatch(Request(GET, "/d/a/b")).status == 404
+
+
+class TestRequestResponse:
+    def test_get_round_trip(self, client):
+        resp = client.get("svc://server/ping")
+        assert resp.ok and resp.body == "pong"
+
+    def test_path_params_reach_handler(self, client):
+        resp = client.get("svc://server/items/it-42")
+        assert resp.body == {"item": "it-42"}
+
+    def test_post_with_body(self, client):
+        resp = client.post("svc://server/items/it-1", body={"v": 3})
+        assert resp.body == {"item": "it-1", "body": {"v": 3}}
+
+    def test_error_status_raises_service_error(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.get("svc://server/fail")
+        assert exc.value.status == 503
+
+    def test_error_status_returned_when_unchecked(self, client):
+        resp = client.call("svc://server/fail", check=False)
+        assert resp.status == 503 and resp.reason == "maintenance"
+
+    def test_handler_exception_becomes_500(self, client):
+        resp = client.call("svc://server/crash", check=False)
+        assert resp.status == 500
+        assert "handler bug" in resp.reason
+
+    def test_unknown_path_404(self, client):
+        resp = client.call("svc://server/nowhere", check=False)
+        assert resp.status == 404
+
+    def test_request_counts(self, net, service, client):
+        client.get("svc://server/ping")
+        client.call("svc://server/fail", check=False)
+        assert service.requests_served == 1
+        assert service.requests_failed == 1
+        assert client.requests_sent == 2
+
+    def test_network_latency_observed(self, net, service, client):
+        t0 = net.scheduler.now
+        client.get("svc://server/ping")
+        assert net.scheduler.now > t0
+
+
+class TestTimeouts:
+    def test_request_to_offline_host_times_out(self, net, service, client):
+        net.set_host_online("server", False)
+        with pytest.raises(RequestTimeoutError):
+            client.get("svc://server/ping", timeout=0.5)
+
+    def test_request_to_closed_service_times_out(self, net, service, client):
+        service.close()
+        with pytest.raises(RequestTimeoutError):
+            client.get("svc://server/ping", timeout=0.5)
+
+    def test_timeout_advances_clock_only_to_deadline(self, net, service,
+                                                     client):
+        net.set_host_online("server", False)
+        with pytest.raises(RequestTimeoutError):
+            client.get("svc://server/ping", timeout=0.5)
+        assert net.scheduler.now == pytest.approx(0.5, abs=1e-6)
+
+    def test_late_response_after_timeout_is_ignored(self, net, client):
+        host = net.add_host("slow")
+        svc = WebService(host, processing_delay=2.0)
+        svc.add_route(GET, "/x", lambda r: ok("late"))
+        with pytest.raises(RequestTimeoutError):
+            client.get("svc://slow/x", timeout=0.5)
+        # drain the late response; must not crash or resolve anything
+        net.scheduler.run_until_idle()
+
+
+class TestAsyncRequests:
+    def test_futures_resolve_independently(self, net, service):
+        client = HttpClient(net.add_host("c2"))
+        f1 = client.request("svc://server/ping")
+        f2 = client.request("svc://server/items/a")
+        net.scheduler.run_until_idle()
+        assert f1.result().body == "pong"
+        assert f2.result().body == {"item": "a"}
+
+    def test_two_clients_do_not_interfere(self, net, service):
+        c1 = HttpClient(net.add_host("c1"))
+        c2 = HttpClient(net.add_host("c2"))
+        f1 = c1.request("svc://server/items/one")
+        f2 = c2.request("svc://server/items/two")
+        net.scheduler.run_until_idle()
+        assert f1.result().body == {"item": "one"}
+        assert f2.result().body == {"item": "two"}
+
+    def test_base_uri(self, service):
+        assert service.base_uri == "svc://server/"
+
+
+class TestProcessingDelay:
+    def test_callable_delay(self, net):
+        host = net.add_host("srv2")
+        svc = WebService(host, processing_delay=lambda r: 0.25)
+        svc.add_route(GET, "/x", lambda r: ok(None))
+        client = HttpClient(net.add_host("c3"))
+        client.get("svc://srv2/x")
+        assert net.scheduler.now >= 0.25
