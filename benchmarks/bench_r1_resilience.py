@@ -1,0 +1,155 @@
+"""Experiment R1 — availability and staleness under churn.
+
+Subjects one district to a seeded churn schedule — Device-proxies
+crashing and recovering, the broker going down for whole windows, the
+client's uplink turning lossy — and compares two configurations on
+*identical* fault sequences:
+
+* **baseline** — the seed architecture: permanent registrations, plain
+  publishes, single-shot HTTP;
+* **resilient** — registration heartbeats under leases (the master
+  evicts dead proxies), bounded publish buffering with flush on broker
+  recovery, subscription keepalive, and a client with retry + circuit
+  breaker.
+
+Measured per configuration:
+
+* *query availability* — fraction of strict ``build_area_model``
+  probes (with data) that succeed, probed during outages, after
+  recoveries and over the lossy link;
+* *data staleness* — age of the newest globally-ingested sample per
+  device at each probe, p50/max;
+* the resilience counters (retries, breaker trips, lease evictions,
+  buffered/flushed publications).
+
+Expected shape: the resilient stack turns dead-proxy probes from
+timeouts into degraded-but-successful answers (higher availability)
+and flushes the outage backlog into the measurement DB (lower
+staleness), at the cost of a modest heartbeat/keepalive chatter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.resilience import default_policy
+from repro.ontology import AreaQuery
+from repro.simulation.faults import FaultInjector
+from repro.simulation.metrics import resilience_counters
+from repro.simulation.scenario import ScenarioConfig, deploy
+
+EXPERIMENT = "R1"
+SEED = 29
+ROUNDS = 6
+HEARTBEAT = 20.0          # lease = 3 * heartbeat = 60 s
+OUTAGE = 90.0             # > one lease: evictions take effect mid-outage
+RECOVERY = 60.0           # > one heartbeat: re-registrations land
+BROKER_DOWN_EVERY = 3     # every 3rd round also loses the broker
+DROP = 0.15               # per-message loss during the lossy-link phase
+
+
+def _deploy(resilient: bool):
+    config = ScenarioConfig(
+        seed=SEED, n_buildings=4, devices_per_building=3, n_networks=1,
+        net_jitter=0.0,
+        heartbeat_period=HEARTBEAT if resilient else None,
+        publish_buffer=512 if resilient else None,
+        peer_keepalive=HEARTBEAT if resilient else None,
+    )
+    district = deploy(config)
+    policy = default_policy(seed=SEED) if resilient else None
+    client = district.client("churn-user", with_broker=False,
+                             policy=policy)
+    client.http.timeout = 1.0
+    return district, client, policy
+
+
+def _probe(client, query, successes, attempts):
+    attempts[0] += 1
+    try:
+        client.build_area_model(query, with_data=True)
+        successes[0] += 1
+    except Exception:
+        pass
+
+
+def _staleness_samples(district):
+    now = district.scheduler.now
+    ages = []
+    for spec in district.dataset.devices:
+        last = district.measurement_db.freshness(spec.device_id)
+        if last is not None:
+            ages.append(now - last)
+    return ages
+
+
+def _churn_run(resilient: bool):
+    district, client, policy = _deploy(resilient)
+    injector = FaultInjector(district)
+    rng = np.random.RandomState(SEED)  # same victims in both configs
+    district.run(120.0)  # warm up: devices sampling, DB ingesting
+
+    query = AreaQuery(district_id=district.district_id)
+    proxy_keys = sorted(district.device_proxies)
+    successes, attempts = [0], [0]
+    staleness = []
+
+    for round_no in range(ROUNDS):
+        entity_id, protocol = proxy_keys[rng.randint(len(proxy_keys))]
+        host = injector.kill_device_proxy(entity_id, protocol)
+        broker_down = round_no % BROKER_DOWN_EVERY == BROKER_DOWN_EVERY - 1
+        if broker_down:
+            injector.kill_broker()
+        district.run(OUTAGE)
+        _probe(client, query, successes, attempts)  # mid-outage probe
+        if broker_down:
+            injector.restore_broker()
+        injector.restore(host)
+        district.run(RECOVERY)
+        _probe(client, query, successes, attempts)  # post-recovery probe
+        # grey-failure phase: the client's own uplink turns lossy — the
+        # case retries (not leases) exist for
+        injector.flaky(client.host.name, drop_probability=DROP)
+        _probe(client, query, successes, attempts)  # lossy-link probe
+        injector.heal(client.host.name)
+        staleness.extend(_staleness_samples(district))
+
+    ages = np.asarray(staleness, dtype=float)
+    return {
+        "availability": successes[0] / attempts[0],
+        "staleness_p50": float(np.percentile(ages, 50)),
+        "staleness_max": float(np.max(ages)),
+        "counters": resilience_counters(district, policy),
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("resilient", [False, True],
+                         ids=["baseline", "resilient"])
+def test_availability_under_churn(resilient, benchmark, report):
+    result = benchmark.pedantic(_churn_run, args=(resilient,),
+                                rounds=1, iterations=1)
+    label = "resilient" if resilient else "baseline"
+    counters = result["counters"]
+    report.header(EXPERIMENT,
+                  "availability and staleness under proxy/broker churn")
+    report.add(
+        EXPERIMENT,
+        f"{label:<10s} availability={result['availability']:6.1%} "
+        f"staleness p50={result['staleness_p50']:7.1f}s "
+        f"max={result['staleness_max']:7.1f}s"
+    )
+    report.add(
+        EXPERIMENT,
+        f"{'':<10s} retries={counters.get('retries', 0):<4d} "
+        f"breaker_trips={counters.get('breaker_trips', 0):<3d} "
+        f"lease_evictions={counters['lease_evictions']:<3d} "
+        f"pubs buffered/flushed/dropped="
+        f"{counters['publications_buffered']}/"
+        f"{counters['publications_flushed']}/"
+        f"{counters['publications_dropped']}"
+    )
+    if resilient:
+        assert result["availability"] > 0.5
+        assert counters["lease_evictions"] > 0
+        assert counters["publications_flushed"] > 0
+        assert counters["retries"] > 0

@@ -72,10 +72,12 @@ def from_json(text: str) -> Document:
 
 
 # characters XML 1.0 cannot carry even escaped (control chars except
-# tab/newline/carriage-return, and surrogates); such strings fall back
-# to a base64 encoding with their own type tag
+# tab/newline, and surrogates) plus carriage-return, which parsers
+# normalize to newline on read (XML 1.0 §2.11) and so would not
+# round-trip; such strings fall back to a base64 encoding with their
+# own type tag
 _XML_UNSAFE = re.compile(
-    "[\x00-\x08\x0b\x0c\x0e-\x1f\ud800-\udfff]"
+    "[\x00-\x08\x0b-\x1f\ud800-\udfff]"
 )
 
 

@@ -22,6 +22,7 @@ from repro.common import serialization
 from repro.common.cdf import ActuationResult, EntityModel
 from repro.common.serialization import JSON_FORMAT
 from repro.errors import (
+    CircuitOpenError,
     IntegrationError,
     QueryError,
     RequestTimeoutError,
@@ -30,6 +31,7 @@ from repro.errors import (
 from repro.middleware.broker import Event
 from repro.middleware.peer import MiddlewarePeer, Subscription
 from repro.middleware.topics import actuation_topic, measurement_filter
+from repro.network.resilience import ResiliencePolicy
 from repro.network.transport import Host
 from repro.network.webservice import HttpClient
 from repro.core.integration import IntegratedModel, integrate
@@ -46,10 +48,11 @@ class DistrictClient:
     """An end-user application speaking to one master node."""
 
     def __init__(self, host: Host, master_uri: str,
-                 broker_host: Optional[str] = None, timeout: float = 5.0):
+                 broker_host: Optional[str] = None, timeout: float = 5.0,
+                 policy: Optional[ResiliencePolicy] = None):
         self.host = host
         self.master_uri = master_uri.rstrip("/")
-        self.http = HttpClient(host, timeout=timeout)
+        self.http = HttpClient(host, timeout=timeout, policy=policy)
         self.peer = MiddlewarePeer(host, broker_host) if broker_host \
             else None
         self.models_fetched = 0
@@ -104,7 +107,7 @@ class DistrictClient:
     def _fetch_model(self, uri: str, params: Dict[str, str], strict: bool):
         try:
             response = self.http.get(uri, params=params)
-        except (ServiceError, RequestTimeoutError):
+        except (ServiceError, RequestTimeoutError, CircuitOpenError):
             if strict:
                 raise
             self.fetch_failures += 1
@@ -119,9 +122,16 @@ class DistrictClient:
                           start: Optional[float] = None,
                           end: Optional[float] = None,
                           bucket: Optional[float] = None,
-                          agg: str = "mean"
+                          agg: str = "mean",
+                          strict: bool = True
                           ) -> List[Tuple[float, float]]:
-        """Fetch one device quantity's samples from its Device-proxy."""
+        """Fetch one device quantity's samples from its Device-proxy.
+
+        With ``strict=False`` an unreachable or failing Device-proxy
+        yields an empty sample list (counted in :attr:`fetch_failures`)
+        instead of raising — mirroring the model-fetch behaviour so a
+        degraded ``build_area_model(with_data=True)`` completes.
+        """
         if quantity not in device.quantities:
             raise QueryError(
                 f"device {device.device_id} does not sense {quantity!r}"
@@ -137,16 +147,35 @@ class DistrictClient:
         except ServiceError as exc:
             if exc.status == 404:
                 return []  # no samples collected yet
-            raise
+            if strict:
+                raise
+            self.fetch_failures += 1
+            return []
+        except (RequestTimeoutError, CircuitOpenError):
+            if strict:
+                raise
+            self.fetch_failures += 1
+            return []
         return [(t, v) for t, v in response.body["samples"]]
 
-    def fetch_latest(self, device: ResolvedDevice, quantity: str) -> Dict:
-        """Fetch the most recent sample of one device quantity."""
+    def fetch_latest(self, device: ResolvedDevice, quantity: str,
+                     strict: bool = True) -> Optional[Dict]:
+        """Fetch the most recent sample of one device quantity.
+
+        With ``strict=False`` a failed fetch returns None (counted in
+        :attr:`fetch_failures`) instead of raising.
+        """
         self.data_requests += 1
-        response = self.http.get(
-            device.proxy_uri.rstrip("/")
-            + f"/latest/{device.device_id}/{quantity}"
-        )
+        try:
+            response = self.http.get(
+                device.proxy_uri.rstrip("/")
+                + f"/latest/{device.device_id}/{quantity}"
+            )
+        except (ServiceError, RequestTimeoutError, CircuitOpenError):
+            if strict:
+                raise
+            self.fetch_failures += 1
+            return None
         return response.body
 
     # -- step 4: integration ---------------------------------------------------
@@ -178,6 +207,7 @@ class DistrictClient:
                             self.fetch_device_data(
                                 device, quantity, start=data_start,
                                 end=data_end, bucket=data_bucket,
+                                strict=strict,
                             )
                 measurements[entity.entity_id] = per_device
         return integrate(resolved, models,
@@ -203,12 +233,22 @@ class DistrictClient:
                     "actuation callback requires a broker connection"
                 )
 
+            subscription: List[Subscription] = []
+
             def deliver(event: Event) -> None:
                 if isinstance(event.payload, dict) and \
                         event.payload.get("record") == "actuation_result":
                     on_result(ActuationResult.from_dict(event.payload))
+                    # one-shot: drop the subscription once the matching
+                    # result arrived, so repeated actuate() calls do not
+                    # accumulate live subscriptions on the broker
+                    if subscription:
+                        subscription.pop().unsubscribe()
 
-            self.peer.subscribe(actuation_topic(device.device_id), deliver)
+            subscription.append(
+                self.peer.subscribe(actuation_topic(device.device_id),
+                                    deliver)
+            )
         response = self.http.post(
             device.proxy_uri.rstrip("/") + f"/actuate/{device.device_id}",
             body={"command": command, "value": value},

@@ -11,11 +11,20 @@ register themselves over ``/register`` (database proxies bind to entity
 nodes, device proxies add device leaves, GIS and measurement services
 attach to the district root), growing the ontology incrementally as the
 district deploys.
+
+Registrations may carry a **lease**: a validity horizon in simulated
+seconds that the proxy renews by periodically re-registering (the
+heartbeat, see :meth:`repro.proxies.base.Proxy.start_heartbeat`).  When
+a lease expires un-renewed the master *evicts* every ontology reference
+to that proxy's URI, so ``/resolve`` stops redirecting clients to dead
+services — crash recovery becomes automatic instead of an operator
+action.  Registrations without a lease are permanent (the pre-lease
+behaviour, still the default).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.cdf import DeviceDescription
 from repro.common.identifiers import entity_kind
@@ -43,16 +52,24 @@ from repro.ontology.queries import AreaQuery, resolve
 class MasterNode:
     """Registration target and query resolver for one or more districts."""
 
-    def __init__(self, host: Host, processing_delay: float = 2e-4):
+    def __init__(self, host: Host, processing_delay: float = 2e-4,
+                 default_lease: Optional[float] = None):
         self.host = host
         self.ontology = DistrictOntology()
         self.registrations = 0
         self.resolves_served = 0
+        self.lease_evictions = 0
+        #: default lease applied to registrations that do not name one;
+        #: None keeps legacy permanent registrations
+        self.default_lease = default_lease
+        self._leases: Dict[str, float] = {}  # proxy uri -> expiry time
+        self._sweeper = None
         self.service = WebService(host, processing_delay=processing_delay)
         self.service.add_route(POST, "/register", self._register_route)
         self.service.add_route(GET, "/resolve", self._resolve_route)
         self.service.add_route(GET, "/ontology", self._ontology_route)
         self.service.add_route(GET, "/districts", self._districts_route)
+        self.service.add_route(GET, "/health", self._health_route)
 
     @property
     def uri(self) -> str:
@@ -62,24 +79,103 @@ class MasterNode:
     def reset(self) -> None:
         """Simulate a master restart: the in-memory ontology is lost.
 
-        Recovery relies on proxies re-registering (see
-        :meth:`~repro.simulation.faults.FaultInjector.restart_master`),
+        Recovery relies on proxies re-registering (the registration
+        heartbeat, or
+        :meth:`~repro.simulation.faults.FaultInjector.reregister_all`),
         exactly as a stateless-registration design would in production.
         """
         self.ontology = DistrictOntology()
+        self._leases.clear()
+
+    # -- leases ---------------------------------------------------------------
+
+    @property
+    def active_leases(self) -> int:
+        return len(self._leases)
+
+    def expire_leases(self, now: Optional[float] = None) -> List[str]:
+        """Evict every proxy whose lease expired; returns their URIs.
+
+        Called lazily before each resolve and optionally from a periodic
+        sweep, so a crashed proxy disappears from answers no later than
+        one lease after its last heartbeat.
+        """
+        if not self._leases:
+            return []
+        if now is None:
+            now = self.host.network.scheduler.now
+        expired = [uri for uri, expiry in self._leases.items()
+                   if expiry <= now]
+        for uri in expired:
+            del self._leases[uri]
+            self._evict_uri(uri)
+            self.lease_evictions += 1
+        return expired
+
+    def start_lease_sweeper(self, period: float) -> None:
+        """Periodically expire leases (idempotent)."""
+        if self._sweeper is None:
+            self._sweeper = self.host.network.scheduler.every(
+                period, self.expire_leases
+            )
+
+    def stop_lease_sweeper(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.stop()
+            self._sweeper = None
+
+    def _track_lease(self, uri: str, lease: Optional[float]) -> None:
+        if lease is None:
+            lease = self.default_lease
+        if lease is None:
+            # permanent registration; drop any stale lease on this uri
+            self._leases.pop(uri, None)
+            return
+        if lease <= 0:
+            raise RegistrationError(f"bad lease {lease!r}")
+        self._leases[uri] = self.host.network.scheduler.now + float(lease)
+
+    def _evict_uri(self, uri: str) -> None:
+        """Remove every ontology reference to one proxy URI."""
+        for district in self.ontology.districts():
+            if uri in district.gis_uris:
+                district.gis_uris.remove(uri)
+            if uri in district.measurement_uris:
+                district.measurement_uris.remove(uri)
+            for entity in district.entities.values():
+                for kind in [k for k, u in entity.proxy_uris.items()
+                             if u == uri]:
+                    del entity.proxy_uris[kind]
+                for device_id in [d_id for d_id, node
+                                  in entity.devices.items()
+                                  if node.proxy_uri == uri]:
+                    del entity.devices[device_id]
 
     # -- registration (in-process API; the route wraps this) -----------------
 
     def register(self, payload: Dict) -> Dict:
-        """Apply one proxy registration to the ontology."""
+        """Apply one proxy registration to the ontology.
+
+        Re-registering the same proxy (same URI) is idempotent — it
+        refreshes the registration and renews its lease, which is
+        exactly what the periodic heartbeat does.
+        """
         kind = payload.get("proxy_kind")
+        lease = payload.get("lease")
+        if lease is not None and float(lease) <= 0:
+            raise RegistrationError(f"bad lease {lease!r}")
         if kind == "database":
-            return self._register_database(payload)
-        if kind == "device":
-            return self._register_device_proxy(payload)
-        if kind == "measurement":
-            return self._register_measurement(payload)
-        raise RegistrationError(f"unknown proxy kind {kind!r}")
+            result = self._register_database(payload)
+        elif kind == "device":
+            result = self._register_device_proxy(payload)
+        elif kind == "measurement":
+            result = self._register_measurement(payload)
+        else:
+            raise RegistrationError(f"unknown proxy kind {kind!r}")
+        uri = payload.get("uri")
+        if uri:
+            self._track_lease(uri, None if lease is None else float(lease))
+        return result
 
     def _district_node(self, district_id: str, name: str = ""):
         try:
@@ -167,10 +263,19 @@ class MasterNode:
                 is_actuator=description.is_actuator,
                 properties={"location": description.location},
             )
-            try:
-                entity.add_device(node)
-            except OntologyError as exc:
-                raise RegistrationError(str(exc)) from exc
+            existing = entity.devices.get(description.device_id)
+            if existing is not None:
+                if existing.proxy_uri != uri:
+                    raise RegistrationError(
+                        f"device {description.device_id} already "
+                        f"registered by {existing.proxy_uri}"
+                    )
+                entity.devices[description.device_id] = node  # heartbeat
+            else:
+                try:
+                    entity.add_device(node)
+                except OntologyError as exc:
+                    raise RegistrationError(str(exc)) from exc
             attached.append(description.device_id)
         self.registrations += 1
         return {"attached": "devices", "device_ids": attached}
@@ -189,7 +294,12 @@ class MasterNode:
     # -- queries (in-process API) ------------------------------------------
 
     def resolve_area(self, query: AreaQuery):
-        """Resolve an area query against the ontology."""
+        """Resolve an area query against the ontology.
+
+        Expired leases are swept first, so answers never redirect the
+        client to a proxy whose heartbeat has stopped.
+        """
+        self.expire_leases()
         self.resolves_served += 1
         return resolve(self.ontology, query)
 
@@ -214,6 +324,17 @@ class MasterNode:
 
     def _ontology_route(self, request: Request) -> Response:
         return ok(self.ontology.to_dict())
+
+    def _health_route(self, request: Request) -> Response:
+        self.expire_leases()
+        return ok({
+            "status": "ok",
+            "registrations": self.registrations,
+            "resolves_served": self.resolves_served,
+            "active_leases": self.active_leases,
+            "lease_evictions": self.lease_evictions,
+            "ontology_nodes": self.ontology.node_count(),
+        })
 
     def _districts_route(self, request: Request) -> Response:
         return ok({

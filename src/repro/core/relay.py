@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.common import serialization
-from repro.errors import QueryError, ServiceError, UnknownEntityError
+from repro.errors import (
+    QueryError,
+    RequestTimeoutError,
+    ServiceError,
+    UnknownEntityError,
+)
 from repro.network.transport import Host
 from repro.network.webservice import GET, HttpClient, Request, Response, error, ok
 from repro.core.master import MasterNode
@@ -53,7 +58,7 @@ class RelayingMaster(MasterNode):
                         uri.rstrip("/") + "/model",
                         params={"format": "json"},
                     )
-                except ServiceError:
+                except (ServiceError, RequestTimeoutError):
                     continue  # a dark proxy degrades the answer, not 500s
                 models.append(response.body["document"])
             if entity.gis_feature_id and resolved.gis_uris:
@@ -65,7 +70,7 @@ class RelayingMaster(MasterNode):
                                 "entity_id": entity.entity_id},
                     )
                     models.append(response.body["document"])
-                except ServiceError:
+                except (ServiceError, RequestTimeoutError):
                     pass
             samples: Dict[str, List] = {}
             if with_data:
@@ -77,7 +82,7 @@ class RelayingMaster(MasterNode):
                                 device.proxy_uri.rstrip("/") + "/data",
                                 params=data_query.to_params(),
                             )
-                        except ServiceError:
+                        except (ServiceError, RequestTimeoutError):
                             continue
                         samples[f"{device.device_id}/{quantity}"] = \
                             response.body["samples"]

@@ -47,6 +47,10 @@ class ServiceError(NetworkError):
         self.reason = reason
 
 
+class CircuitOpenError(NetworkError):
+    """A request was fast-failed because the target's circuit is open."""
+
+
 # --------------------------------------------------------------------------
 # protocols / devices
 

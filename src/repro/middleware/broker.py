@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
@@ -45,6 +45,9 @@ class BrokerStats:
     fanout_deliveries: int = 0
     subscriptions: int = 0
     dead_subscriptions_dropped: int = 0
+    duplicate_subscriptions_ignored: int = 0
+    publish_acks_sent: int = 0
+    pings_answered: int = 0
 
 
 class Broker:
@@ -53,8 +56,8 @@ class Broker:
     def __init__(self, host: Host):
         self.host = host
         self.stats = BrokerStats()
-        # subscription id -> (pattern, subscriber host, delivery port)
-        self._subs: Dict[int, Tuple[str, str, str]] = {}
+        # subscription id -> (pattern, subscriber host, port, token)
+        self._subs: Dict[int, Tuple[str, str, str, Optional[int]]] = {}
         # topic -> last retained event payload (publish with retain=True)
         self._retained: Dict[str, dict] = {}
         self._ids = itertools.count(1)
@@ -68,6 +71,15 @@ class Broker:
         """Number of live subscriptions."""
         return len(self._subs)
 
+    def reset(self) -> None:
+        """Simulate a broker crash-restart: all in-memory state is lost.
+
+        Subscribers recover via their keepalive re-subscription (see
+        :meth:`repro.middleware.peer.MiddlewarePeer.resubscribe_all`).
+        """
+        self._subs.clear()
+        self._retained.clear()
+
     # -- control-plane handling ------------------------------------------
 
     def _on_message(self, message: Message) -> None:
@@ -79,27 +91,53 @@ class Broker:
             self._unsubscribe(message)
         elif verb == "publish":
             self._publish(message)
+        elif verb == "ping":
+            self._ping(message)
         # unknown verbs are dropped, like a real broker ignoring bad frames
+
+    def _ping(self, message: Message) -> None:
+        """Liveness probe (the MQTT PINGREQ/PINGRESP handshake)."""
+        self.stats.pings_answered += 1
+        self.host.send(message.sender, message.payload["port"],
+                       {"kind": "pong",
+                        "nonce": message.payload.get("nonce")})
 
     def _subscribe(self, message: Message) -> None:
         payload = message.payload
         pattern = payload["pattern"]
         validate_filter(pattern)
-        sub_id = next(self._ids)
-        self._subs[sub_id] = (pattern, message.sender, payload["port"])
-        self.stats.subscriptions += 1
+        token = payload.get("token")
+        sub_id = None
+        if token is not None:
+            # keepalive re-subscription: same peer, port and token means
+            # the same logical subscription — re-ack it, don't duplicate
+            for existing_id, (_, subscriber, port, sub_token) \
+                    in self._subs.items():
+                if subscriber == message.sender and \
+                        port == payload["port"] and sub_token == token:
+                    sub_id = existing_id
+                    self.stats.duplicate_subscriptions_ignored += 1
+                    break
+        replay_retained = sub_id is None
+        if sub_id is None:
+            sub_id = next(self._ids)
+            self._subs[sub_id] = (pattern, message.sender, payload["port"],
+                                  token)
+            self.stats.subscriptions += 1
         self.host.send(message.sender, payload["port"],
                        {"kind": "sub-ack", "sub_id": sub_id,
-                        "token": payload.get("token")})
+                        "token": token})
         # late-join state transfer: deliver matching retained events so a
-        # new subscriber immediately knows each topic's last value
-        for topic, retained in self._retained.items():
-            if topic_matches(pattern, topic):
-                self.stats.fanout_deliveries += 1
-                event = dict(retained)
-                event["sub_id"] = sub_id
-                event["retained"] = True
-                self.host.send(message.sender, payload["port"], event)
+        # new subscriber immediately knows each topic's last value (not
+        # re-replayed on deduplicated keepalive re-subscriptions)
+        if replay_retained:
+            for topic, retained in self._retained.items():
+                if topic_matches(pattern, topic):
+                    self.stats.fanout_deliveries += 1
+                    event = dict(retained)
+                    event["sub_id"] = sub_id
+                    event["retained"] = True
+                    self.host.send(message.sender, payload["port"], event)
 
     def _unsubscribe(self, message: Message) -> None:
         self._subs.pop(message.payload.get("sub_id"), None)
@@ -109,6 +147,11 @@ class Broker:
         topic = payload["topic"]
         validate_topic(topic)
         self.stats.published += 1
+        if payload.get("pub_id") is not None and payload.get("ack_port"):
+            # reliable publication: confirm receipt to the publisher
+            self.stats.publish_acks_sent += 1
+            self.host.send(message.sender, payload["ack_port"],
+                           {"kind": "pub-ack", "pub_id": payload["pub_id"]})
         event = {
             "kind": "event",
             "topic": topic,
@@ -120,7 +163,8 @@ class Broker:
             self._retained[topic] = dict(event)
         network = self.host.network
         dead: List[int] = []
-        for sub_id, (pattern, subscriber, port) in self._subs.items():
+        for sub_id, (pattern, subscriber, port, _token) in \
+                self._subs.items():
             if not topic_matches(pattern, topic):
                 continue
             if not network.has_host(subscriber):

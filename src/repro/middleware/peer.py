@@ -5,12 +5,28 @@ measurement database, end-user application) and provides ``publish`` /
 ``subscribe`` against a :class:`~repro.middleware.broker.Broker`.
 Subscriptions carry a local callback; events arrive asynchronously as
 the scheduler runs.
+
+Two opt-in hardening mechanisms make a peer survive broker outages:
+
+* **Buffered publication** (``publish_buffer=N``): every publish is
+  acknowledged by the broker.  A missing ack marks the broker *suspect*;
+  from then on publications land in a bounded FIFO buffer (oldest
+  dropped beyond *N*) while a periodic ping probes the broker.  The
+  first pong flushes the buffer in order, so data produced during an
+  outage reaches subscribers late instead of never.
+* **Subscription keepalive** (``keepalive=T``): every *T* simulated
+  seconds the peer re-issues all active subscriptions.  The broker
+  deduplicates them by token, so a healthy broker sees a no-op while a
+  crash-restarted broker (its subscription table lost) is repopulated
+  within one keepalive period.  :meth:`resubscribe_all` does the same
+  on demand.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.middleware.broker import BROKER_PORT, Event
@@ -45,15 +61,61 @@ class MiddlewarePeer:
 
     _port_ids = itertools.count(1)
 
-    def __init__(self, host: Host, broker_host: str):
+    def __init__(self, host: Host, broker_host: str,
+                 publish_buffer: Optional[int] = None,
+                 ack_timeout: float = 2.0,
+                 keepalive: Optional[float] = None):
+        if publish_buffer is not None and publish_buffer < 1:
+            raise ConfigurationError("publish buffer must hold >= 1 event")
+        if ack_timeout <= 0:
+            raise ConfigurationError("ack timeout must be positive")
         self.host = host
         self.broker_host = broker_host
         self.events_published = 0
+        self.publish_buffer = publish_buffer
+        self.ack_timeout = ack_timeout
+        self.publications_acked = 0
+        self.publications_buffered = 0
+        self.publications_dropped = 0
+        self.publications_flushed = 0
+        self.resubscribes_sent = 0
         self._port = f"pubsub-peer-{next(self._port_ids)}"
         self._token_ids = itertools.count(1)
         self._by_token: Dict[int, Subscription] = {}
         self._by_sub_id: Dict[int, Subscription] = {}
+        self._pub_ids = itertools.count(1)
+        self._pending_pubs: Dict[int, dict] = {}
+        self._buffer: Deque[dict] = deque()
+        self._broker_suspect = False
+        self._probe_task = None
+        self._ping_ids = itertools.count(1)
+        self._keepalive_task = None
+        if keepalive is not None:
+            self._keepalive_task = host.network.scheduler.every(
+                keepalive, self._keepalive
+            )
         host.bind(self._port, self._on_message)
+
+    @property
+    def broker_suspect(self) -> bool:
+        """True while publish acks are missing and the probe is running."""
+        return self._broker_suspect
+
+    @property
+    def buffered(self) -> int:
+        """Publications currently parked in the offline buffer."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Stop the periodic keepalive/probe tasks (teardown)."""
+        if self._keepalive_task is not None:
+            self._keepalive_task.stop()
+            self._keepalive_task = None
+        if self._probe_task is not None:
+            self._probe_task.stop()
+            self._probe_task = None
+
+    # -- publication ------------------------------------------------------
 
     def publish(self, topic: str, payload: Any, retain: bool = False
                 ) -> None:
@@ -64,17 +126,77 @@ class MiddlewarePeer:
         """
         validate_topic(topic)
         self.events_published += 1
-        self.host.send(
-            self.broker_host,
-            BROKER_PORT,
-            {
-                "verb": "publish",
-                "topic": topic,
-                "payload": payload,
-                "published_at": self.host.network.scheduler.now,
-                "retain": retain,
-            },
+        envelope = {
+            "verb": "publish",
+            "topic": topic,
+            "payload": payload,
+            "published_at": self.host.network.scheduler.now,
+            "retain": retain,
+        }
+        if self.publish_buffer is None:
+            self.host.send(self.broker_host, BROKER_PORT, envelope)
+            return
+        if self._broker_suspect:
+            self._enqueue(envelope)
+            return
+        self._send_reliable(envelope)
+
+    def _send_reliable(self, envelope: dict) -> None:
+        pub_id = next(self._pub_ids)
+        self._pending_pubs[pub_id] = envelope
+        tracked = dict(envelope)
+        tracked["pub_id"] = pub_id
+        tracked["ack_port"] = self._port
+        self.host.send(self.broker_host, BROKER_PORT, tracked)
+        self.host.network.scheduler.schedule(
+            self.ack_timeout, self._pub_timeout, pub_id
         )
+
+    def _pub_timeout(self, pub_id: int) -> None:
+        envelope = self._pending_pubs.pop(pub_id, None)
+        if envelope is None:
+            return  # acked in time
+        self._enqueue(envelope)
+        self._mark_suspect()
+
+    def _enqueue(self, envelope: dict) -> None:
+        if len(self._buffer) >= self.publish_buffer:
+            self._buffer.popleft()
+            self.publications_dropped += 1
+        self._buffer.append(envelope)
+        self.publications_buffered += 1
+
+    def _mark_suspect(self) -> None:
+        if self._broker_suspect:
+            return
+        self._broker_suspect = True
+        if self._probe_task is None:
+            self._probe_task = self.host.network.scheduler.every(
+                self.ack_timeout, self._probe
+            )
+
+    def _probe(self) -> None:
+        if not self._broker_suspect:
+            return
+        self.host.send(self.broker_host, BROKER_PORT, {
+            "verb": "ping",
+            "port": self._port,
+            "nonce": next(self._ping_ids),
+        })
+
+    def _broker_alive(self) -> None:
+        """An ack or pong arrived: flush everything parked."""
+        if self._broker_suspect:
+            self._broker_suspect = False
+            if self._probe_task is not None:
+                self._probe_task.stop()
+                self._probe_task = None
+        while self._buffer and not self._broker_suspect:
+            envelope = self._buffer.popleft()
+            self.publications_flushed += 1
+            self._send_reliable(envelope)
+
+    # -- subscription -----------------------------------------------------
 
     def subscribe(self, pattern: str, callback: EventCallback
                   ) -> Subscription:
@@ -88,17 +210,38 @@ class MiddlewarePeer:
         token = next(self._token_ids)
         subscription = Subscription(self, token, pattern, callback)
         self._by_token[token] = subscription
+        self._send_subscribe(subscription)
+        return subscription
+
+    def _send_subscribe(self, subscription: Subscription) -> None:
         self.host.send(
             self.broker_host,
             BROKER_PORT,
             {
                 "verb": "subscribe",
-                "pattern": pattern,
+                "pattern": subscription.pattern,
                 "port": self._port,
-                "token": token,
+                "token": subscription.token,
             },
         )
-        return subscription
+
+    def resubscribe_all(self) -> int:
+        """Re-issue every active subscription (broker dedupes by token).
+
+        Used after a broker crash-restart (manually or via the periodic
+        keepalive) to repopulate the broker's lost subscription table;
+        returns the number of subscriptions re-sent.
+        """
+        sent = 0
+        for subscription in self._by_token.values():
+            if subscription.active:
+                self._send_subscribe(subscription)
+                sent += 1
+        self.resubscribes_sent += sent
+        return sent
+
+    def _keepalive(self) -> None:
+        self.resubscribe_all()
 
     def _unsubscribe(self, subscription: Subscription) -> None:
         if subscription.sub_id is not None:
@@ -108,16 +251,30 @@ class MiddlewarePeer:
                 {"verb": "unsubscribe", "sub_id": subscription.sub_id},
             )
 
+    # -- inbound ----------------------------------------------------------
+
     def _on_message(self, message: Message) -> None:
         payload = message.payload
         kind = payload.get("kind")
         if kind == "sub-ack":
             sub = self._by_token.get(payload.get("token"))
             if sub is not None:
+                if sub.sub_id is not None and sub.sub_id != payload["sub_id"]:
+                    # broker restarted and assigned a fresh id
+                    self._by_sub_id.pop(sub.sub_id, None)
                 sub.sub_id = payload["sub_id"]
                 self._by_sub_id[sub.sub_id] = sub
                 if not sub.active:  # unsubscribed before the ack landed
                     self._unsubscribe(sub)
+            return
+        if kind == "pub-ack":
+            if self._pending_pubs.pop(payload.get("pub_id"), None) \
+                    is not None:
+                self.publications_acked += 1
+            self._broker_alive()
+            return
+        if kind == "pong":
+            self._broker_alive()
             return
         if kind == "event":
             # the broker fans out one copy per matching subscription and

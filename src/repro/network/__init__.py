@@ -7,6 +7,12 @@ central) rather than Python overheads.
 """
 
 from repro.network.futures import Future
+from repro.network.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    default_policy,
+)
 from repro.network.scheduler import EventHandle, PeriodicTask, Scheduler
 from repro.network.transport import (
     Host,
@@ -29,6 +35,7 @@ from repro.network.webservice import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "EventHandle",
     "Future",
     "GET",
@@ -41,10 +48,13 @@ __all__ = [
     "POST",
     "PeriodicTask",
     "Request",
+    "ResiliencePolicy",
     "Response",
+    "RetryPolicy",
     "Router",
     "Scheduler",
     "WebService",
+    "default_policy",
     "error",
     "estimate_size",
     "ok",

@@ -1,0 +1,204 @@
+"""Client-side resilience: retry policies and circuit breakers.
+
+Production district deployments see device churn and partial outage as
+the *default* operating condition, not the exception.  This module
+provides the two client-side mechanisms the request path needs to ride
+through them:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  seeded deterministic jitter.  Backoff waits are spent on the simulated
+  clock (the caller schedules them on the DES scheduler), so retried
+  requests pay realistic wall time inside experiments and remain fully
+  reproducible for a fixed seed.
+* :class:`CircuitBreaker` — a per-target-host closed/open/half-open
+  state machine.  After ``failure_threshold`` consecutive failures the
+  circuit *opens* and requests to that host fail fast with
+  :class:`~repro.errors.CircuitOpenError` (no network traffic); after
+  ``recovery_timeout`` simulated seconds it goes *half-open* and admits
+  a limited number of probe requests — one success closes it again, one
+  failure re-opens it.
+
+Both are bundled by :class:`ResiliencePolicy`, the opt-in object a
+:class:`~repro.network.webservice.HttpClient` accepts.  Counters on the
+policy (retries, breaker trips, fast-fail rejections) feed the
+resilience benchmarks through
+:func:`repro.simulation.metrics.resilience_counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``backoff(attempt)`` returns the wait before retry *attempt*
+    (1-based): ``base_delay * multiplier**(attempt-1)`` capped at
+    ``max_delay``, multiplied by a jitter factor drawn uniformly from
+    ``[1-jitter, 1+jitter]`` with a seeded RNG — deterministic for a
+    fixed seed, like everything else in the simulation.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.2,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ConfigurationError("retry policy needs >= 1 attempt")
+        if base_delay < 0 or max_delay < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = np.random.RandomState(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError("retry attempts are numbered from 1")
+        nominal = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter <= 0:
+            return nominal
+        factor = 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        return nominal * factor
+
+
+@dataclass
+class _TargetState:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    half_open_in_flight: int = 0
+
+
+class CircuitBreaker:
+    """Per-target-host circuit breaker (closed / open / half-open)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        half_open_probes: int = 1,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure threshold must be >= 1")
+        if recovery_timeout <= 0:
+            raise ConfigurationError("recovery timeout must be positive")
+        if half_open_probes < 1:
+            raise ConfigurationError("half-open probe budget must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_probes = half_open_probes
+        self.trips = 0
+        self.rejections = 0
+        self._targets: Dict[str, _TargetState] = {}
+
+    def _state_of(self, target: str) -> _TargetState:
+        return self._targets.setdefault(target, _TargetState())
+
+    def state(self, target: str) -> str:
+        """Current state name for *target* (closed if never used)."""
+        return self._state_of(target).state
+
+    def allow(self, target: str, now: float) -> bool:
+        """Whether a request to *target* may proceed at time *now*.
+
+        Returning False counts as a fast-fail rejection; an open
+        circuit transitions to half-open once the recovery timeout has
+        elapsed, admitting up to ``half_open_probes`` probe requests.
+        """
+        state = self._state_of(target)
+        if state.state == CLOSED:
+            return True
+        if state.state == OPEN:
+            if now - state.opened_at >= self.recovery_timeout:
+                state.state = HALF_OPEN
+                state.half_open_in_flight = 0
+            else:
+                self.rejections += 1
+                return False
+        if state.half_open_in_flight < self.half_open_probes:
+            state.half_open_in_flight += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self, target: str) -> None:
+        """A request to *target* succeeded: close its circuit."""
+        state = self._state_of(target)
+        state.state = CLOSED
+        state.consecutive_failures = 0
+        state.half_open_in_flight = 0
+
+    def record_failure(self, target: str, now: float) -> None:
+        """A request to *target* failed: trip the circuit if warranted."""
+        state = self._state_of(target)
+        if state.state == HALF_OPEN:
+            self._trip(state, now)
+            return
+        state.consecutive_failures += 1
+        if state.state == CLOSED and \
+                state.consecutive_failures >= self.failure_threshold:
+            self._trip(state, now)
+
+    def _trip(self, state: _TargetState, now: float) -> None:
+        state.state = OPEN
+        state.opened_at = now
+        state.consecutive_failures = 0
+        state.half_open_in_flight = 0
+        self.trips += 1
+
+
+@dataclass
+class ResiliencePolicy:
+    """Bundle of retry + breaker applied by an opt-in HttpClient.
+
+    Either part may be None: retry-only, breaker-only, or both.
+    """
+
+    retry: Optional[RetryPolicy] = None
+    breaker: Optional[CircuitBreaker] = None
+    #: retries actually performed (not counting first attempts)
+    retries: int = 0
+    #: requests that exhausted every attempt and re-raised
+    exhausted: int = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot for metrics/benchmark reports."""
+        counts = {"retries": self.retries, "retry_exhausted": self.exhausted}
+        if self.breaker is not None:
+            counts["breaker_trips"] = self.breaker.trips
+            counts["breaker_rejections"] = self.breaker.rejections
+        return counts
+
+
+def default_policy(seed: int = 0) -> ResiliencePolicy:
+    """The stock policy used by resilient deployments and benchmarks."""
+    return ResiliencePolicy(
+        retry=RetryPolicy(seed=seed),
+        breaker=CircuitBreaker(),
+    )

@@ -133,6 +133,8 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_dropped_flaky: int = 0
+    latency_spikes: int = 0
     bytes_sent: int = 0
     per_host_received: Dict[str, int] = field(default_factory=dict)
 
@@ -140,8 +142,33 @@ class NetworkStats:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_dropped_flaky = 0
+        self.latency_spikes = 0
         self.bytes_sent = 0
         self.per_host_received.clear()
+
+
+@dataclass(frozen=True)
+class FlakyProfile:
+    """Degraded-but-alive behaviour of one host (fault injection).
+
+    Unlike taking a host offline, a flaky host stays reachable: each
+    message to or from it is dropped with *drop_probability*, and with
+    *spike_probability* its delivery pays *latency_spike* extra seconds
+    — the brown-out failure mode real district gateways exhibit.
+    """
+
+    drop_probability: float = 0.0
+    latency_spike: float = 0.0
+    spike_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1]")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ConfigurationError("spike probability must be in [0, 1]")
+        if self.latency_spike < 0:
+            raise ConfigurationError("latency spike must be non-negative")
 
 
 class Network:
@@ -161,6 +188,7 @@ class Network:
         self.drop_probability = drop_probability
         self.stats = NetworkStats()
         self._hosts: Dict[str, Host] = {}
+        self._flaky: Dict[str, FlakyProfile] = {}
         self._drop_rng = np.random.RandomState(seed + 1)
 
     def add_host(self, name: str) -> Host:
@@ -189,6 +217,19 @@ class Network:
         """Failure injection: take a host off the network (or restore it)."""
         self.host(name).online = online
 
+    def set_host_flaky(self, name: str, profile: FlakyProfile) -> None:
+        """Failure injection: degrade every message to/from *name*."""
+        self.host(name)  # raises UnknownHostError
+        self._flaky[name] = profile
+
+    def clear_host_flaky(self, name: str) -> None:
+        """Remove a host's flaky profile (no-op if it has none)."""
+        self._flaky.pop(name, None)
+
+    def flaky_hosts(self) -> Dict[str, FlakyProfile]:
+        """Currently degraded hosts and their profiles."""
+        return dict(self._flaky)
+
     def send(self, sender: str, recipient: str, port: str, payload: Any
              ) -> None:
         """Schedule delivery of *payload* from *sender* to *recipient*.
@@ -215,7 +256,22 @@ class Network:
         if dropped:
             self.stats.messages_dropped += 1
             return
-        delay = self.latency.delay(sender, recipient, size)
+        extra_delay = 0.0
+        for endpoint in (sender, recipient) if sender != recipient \
+                else (sender,):
+            profile = self._flaky.get(endpoint)
+            if profile is None:
+                continue
+            if profile.drop_probability > 0.0 and \
+                    self._drop_rng.random_sample() < profile.drop_probability:
+                self.stats.messages_dropped += 1
+                self.stats.messages_dropped_flaky += 1
+                return
+            if profile.spike_probability > 0.0 and \
+                    self._drop_rng.random_sample() < profile.spike_probability:
+                extra_delay += profile.latency_spike
+                self.stats.latency_spikes += 1
+        delay = self.latency.delay(sender, recipient, size) + extra_delay
         sent_at = self.scheduler.now
         self.scheduler.schedule(
             delay, self._deliver, sender, recipient, port, payload, size,

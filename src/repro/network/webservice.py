@@ -22,11 +22,13 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.common.identifiers import ServiceUri
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
     RequestTimeoutError,
     ServiceError,
 )
 from repro.network.futures import Future
+from repro.network.resilience import ResiliencePolicy
 from repro.network.transport import Host, Message
 
 _SERVER_PORT = "http"
@@ -205,13 +207,22 @@ class HttpClient:
     :meth:`call` is the synchronous convenience used by client
     applications — it steps the scheduler until the response (or the
     timeout) arrives.
+
+    An optional :class:`~repro.network.resilience.ResiliencePolicy`
+    hardens the client: its circuit breaker fast-fails requests to hosts
+    that keep failing (:class:`~repro.errors.CircuitOpenError`, no
+    network traffic), and its retry policy makes :meth:`call` retry
+    timeouts and 5xx answers with exponential backoff spent on the
+    simulated clock.
     """
 
     _ids = itertools.count(1)
 
-    def __init__(self, host: Host, timeout: float = 5.0):
+    def __init__(self, host: Host, timeout: float = 5.0,
+                 policy: Optional[ResiliencePolicy] = None):
         self.host = host
         self.timeout = timeout
+        self.policy = policy
         self.requests_sent = 0
         self._reply_port = f"http-reply-{next(self._ids)}"
         self._pending: Dict[int, Future] = {}
@@ -229,11 +240,24 @@ class HttpClient:
         """Send a request; the future resolves to a :class:`Response`.
 
         A lost request or response resolves the future with
-        :class:`RequestTimeoutError` after the timeout.
+        :class:`RequestTimeoutError` after the timeout.  With a breaker
+        in the client's policy, a request to an open-circuit host
+        resolves immediately with :class:`CircuitOpenError`.
         """
         target = uri if isinstance(uri, ServiceUri) else ServiceUri.parse(uri)
-        request_id = next(self._req_counter)
+        breaker = self.policy.breaker if self.policy is not None else None
         future = Future()
+        if breaker is not None:
+            now = self.host.network.scheduler.now
+            if not breaker.allow(target.host, now):
+                future.set_exception(CircuitOpenError(
+                    f"circuit open for host {target.host!r}"
+                ))
+                return future
+            future.add_done_callback(
+                lambda fut: self._observe(target.host, fut)
+            )
+        request_id = next(self._req_counter)
         self._pending[request_id] = future
         self.requests_sent += 1
         self.host.send(
@@ -267,8 +291,37 @@ class HttpClient:
 
         With *check* (default) a non-2xx response raises
         :class:`ServiceError`; otherwise the raw :class:`Response` is
-        returned for the caller to inspect.
+        returned for the caller to inspect.  With a retry policy,
+        timeouts and 5xx answers are retried with backoff before the
+        last error is surfaced.
         """
+        policy = self.policy
+        retry = policy.retry if policy is not None else None
+        attempts = retry.max_attempts if retry is not None else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = self._call_once(uri, method, params, body, timeout)
+            except RequestTimeoutError:
+                if attempt < attempts:
+                    policy.retries += 1
+                    self._sleep(retry.backoff(attempt))
+                    continue
+                if retry is not None:
+                    policy.exhausted += 1
+                raise
+            if response.status >= 500 and attempt < attempts:
+                policy.retries += 1
+                self._sleep(retry.backoff(attempt))
+                continue
+            if response.status >= 500 and retry is not None:
+                policy.exhausted += 1
+            if check and not response.ok:
+                raise ServiceError(response.status, response.reason)
+            return response
+
+    def _call_once(self, uri, method, params, body, timeout) -> Response:
         future = self.request(uri, method, params, body, timeout)
         scheduler = self.host.network.scheduler
         while not future.done:
@@ -276,10 +329,29 @@ class HttpClient:
                 raise ConfigurationError(
                     "scheduler drained with request still pending"
                 )
-        response = future.result()
-        if check and not response.ok:
-            raise ServiceError(response.status, response.reason)
-        return response
+        return future.result()
+
+    def _sleep(self, delay: float) -> None:
+        """Spend *delay* simulated seconds (backoff between retries)."""
+        woken = Future()
+        scheduler = self.host.network.scheduler
+        scheduler.schedule(delay, woken.set_result, None)
+        while not woken.done:
+            scheduler.step()
+
+    def _observe(self, target_host: str, future: Future) -> None:
+        """Feed one resolved request into the breaker's state machine."""
+        breaker = self.policy.breaker
+        now = self.host.network.scheduler.now
+        try:
+            response = future.result()
+        except Exception:
+            breaker.record_failure(target_host, now)
+            return
+        if response.status >= 500:
+            breaker.record_failure(target_host, now)
+        else:
+            breaker.record_success(target_host)
 
     def get(self, uri, params: Optional[Dict[str, str]] = None, **kw
             ) -> Response:

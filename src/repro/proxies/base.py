@@ -6,20 +6,40 @@ which registers itself on a single master node."
 Every proxy owns a Web Service on its host and a ``register_with``
 handshake that POSTs its descriptor to the master's ``/register``
 endpoint.  Subclasses define the descriptor contents and their routes.
+
+For production-style resilience a proxy can also maintain a
+**registration heartbeat**: :meth:`Proxy.start_heartbeat` re-registers
+periodically on the DES scheduler, each time renewing a lease on the
+master.  A proxy that crashes stops heartbeating, its lease expires and
+the master evicts it from the ontology; when it comes back the next
+heartbeat re-registers it — no operator-driven
+``FaultInjector.reregister_all`` needed.  Heartbeats are asynchronous
+(future-based), so a proxy keeps serving requests while one is in
+flight or timing out against a dead master.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import (
     RegistrationError,
     RequestTimeoutError,
     ServiceError,
 )
+from repro.network.resilience import ResiliencePolicy
+from repro.network.scheduler import PeriodicTask
 from repro.network.transport import Host
-from repro.network.webservice import HttpClient, WebService
+from repro.network.webservice import (
+    GET,
+    POST,
+    HttpClient,
+    Request,
+    Response,
+    WebService,
+    ok,
+)
 
 
 class Proxy(abc.ABC):
@@ -28,11 +48,16 @@ class Proxy(abc.ABC):
     #: descriptor tag: "device" or "database"; set by subclasses
     proxy_kind: str = ""
 
-    def __init__(self, host: Host, processing_delay: float = 1e-4):
+    def __init__(self, host: Host, processing_delay: float = 1e-4,
+                 policy: Optional[ResiliencePolicy] = None):
         self.host = host
         self.service = WebService(host, processing_delay=processing_delay)
         self.registered = False
-        self._client = HttpClient(host)
+        self.heartbeats_sent = 0
+        self.heartbeats_failed = 0
+        self._client = HttpClient(host, policy=policy)
+        self._heartbeat_task: Optional[PeriodicTask] = None
+        self.service.add_route(GET, "/health", self._health_route)
 
     @property
     def uri(self) -> str:
@@ -47,18 +72,27 @@ class Proxy(abc.ABC):
     def descriptor(self) -> Dict:
         """The registration payload sent to the master node."""
 
-    def register_with(self, master_uri: str) -> Dict:
-        """Register on the master node; returns the master's response body.
-
-        Raises :class:`RegistrationError` if the master refuses or is
-        unreachable.
-        """
+    def _registration_payload(self, lease: Optional[float]) -> Dict:
         payload = self.descriptor()
         payload["proxy_kind"] = self.proxy_kind
         payload["uri"] = self.uri
+        if lease is not None:
+            payload["lease"] = lease
+        return payload
+
+    def register_with(self, master_uri: str,
+                      lease: Optional[float] = None) -> Dict:
+        """Register on the master node; returns the master's response body.
+
+        With *lease*, the registration is valid for that many simulated
+        seconds and must be renewed (see :meth:`start_heartbeat`).
+        Raises :class:`RegistrationError` if the master refuses or is
+        unreachable.
+        """
         try:
             response = self._client.post(
-                master_uri.rstrip("/") + "/register", body=payload
+                master_uri.rstrip("/") + "/register",
+                body=self._registration_payload(lease),
             )
         except (ServiceError, RequestTimeoutError) as exc:
             raise RegistrationError(
@@ -66,3 +100,68 @@ class Proxy(abc.ABC):
             ) from exc
         self.registered = True
         return response.body
+
+    # -- registration heartbeat -------------------------------------------
+
+    def start_heartbeat(self, master_uri: str, period: float,
+                        lease: Optional[float] = None,
+                        initial_delay: Optional[float] = None) -> None:
+        """Renew the registration every *period* simulated seconds.
+
+        *lease* defaults to three periods, so a single lost heartbeat
+        does not evict a healthy proxy.  Idempotent; stop with
+        :meth:`stop_heartbeat`.
+        """
+        if self._heartbeat_task is not None:
+            return
+        if lease is None:
+            lease = 3.0 * period
+        self._heartbeat_task = self.host.network.scheduler.every(
+            period, self._heartbeat, master_uri, lease,
+            initial_delay=initial_delay,
+        )
+
+    def stop_heartbeat(self) -> None:
+        """Cancel the periodic re-registration."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.stop()
+            self._heartbeat_task = None
+
+    def _heartbeat(self, master_uri: str, lease: float) -> None:
+        """One asynchronous heartbeat: POST /register, observe outcome."""
+        future = self._client.request(
+            master_uri.rstrip("/") + "/register", POST,
+            body=self._registration_payload(lease),
+        )
+        future.add_done_callback(self._on_heartbeat_done)
+
+    def _on_heartbeat_done(self, future) -> None:
+        try:
+            response = future.result()
+        except Exception:
+            self.heartbeats_failed += 1
+            self.registered = False
+            return
+        if response.ok:
+            self.heartbeats_sent += 1
+            self.registered = True
+        else:
+            self.heartbeats_failed += 1
+
+    # -- health -----------------------------------------------------------
+
+    def health(self) -> Dict:
+        """Liveness payload; subclasses may extend it."""
+        return {
+            "status": "ok",
+            "proxy_kind": self.proxy_kind,
+            "host": self.name,
+            "registered": self.registered,
+            "requests_served": self.service.requests_served,
+            "requests_failed": self.service.requests_failed,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_failed": self.heartbeats_failed,
+        }
+
+    def _health_route(self, request: Request) -> Response:
+        return ok(self.health())

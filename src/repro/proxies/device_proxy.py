@@ -78,12 +78,16 @@ class DeviceProxy(Proxy):
         district_id: str,
         retention: Optional[float] = 7 * 86400.0,
         actuation_timeout: float = 5.0,
+        publish_buffer: Optional[int] = None,
+        peer_keepalive: Optional[float] = None,
     ):
         super().__init__(host)
         self.adapter = adapter
         self.district_id = district_id
         self.database = LocalDatabase(retention=retention)
-        self.peer = MiddlewarePeer(host, broker_host)
+        self.peer = MiddlewarePeer(host, broker_host,
+                                   publish_buffer=publish_buffer,
+                                   keepalive=peer_keepalive)
         self.actuation_timeout = actuation_timeout
         self.frames_received = 0
         self.frames_rejected = 0
@@ -221,6 +225,17 @@ class DeviceProxy(Proxy):
                           result.to_dict())
 
     # -- registration ------------------------------------------------------------
+
+    def health(self) -> Dict:
+        info = super().health()
+        info.update({
+            "online": self.online,
+            "devices": len(self._devices),
+            "measurements_published": self.measurements_published,
+            "buffered_publications": self.peer.buffered,
+            "broker_suspect": self.peer.broker_suspect,
+        })
+        return info
 
     def descriptor(self) -> Dict:
         return {

@@ -1,7 +1,11 @@
 """Scenario deployment, workloads and metrics for experiments."""
 
 from repro.simulation.faults import FaultInjector
-from repro.simulation.metrics import MetricsRecorder, Summary
+from repro.simulation.metrics import (
+    MetricsRecorder,
+    Summary,
+    resilience_counters,
+)
 from repro.simulation.scenario import (
     DeployedDistrict,
     Federation,
@@ -35,6 +39,7 @@ __all__ = [
     "deploy_into",
     "quantity_queries",
     "random_area_queries",
+    "resilience_counters",
     "run_integration_workload",
     "run_resolution_workload",
     "single_building_queries",

@@ -9,9 +9,10 @@ ontology).  Used by the robustness tests and the churn benchmarks.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.network.transport import FlakyProfile
 from repro.simulation.scenario import DeployedDistrict
 
 
@@ -67,6 +68,38 @@ class FaultInjector:
         for host_name in hosts:
             self.take_offline(host_name)
 
+    # -- degraded-link faults ----------------------------------------------
+
+    def flaky(self, host_name: str, drop_probability: float = 0.0,
+              latency_spike: float = 0.0,
+              spike_probability: float = 0.0) -> None:
+        """Degrade (not sever) a host's links until :meth:`heal`.
+
+        Every message to or from *host_name* is independently dropped
+        with *drop_probability*, and delayed by an extra *latency_spike*
+        simulated seconds with *spike_probability* — the grey-failure
+        mode (lossy backhaul, overloaded gateway) that retries and
+        circuit breakers exist for, as opposed to the clean silence of
+        :meth:`take_offline`.
+        """
+        network = self.deployment.network
+        if not network.has_host(host_name):
+            raise ConfigurationError(f"no host {host_name!r} to degrade")
+        network.set_host_flaky(host_name, FlakyProfile(
+            drop_probability=drop_probability,
+            latency_spike=latency_spike,
+            spike_probability=spike_probability,
+        ))
+
+    def heal(self, host_name: Optional[str] = None) -> None:
+        """Remove the flaky profile of one host (or of all hosts)."""
+        network = self.deployment.network
+        if host_name is not None:
+            network.clear_host_flaky(host_name)
+            return
+        for name in network.flaky_hosts():
+            network.clear_host_flaky(name)
+
     # -- component-level faults --------------------------------------------
 
     def kill_broker(self) -> None:
@@ -75,6 +108,18 @@ class FaultInjector:
 
     def restore_broker(self) -> None:
         self.restore(self.deployment.broker.name)
+
+    def restart_broker(self) -> None:
+        """Crash-restart the broker: back online with empty memory.
+
+        Unlike :meth:`restore_broker` (a network outage ending), a
+        restart loses the broker's subscription table and retained
+        store.  Peers with a keepalive configured repair their own
+        subscriptions on the next keepalive tick
+        (:meth:`~repro.middleware.peer.MiddlewarePeer.resubscribe_all`).
+        """
+        self.restore(self.deployment.broker.name)
+        self.deployment.broker.reset()
 
     def kill_bim_proxy(self, entity_id: str) -> str:
         """Take one building's BIM proxy offline; returns its host name."""

@@ -12,12 +12,16 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import QueryError
+from repro.network.resilience import ResiliencePolicy
 from repro.network.scheduler import Scheduler
+
+if TYPE_CHECKING:  # avoid a runtime cycle with the scenario builder
+    from repro.simulation.scenario import DeployedDistrict
 
 
 @dataclass(frozen=True)
@@ -90,3 +94,45 @@ class MetricsRecorder:
         start = time.perf_counter()
         yield
         self.record(name, time.perf_counter() - start)
+
+
+def resilience_counters(deployment: "DeployedDistrict",
+                        policy: Optional[ResiliencePolicy] = None
+                        ) -> Dict[str, int]:
+    """One flat snapshot of every resilience counter in a deployment.
+
+    Collects the lease, heartbeat, pub/sub-buffering and degraded-link
+    counters scattered across the master, the peers and the network
+    stats; pass the client's :class:`ResiliencePolicy` to fold in its
+    retry/breaker counters too.  Used by the churn benchmark reports.
+    """
+    master = deployment.master
+    net = deployment.network.stats
+    broker = deployment.broker.stats
+    device_proxies = list(deployment.device_proxies.values())
+    proxies = ([deployment.gis_proxy]
+               + list(deployment.bim_proxies.values())
+               + list(deployment.sim_proxies.values())
+               + device_proxies)
+    peers = [deployment.measurement_db.peer] \
+        + [proxy.peer for proxy in device_proxies]
+    counters = {
+        "lease_evictions": master.lease_evictions,
+        "active_leases": master.active_leases,
+        "heartbeats_sent": deployment.measurement_db.heartbeats_sent
+        + sum(p.heartbeats_sent for p in proxies),
+        "heartbeats_failed": deployment.measurement_db.heartbeats_failed
+        + sum(p.heartbeats_failed for p in proxies),
+        "publications_buffered": sum(p.publications_buffered
+                                     for p in peers),
+        "publications_dropped": sum(p.publications_dropped for p in peers),
+        "publications_flushed": sum(p.publications_flushed for p in peers),
+        "resubscribes_sent": sum(p.resubscribes_sent for p in peers),
+        "broker_publish_acks": broker.publish_acks_sent,
+        "broker_pings_answered": broker.pings_answered,
+        "messages_dropped_flaky": net.messages_dropped_flaky,
+        "latency_spikes": net.latency_spikes,
+    }
+    if policy is not None:
+        counters.update(policy.counters())
+    return counters

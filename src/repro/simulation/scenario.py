@@ -26,6 +26,7 @@ from repro.devices.energy import DeviceEnergyModel, budget_for_protocol
 from repro.devices.firmware import DeviceFirmware, RadioLink
 from repro.errors import ConfigurationError
 from repro.middleware.broker import Broker
+from repro.network.resilience import ResiliencePolicy
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
 from repro.protocols.base import make_adapter
@@ -52,6 +53,19 @@ class ScenarioConfig:
     #: prepended to every per-district host name; lets several districts
     #: share one network/master/broker (see :func:`deploy_federation`)
     host_prefix: str = ""
+    #: when set, every proxy re-registers with this period (simulated
+    #: seconds) under a lease of ``lease_factor`` periods, and the master
+    #: evicts proxies whose lease expires — the resilience layer's
+    #: registration heartbeat.  None keeps legacy permanent registrations.
+    heartbeat_period: Optional[float] = None
+    lease_factor: float = 3.0
+    #: bounded per-peer publication buffer (events) — device proxies
+    #: buffer publications while the broker is unreachable and flush on
+    #: reconnect.  None disables acks/buffering (legacy behaviour).
+    publish_buffer: Optional[int] = None
+    #: period of the peers' subscription keepalive (re-subscribe after a
+    #: broker crash-restart); None disables it.
+    peer_keepalive: Optional[float] = None
 
 
 @dataclass
@@ -92,13 +106,19 @@ class DeployedDistrict:
         """Advance the whole deployment by *duration* simulated seconds."""
         self.scheduler.run_for(duration)
 
-    def client(self, name: str = "user", with_broker: bool = True
+    def client(self, name: str = "user", with_broker: bool = True,
+               policy: Optional["ResiliencePolicy"] = None
                ) -> DistrictClient:
-        """Create an end-user application host + client."""
+        """Create an end-user application host + client.
+
+        *policy* opts the client's HTTP layer into retries and circuit
+        breaking (see :mod:`repro.network.resilience`).
+        """
         host = self.network.add_host(name)
         return DistrictClient(
             host, self.master.uri,
             broker_host=self.broker.name if with_broker else None,
+            policy=policy,
         )
 
     def device_proxy_for(self, device_id: str) -> DeviceProxy:
@@ -179,14 +199,24 @@ def deploy_into(master: MasterNode, broker: Broker,
             district_index=district_index,
             office_fraction=config.office_fraction,
         )
+    heartbeat = config.heartbeat_period
+    lease = heartbeat * config.lease_factor if heartbeat else None
+    if heartbeat:
+        master.start_lease_sweeper(heartbeat)
+
     measurement_db = MeasurementDatabase(
-        network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id
+        network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id,
+        peer_keepalive=config.peer_keepalive,
     )
-    measurement_db.register_with(master.uri)
+    measurement_db.register_with(master.uri, lease=lease)
+    if heartbeat:
+        measurement_db.start_heartbeat(master.uri, heartbeat, lease=lease)
 
     gis_proxy = GisProxy(network.add_host(f"{prefix}proxy-gis"),
                          dataset.gis, dataset.district_id)
-    gis_proxy.register_with(master.uri)
+    gis_proxy.register_with(master.uri, lease=lease)
+    if heartbeat:
+        gis_proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
 
     deployment = DeployedDistrict(
         config=config,
@@ -210,7 +240,9 @@ def deploy_into(master: MasterNode, broker: Broker,
             gis_feature_id=building.feature_id,
             bounds=feature.geometry.bounds(),
         )
-        proxy.register_with(master.uri)
+        proxy.register_with(master.uri, lease=lease)
+        if heartbeat:
+            proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
         deployment.bim_proxies[building.entity_id] = proxy
 
     for network_spec in dataset.networks:
@@ -220,7 +252,9 @@ def deploy_into(master: MasterNode, broker: Broker,
             entity_id=network_spec.entity_id,
             district_id=dataset.district_id,
         )
-        proxy.register_with(master.uri)
+        proxy.register_with(master.uri, lease=lease)
+        if heartbeat:
+            proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
         deployment.sim_proxies[network_spec.entity_id] = proxy
 
     _deploy_devices(deployment)
@@ -249,13 +283,15 @@ class Federation:
                 f"no district {district_id!r} in federation"
             ) from None
 
-    def client(self, name: str = "fed-user", with_broker: bool = True
+    def client(self, name: str = "fed-user", with_broker: bool = True,
+               policy: Optional[ResiliencePolicy] = None
                ) -> DistrictClient:
         """A client that can query any district through the one master."""
         host = self.network.add_host(name)
         return DistrictClient(
             host, self.master.uri,
             broker_host=self.broker.name if with_broker else None,
+            policy=policy,
         )
 
 
@@ -306,6 +342,8 @@ def _deploy_devices(deployment: DeployedDistrict) -> None:
             broker_host=deployment.broker.name,
             district_id=dataset.district_id,
             retention=config.retention,
+            publish_buffer=config.publish_buffer,
+            peer_keepalive=config.peer_keepalive,
         )
         for spec in specs:
             device = build_device(spec, dataset)
@@ -328,5 +366,10 @@ def _deploy_devices(deployment: DeployedDistrict) -> None:
                 firmware.start()
             deployment.firmwares.append(firmware)
             deployment.devices[spec.device_id] = device
-        proxy.register_with(master_uri=deployment.master.uri)
+        heartbeat = config.heartbeat_period
+        lease = heartbeat * config.lease_factor if heartbeat else None
+        proxy.register_with(master_uri=deployment.master.uri, lease=lease)
+        if heartbeat:
+            proxy.start_heartbeat(deployment.master.uri, heartbeat,
+                                  lease=lease)
         deployment.device_proxies[(entity_id, protocol)] = proxy

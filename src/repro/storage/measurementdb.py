@@ -20,6 +20,7 @@ from repro.middleware.topics import district_filter
 from repro.network.transport import Host
 from repro.network.webservice import (
     GET,
+    POST,
     HttpClient,
     Request,
     Response,
@@ -34,33 +35,80 @@ from repro.storage.query import RangeQuery
 class MeasurementDatabase:
     """District-wide measurement store fed by the pub/sub middleware."""
 
-    def __init__(self, host: Host, broker_host: str, district_id: str):
+    def __init__(self, host: Host, broker_host: str, district_id: str,
+                 peer_keepalive: Optional[float] = None):
         self.host = host
         self.district_id = district_id
         self.store = LocalDatabase(retention=None)
         self.ingested = 0
         self.rejected = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_failed = 0
         self._freshness: Dict[str, float] = {}  # device -> last sample time
-        self.peer = MiddlewarePeer(host, broker_host)
+        self._client = HttpClient(host)
+        self._heartbeat_task = None
+        self.peer = MiddlewarePeer(host, broker_host,
+                                   keepalive=peer_keepalive)
         self.peer.subscribe(district_filter(district_id), self._on_event)
         self.service = WebService(host)
         self.service.add_route(GET, "/measurements", self._query_route)
         self.service.add_route(GET, "/devices", self._devices_route)
         self.service.add_route(GET, "/freshness/{device_id}",
                                self._freshness_route)
+        self.service.add_route(GET, "/health", self._health_route)
 
     @property
     def uri(self) -> str:
         return self.service.base_uri
 
-    def register_with(self, master_uri: str) -> None:
-        """Announce this measurement DB on the master's district root."""
-        client = HttpClient(self.host)
-        client.post(master_uri.rstrip("/") + "/register", body={
+    def _registration_payload(self, lease: Optional[float]) -> Dict:
+        payload = {
             "proxy_kind": "measurement",
             "district_id": self.district_id,
             "uri": self.uri,
-        })
+        }
+        if lease is not None:
+            payload["lease"] = lease
+        return payload
+
+    def register_with(self, master_uri: str,
+                      lease: Optional[float] = None) -> None:
+        """Announce this measurement DB on the master's district root."""
+        self._client.post(master_uri.rstrip("/") + "/register",
+                          body=self._registration_payload(lease))
+
+    def start_heartbeat(self, master_uri: str, period: float,
+                        lease: Optional[float] = None) -> None:
+        """Renew the registration every *period* simulated seconds."""
+        if self._heartbeat_task is not None:
+            return
+        if lease is None:
+            lease = 3.0 * period
+        self._heartbeat_task = self.host.network.scheduler.every(
+            period, self._heartbeat, master_uri, lease
+        )
+
+    def stop_heartbeat(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.stop()
+            self._heartbeat_task = None
+
+    def _heartbeat(self, master_uri: str, lease: float) -> None:
+        future = self._client.request(
+            master_uri.rstrip("/") + "/register", POST,
+            body=self._registration_payload(lease),
+        )
+
+        def record(fut):
+            try:
+                if fut.result().ok:
+                    self.heartbeats_sent += 1
+                    return
+            except Exception:
+                pass
+            self.heartbeats_failed += 1
+
+        future.add_done_callback(record)
 
     # -- middleware ingestion ---------------------------------------------
 
@@ -112,3 +160,14 @@ class MeasurementDatabase:
         if last is None:
             return error(404, f"no samples from {device_id}")
         return ok({"device_id": device_id, "last_timestamp": last})
+
+    def _health_route(self, request: Request) -> Response:
+        return ok({
+            "status": "ok",
+            "host": self.host.name,
+            "district_id": self.district_id,
+            "ingested": self.ingested,
+            "rejected": self.rejected,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_failed": self.heartbeats_failed,
+        })

@@ -133,10 +133,16 @@ class TimeSeries:
         return float(trapezoid(self.values, times))
 
     def mean(self) -> float:
-        """Arithmetic mean of the values; raises on empty series."""
+        """Arithmetic mean of the values; raises on empty series.
+
+        Clamped into ``[minimum, maximum]``: float accumulation can land
+        the raw mean one ulp outside the value envelope.
+        """
         if not self._values:
             raise StorageError("series is empty")
-        return float(np.mean(self.values))
+        values = self.values
+        mean = float(np.mean(values))
+        return float(min(max(mean, np.min(values)), np.max(values)))
 
     def minimum(self) -> float:
         if not self._values:

@@ -40,6 +40,7 @@ class TestCli:
         assert "2 buildings" in out
         assert "sources=bim+gis" in out
 
+    @pytest.mark.slow  # simulates six district-hours through the full stack
     def test_monitor_prints_report(self, capsys):
         assert main(["monitor", "--buildings", "2", "--days", "0.25",
                      "--seed", "1"]) == 0

@@ -209,7 +209,9 @@ class TestActuationFlow:
             actuation_topic(device_id),
             lambda e: results.append(ActuationResult.from_dict(e.payload)),
         )
-        net.scheduler.run_until_idle()
+        # the attached firmware samples periodically, so the queue never
+        # drains -- run just long enough for the subscription to land
+        net.scheduler.run_for(1.0)
         return results
 
     def test_successful_actuation_publishes_result(self, net, broker):
