@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to existing files.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories),
+extracts inline links and image references, and verifies that each
+relative target exists on disk, so ``docs/`` cannot rot silently when
+files move.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are ignored; a ``path#fragment`` target
+is checked for the path part only.
+
+Exit status is the number of broken links (0 = all good), and each
+broken link is reported as ``file:line: target``.
+
+Usage::
+
+    python scripts/check_markdown_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown link or image: [text](target) / ![alt](target)
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: schemes that point outside the repository
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: directory names never scanned (artifacts, VCS internals)
+_SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__",
+              ".pytest_cache", ".ruff_cache", "build", "dist"}
+
+
+def iter_markdown_files(root: Path):
+    """Yield every markdown file under *root*, skipping artifact dirs."""
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & _SKIP_DIRS or any(p.startswith(".") for p in parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    """Return ``(line_number, target)`` for each broken link in *path*."""
+    broken = []
+    in_code_fence = False
+    for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if relative.startswith("/"):
+                resolved = root / relative.lstrip("/")
+            else:
+                resolved = path.parent / relative
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    total_links_broken = 0
+    files_scanned = 0
+    for md_file in iter_markdown_files(root):
+        files_scanned += 1
+        for line_number, target in check_file(md_file, root):
+            total_links_broken += 1
+            print(f"{md_file.relative_to(root)}:{line_number}: "
+                  f"broken link -> {target}")
+    print(f"checked {files_scanned} markdown files, "
+          f"{total_links_broken} broken link(s)")
+    return total_links_broken
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

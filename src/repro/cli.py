@@ -50,6 +50,10 @@ EXPERIMENTS = (
      "bench_c8_actuation.py"),
     ("A1", "ablation: redirect vs relay-through-master",
      "bench_a1_redirect_vs_relay.py"),
+    ("R1", "resilience under churn: availability + staleness",
+     "bench_r1_resilience.py"),
+    ("O1", "observability: attribution, churn events, overhead",
+     "bench_o1_observability.py"),
 )
 
 

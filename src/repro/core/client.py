@@ -34,6 +34,7 @@ from repro.middleware.topics import actuation_topic, measurement_filter
 from repro.network.resilience import ResiliencePolicy
 from repro.network.transport import Host
 from repro.network.webservice import HttpClient
+from repro.observability.tracing import INTERNAL
 from repro.core.integration import IntegratedModel, integrate
 from repro.ontology.queries import (
     AreaQuery,
@@ -191,7 +192,30 @@ class DistrictClient:
 
         ``strict=False`` degrades gracefully through proxy outages (the
         affected sources are missing from the model) instead of raising.
+
+        With tracing installed on the network the whole workflow roots
+        one trace: a ``build_area_model`` span whose children are the
+        per-request client spans (resolve, each model/data fetch), each
+        in turn parenting the server span of the proxy that answered.
         """
+        tracer = self.host.network.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("build_area_model", kind=INTERNAL,
+                             host=self.host.name,
+                             attributes={"strict": strict,
+                                         "with_data": with_data}):
+                return self._build_area_model(
+                    query, with_data, data_start, data_end, data_bucket,
+                    strict,
+                )
+        return self._build_area_model(query, with_data, data_start,
+                                      data_end, data_bucket, strict)
+
+    def _build_area_model(self, query: AreaQuery, with_data: bool,
+                          data_start: Optional[float],
+                          data_end: Optional[float],
+                          data_bucket: Optional[float],
+                          strict: bool) -> IntegratedModel:
         resolved = self.resolve(query)
         models: Dict[str, List[EntityModel]] = {}
         measurements: Dict[str, Dict] = {}

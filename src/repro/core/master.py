@@ -45,6 +45,7 @@ from repro.network.webservice import (
     error,
     ok,
 )
+from repro.observability.tracing import INTERNAL, emit
 from repro.ontology.model import DeviceNode, DistrictOntology, EntityNode
 from repro.ontology.queries import AreaQuery, resolve
 
@@ -70,6 +71,7 @@ class MasterNode:
         self.service.add_route(GET, "/ontology", self._ontology_route)
         self.service.add_route(GET, "/districts", self._districts_route)
         self.service.add_route(GET, "/health", self._health_route)
+        self.service.add_route(GET, "/metrics", self._metrics_route)
 
     @property
     def uri(self) -> str:
@@ -110,6 +112,8 @@ class MasterNode:
             del self._leases[uri]
             self._evict_uri(uri)
             self.lease_evictions += 1
+            emit(self.host.network, "lease_evicted",
+                 host=self.host.name, uri=uri, master=self.host.name)
         return expired
 
     def start_lease_sweeper(self, period: float) -> None:
@@ -301,6 +305,13 @@ class MasterNode:
         """
         self.expire_leases()
         self.resolves_served += 1
+        tracer = self.host.network.tracer
+        if tracer is not None and tracer.enabled:
+            # nests under the GET /resolve server span when the query
+            # arrived over the Web Service
+            with tracer.span("ontology resolve", kind=INTERNAL,
+                             host=self.host.name):
+                return resolve(self.ontology, query)
         return resolve(self.ontology, query)
 
     # -- web-service routes ---------------------------------------------------
@@ -334,6 +345,27 @@ class MasterNode:
             "active_leases": self.active_leases,
             "lease_evictions": self.lease_evictions,
             "ontology_nodes": self.ontology.node_count(),
+        })
+
+    def metrics(self) -> Dict:
+        """Flat counter snapshot served by ``GET /metrics``."""
+        return {
+            "registrations": self.registrations,
+            "resolves_served": self.resolves_served,
+            "active_leases": self.active_leases,
+            "lease_evictions": self.lease_evictions,
+            "ontology_nodes": self.ontology.node_count(),
+            "requests_served": self.service.requests_served,
+            "requests_failed": self.service.requests_failed,
+        }
+
+    def _metrics_route(self, request: Request) -> Response:
+        self.expire_leases()
+        registry = self.host.network.metrics
+        return ok({
+            "component": self.metrics(),
+            "registry": registry.snapshot() if registry is not None
+            else {},
         })
 
     def _districts_route(self, request: Request) -> Response:

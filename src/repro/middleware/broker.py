@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
 from repro.network.transport import Host, Message
+from repro.observability.tracing import TraceContext
 
 BROKER_PORT = "pubsub"
 
@@ -152,6 +153,17 @@ class Broker:
             self.stats.publish_acks_sent += 1
             self.host.send(message.sender, payload["ack_port"],
                            {"kind": "pub-ack", "pub_id": payload["pub_id"]})
+        span = None
+        tracer = self.host.network.tracer
+        if tracer is not None and tracer.enabled:
+            context = TraceContext.from_dict(payload.get("trace"))
+            if context is not None:
+                # the broker hop: child of the publisher's span, parent
+                # of every subscriber's delivery span
+                span = tracer.start_span(f"fanout {topic}",
+                                         kind="broker",
+                                         host=self.host.name,
+                                         parent=context)
         event = {
             "kind": "event",
             "topic": topic,
@@ -159,10 +171,13 @@ class Broker:
             "published_at": payload.get("published_at", 0.0),
             "publisher": message.sender,
         }
+        if span is not None:
+            event["trace"] = span.header()
         if payload.get("retain"):
             self._retained[topic] = dict(event)
         network = self.host.network
         dead: List[int] = []
+        deliveries = 0
         for sub_id, (pattern, subscriber, port, _token) in \
                 self._subs.items():
             if not topic_matches(pattern, topic):
@@ -171,12 +186,16 @@ class Broker:
                 dead.append(sub_id)
                 continue
             self.stats.fanout_deliveries += 1
+            deliveries += 1
             fanout = dict(event)
             fanout["sub_id"] = sub_id
             self.host.send(subscriber, port, fanout)
         for sub_id in dead:
             self._subs.pop(sub_id, None)
             self.stats.dead_subscriptions_dropped += 1
+        if span is not None:
+            span.attributes["deliveries"] = deliveries
+            tracer.finish(span)
 
 
 def broker_uri(broker: Broker) -> str:

@@ -32,6 +32,12 @@ from repro.errors import ConfigurationError
 from repro.middleware.broker import BROKER_PORT, Event
 from repro.middleware.topics import validate_filter, validate_topic
 from repro.network.transport import Host, Message
+from repro.observability.tracing import (
+    CONSUMER,
+    PRODUCER,
+    TraceContext,
+    emit,
+)
 
 EventCallback = Callable[[Event], None]
 
@@ -133,6 +139,15 @@ class MiddlewarePeer:
             "published_at": self.host.network.scheduler.now,
             "retain": retain,
         }
+        tracer = self.host.network.tracer
+        if tracer is not None and tracer.enabled:
+            # producer span: the local hand-off to the broker.  Its
+            # context rides in the envelope (and survives buffering),
+            # so the broker fanout and every delivery nest under it.
+            span = tracer.start_span(f"publish {topic}", kind=PRODUCER,
+                                     host=self.host.name)
+            envelope["trace"] = span.header()
+            tracer.finish(span)
         if self.publish_buffer is None:
             self.host.send(self.broker_host, BROKER_PORT, envelope)
             return
@@ -163,6 +178,9 @@ class MiddlewarePeer:
         if len(self._buffer) >= self.publish_buffer:
             self._buffer.popleft()
             self.publications_dropped += 1
+            emit(self.host.network, "publication_dropped",
+                 host=self.host.name, peer=self.host.name,
+                 topic=envelope.get("topic"))
         self._buffer.append(envelope)
         self.publications_buffered += 1
 
@@ -170,6 +188,8 @@ class MiddlewarePeer:
         if self._broker_suspect:
             return
         self._broker_suspect = True
+        emit(self.host.network, "broker_suspect", host=self.host.name,
+             peer=self.host.name, broker=self.broker_host)
         if self._probe_task is None:
             self._probe_task = self.host.network.scheduler.every(
                 self.ack_timeout, self._probe
@@ -186,15 +206,22 @@ class MiddlewarePeer:
 
     def _broker_alive(self) -> None:
         """An ack or pong arrived: flush everything parked."""
+        recovered = self._broker_suspect
         if self._broker_suspect:
             self._broker_suspect = False
             if self._probe_task is not None:
                 self._probe_task.stop()
                 self._probe_task = None
+        flushed = 0
         while self._buffer and not self._broker_suspect:
             envelope = self._buffer.popleft()
             self.publications_flushed += 1
+            flushed += 1
             self._send_reliable(envelope)
+        if recovered:
+            emit(self.host.network, "buffer_flush", host=self.host.name,
+                 peer=self.host.name, broker=self.broker_host,
+                 flushed=flushed)
 
     # -- subscription -----------------------------------------------------
 
@@ -284,14 +311,40 @@ class MiddlewarePeer:
             if sub is None or not sub.active:
                 return
             sub.events_received += 1
-            sub.callback(Event(
+            now = self.host.network.scheduler.now
+            event = Event(
                 topic=payload["topic"],
                 payload=payload["payload"],
                 published_at=payload["published_at"],
-                delivered_at=self.host.network.scheduler.now,
+                delivered_at=now,
                 publisher=payload["publisher"],
                 retained=bool(payload.get("retained", False)),
-            ))
+            )
+            span = None
+            tracer = self.host.network.tracer
+            if tracer is not None and tracer.enabled:
+                ctx = TraceContext.from_dict(payload.get("trace"))
+                if ctx is not None:
+                    # consumer span: child of the broker fanout span, so
+                    # a delivery nests publish -> fanout -> deliver and
+                    # its duration is the subscriber callback time
+                    span = tracer.start_span(
+                        f"deliver {event.topic}", kind=CONSUMER,
+                        host=self.host.name, parent=ctx,
+                        attributes={
+                            "latency": now - event.published_at,
+                            "retained": event.retained,
+                        },
+                    )
+            if span is not None:
+                tracer.push(span)
+                try:
+                    sub.callback(event)
+                finally:
+                    tracer.pop()
+                    tracer.finish(span)
+            else:
+                sub.callback(event)
 
 
 def connect(host: Host, broker_host: str) -> MiddlewarePeer:

@@ -187,6 +187,13 @@ class Network:
         self.latency = latency if latency is not None else LatencyModel(seed=seed)
         self.drop_probability = drop_probability
         self.stats = NetworkStats()
+        #: observability attachment points (None = disabled, the
+        #: default): a repro.observability Tracer and MetricsRegistry,
+        #: set by repro.observability.install().  Instrumented
+        #: components reach both through host.network, so one check
+        #: against None is the entire disabled-mode cost.
+        self.tracer = None
+        self.metrics = None
         self._hosts: Dict[str, Host] = {}
         self._flaky: Dict[str, FlakyProfile] = {}
         self._drop_rng = np.random.RandomState(seed + 1)

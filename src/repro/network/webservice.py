@@ -30,6 +30,7 @@ from repro.errors import (
 from repro.network.futures import Future
 from repro.network.resilience import ResiliencePolicy
 from repro.network.transport import Host, Message
+from repro.observability.tracing import CLIENT, SERVER, TraceContext, emit
 
 _SERVER_PORT = "http"
 _PARAM_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
@@ -49,6 +50,8 @@ class Request:
     body: Any = None
     path_params: Dict[str, str] = field(default_factory=dict)
     sender: str = ""
+    #: the caller's propagated trace context (None when untraced)
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,7 @@ class Router:
                     body=request.body,
                     path_params=params,
                     sender=request.sender,
+                    trace=request.trace,
                 )
                 return route.handler(bound)
         return error(404, f"no route for {request.method} {request.path}")
@@ -167,23 +171,52 @@ class WebService:
 
     def _on_message(self, message: Message) -> None:
         payload = message.payload
+        header = payload.get("trace")
+        context = TraceContext.from_dict(header) \
+            if header is not None else None
         request = Request(
             method=payload["method"],
             path=payload["path"],
             params=dict(payload.get("params", {})),
             body=payload.get("body"),
             sender=message.sender,
+            trace=context,
         )
+        span = None
+        tracer = self.host.network.tracer
+        if tracer is not None and tracer.enabled and context is not None:
+            # server span: opened at request arrival, parented to the
+            # caller's client span, closed when the response is sent —
+            # it covers the modelled processing delay plus dispatch
+            span = tracer.start_span(
+                f"{request.method} {request.path}", kind=SERVER,
+                host=self.host.name, parent=context,
+            )
         delay = self._delay_for(request)
         self.host.network.scheduler.schedule(
-            delay, self._respond, message, request
+            delay, self._respond, message, request, span
         )
 
-    def _respond(self, message: Message, request: Request) -> None:
+    def _respond(self, message: Message, request: Request, span=None
+                 ) -> None:
+        tracer = self.host.network.tracer if span is not None else None
         try:
-            response = self.router.dispatch(request)
+            if tracer is not None:
+                # activate so handler-side child spans and events nest
+                # under this hop
+                tracer.push(span)
+                try:
+                    response = self.router.dispatch(request)
+                finally:
+                    tracer.pop()
+            else:
+                response = self.router.dispatch(request)
         except Exception as exc:  # handler bug -> 500, like a real server
             response = error(500, f"{type(exc).__name__}: {exc}")
+        if tracer is not None:
+            span.attributes["status"] = response.status
+            tracer.finish(span,
+                          status="ok" if response.ok else "error")
         if response.ok:
             self.requests_served += 1
         else:
@@ -226,6 +259,8 @@ class HttpClient:
         self.requests_sent = 0
         self._reply_port = f"http-reply-{next(self._ids)}"
         self._pending: Dict[int, Future] = {}
+        # request_id -> open client span, finished on reply or expiry
+        self._pending_spans: Dict[int, Any] = {}
         self._req_counter = itertools.count(1)
         host.bind(self._reply_port, self._on_reply)
 
@@ -247,31 +282,49 @@ class HttpClient:
         target = uri if isinstance(uri, ServiceUri) else ServiceUri.parse(uri)
         breaker = self.policy.breaker if self.policy is not None else None
         future = Future()
+        tracer = self.host.network.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span(
+                f"{method} {target.path}", kind=CLIENT,
+                host=self.host.name,
+                attributes={"target": target.host},
+            )
         if breaker is not None:
             now = self.host.network.scheduler.now
-            if not breaker.allow(target.host, now):
+            before = breaker.state(target.host)
+            allowed = breaker.allow(target.host, now)
+            after = breaker.state(target.host)
+            if after != before:
+                self._breaker_event(target.host, before, after)
+            if not allowed:
                 future.set_exception(CircuitOpenError(
                     f"circuit open for host {target.host!r}"
                 ))
+                if span is not None:
+                    span.attributes["error"] = "CircuitOpenError"
+                    tracer.finish(span, status="error")
                 return future
             future.add_done_callback(
                 lambda fut: self._observe(target.host, fut)
             )
         request_id = next(self._req_counter)
         self._pending[request_id] = future
+        if span is not None:
+            self._pending_spans[request_id] = span
         self.requests_sent += 1
-        self.host.send(
-            target.host,
-            _SERVER_PORT,
-            {
-                "method": method,
-                "path": target.path,
-                "params": dict(params or {}),
-                "body": body,
-                "reply_port": self._reply_port,
-                "request_id": request_id,
-            },
-        )
+        payload = {
+            "method": method,
+            "path": target.path,
+            "params": dict(params or {}),
+            "body": body,
+            "reply_port": self._reply_port,
+            "request_id": request_id,
+        }
+        if span is not None:
+            payload["trace"] = {"trace_id": span.trace_id,
+                                "span_id": span.span_id}
+        self.host.send(target.host, _SERVER_PORT, payload)
         deadline = timeout if timeout is not None else self.timeout
         self.host.network.scheduler.schedule(
             deadline, self._expire, request_id, target
@@ -306,17 +359,23 @@ class HttpClient:
             except RequestTimeoutError:
                 if attempt < attempts:
                     policy.retries += 1
+                    self._retry_event(uri, attempt, "timeout")
                     self._sleep(retry.backoff(attempt))
                     continue
                 if retry is not None:
                     policy.exhausted += 1
+                    self._retry_event(uri, attempt, "timeout",
+                                      exhausted=True)
                 raise
             if response.status >= 500 and attempt < attempts:
                 policy.retries += 1
+                self._retry_event(uri, attempt, f"http {response.status}")
                 self._sleep(retry.backoff(attempt))
                 continue
             if response.status >= 500 and retry is not None:
                 policy.exhausted += 1
+                self._retry_event(uri, attempt, f"http {response.status}",
+                                  exhausted=True)
             if check and not response.ok:
                 raise ServiceError(response.status, response.reason)
             return response
@@ -331,6 +390,15 @@ class HttpClient:
                 )
         return future.result()
 
+    def _retry_event(self, uri, attempt: int, cause: str,
+                     exhausted: bool = False) -> None:
+        """Report one retry decision as a structured trace event."""
+        emit(self.host.network,
+             "retry_exhausted" if exhausted else "retry",
+             host=self.host.name,
+             uri=str(uri), attempt=attempt, cause=cause,
+             client=self.host.name)
+
     def _sleep(self, delay: float) -> None:
         """Spend *delay* simulated seconds (backoff between retries)."""
         woken = Future()
@@ -343,15 +411,26 @@ class HttpClient:
         """Feed one resolved request into the breaker's state machine."""
         breaker = self.policy.breaker
         now = self.host.network.scheduler.now
+        before = breaker.state(target_host)
         try:
             response = future.result()
         except Exception:
             breaker.record_failure(target_host, now)
-            return
-        if response.status >= 500:
-            breaker.record_failure(target_host, now)
         else:
-            breaker.record_success(target_host)
+            if response.status >= 500:
+                breaker.record_failure(target_host, now)
+            else:
+                breaker.record_success(target_host)
+        after = breaker.state(target_host)
+        if after != before:
+            self._breaker_event(target_host, before, after)
+
+    def _breaker_event(self, target_host: str, before: str, after: str
+                       ) -> None:
+        """Report a circuit state change as a structured trace event."""
+        emit(self.host.network, "breaker_state", host=self.host.name,
+             target=target_host, previous=before, state=after,
+             client=self.host.name)
 
     def get(self, uri, params: Optional[Dict[str, str]] = None, **kw
             ) -> Response:
@@ -364,12 +443,23 @@ class HttpClient:
 
     def _on_reply(self, message: Message) -> None:
         payload = message.payload
-        future = self._pending.pop(payload["request_id"], None)
+        request_id = payload["request_id"]
+        future = self._pending.pop(request_id, None)
         if future is None or future.done:
             return  # response arrived after its timeout fired
+        status = payload["status"]
+        if self._pending_spans:
+            span = self._pending_spans.pop(request_id, None)
+            tracer = self.host.network.tracer
+            if span is not None and tracer is not None:
+                span.attributes["status"] = status
+                tracer.finish(
+                    span,
+                    status="ok" if 200 <= status < 300 else "error",
+                )
         future.set_result(
             Response(
-                status=payload["status"],
+                status=status,
                 body=payload.get("body"),
                 reason=payload.get("reason", ""),
             )
@@ -379,6 +469,12 @@ class HttpClient:
         future = self._pending.pop(request_id, None)
         if future is None or future.done:
             return
+        if self._pending_spans:
+            span = self._pending_spans.pop(request_id, None)
+            tracer = self.host.network.tracer
+            if span is not None and tracer is not None:
+                span.attributes["error"] = "RequestTimeoutError"
+                tracer.finish(span, status="error")
         future.set_exception(
             RequestTimeoutError(f"request to {target} timed out")
         )

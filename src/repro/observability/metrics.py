@@ -1,0 +1,198 @@
+"""Metrics registry: counters, gauges and percentile histograms.
+
+The seed codebase grew ad-hoc counters wherever an experiment needed
+one — attributes on the master, the broker stats dataclass, the
+resilience policy, plus the benchmark-side sample recorder in
+:mod:`repro.simulation.metrics`.  This module is the common substrate
+under all of them: named instruments in a :class:`MetricsRegistry`,
+snapshot-able as one flat dict and renderable as a text exposition
+(the ``/metrics`` endpoints on master, proxies and the measurement DB
+serve exactly that snapshot).
+
+Three instrument types cover every existing use:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — a settable point-in-time value, optionally backed
+  by a callback so component attributes (``master.registrations``,
+  ``peer.buffered`` ...) can be exported live without rewriting them;
+* :class:`Histogram` — sample collection with the percentile summary
+  the benchmark tables already print (mean/p50/p90/p99/min/max).
+
+The registry is pure bookkeeping on plain Python objects — no I/O, no
+background tasks — so instruments are safe on the simulation hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, QueryError
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, set directly or pulled from a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str,
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Set the gauge (only for gauges without a callback)."""
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is callback-backed"
+            )
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Current value (callback gauges evaluate lazily)."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """A named sample collection summarised by percentiles."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def stats(self) -> Dict[str, float]:
+        """Percentile summary; raises :class:`QueryError` when empty."""
+        if not self.values:
+            raise QueryError(f"no samples recorded for {self.name!r}")
+        values = np.asarray(self.values, dtype=float)
+        return {
+            "count": len(values),
+            "mean": float(np.mean(values)),
+            "p50": float(np.percentile(values, 50)),
+            "p90": float(np.percentile(values, 90)),
+            "p99": float(np.percentile(values, 99)),
+            "minimum": float(np.min(values)),
+            "maximum": float(np.max(values)),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create accessors.
+
+    Instrument names are flat dot-separated strings
+    (``master.registrations``, ``client.http.retries``); asking for an
+    existing name with a different instrument type is an error, so two
+    components cannot silently share one name with different meanings.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a "
+                f"{type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called *name*."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the (directly set) gauge called *name*."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register a callback-backed gauge (re-registering rebinds).
+
+        This is how existing attribute counters are exported without
+        rewriting them: ``registry.gauge_fn("master.registrations",
+        lambda: master.registrations)``.
+        """
+        gauge = Gauge(name, fn=fn)
+        existing = self._instruments.get(name)
+        if existing is not None and not isinstance(existing, Gauge):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(existing).__name__}, "
+                f"not a Gauge"
+            )
+        self._instruments[name] = gauge
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called *name*."""
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name))
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, name: str):
+        """The instrument called *name*, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted instrument names."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One flat JSON-able dict: scalars for counters/gauges,
+        percentile dicts for (non-empty) histograms."""
+        result: Dict[str, Any] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                if instrument.count:
+                    result[name] = instrument.stats()
+            else:
+                result[name] = instrument.value
+        return result
+
+    def render(self) -> str:
+        """Plain-text exposition, one ``name value`` line per scalar
+        (histograms expand to ``name_count`` / ``name_p50`` / ...)."""
+        lines: List[str] = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                for stat, number in value.items():
+                    lines.append(f"{name}_{stat} {number}")
+            else:
+                lines.append(f"{name} {value}")
+        return "\n".join(lines)

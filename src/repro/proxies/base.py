@@ -58,6 +58,7 @@ class Proxy(abc.ABC):
         self._client = HttpClient(host, policy=policy)
         self._heartbeat_task: Optional[PeriodicTask] = None
         self.service.add_route(GET, "/health", self._health_route)
+        self.service.add_route(GET, "/metrics", self._metrics_route)
 
     @property
     def uri(self) -> str:
@@ -165,3 +166,27 @@ class Proxy(abc.ABC):
 
     def _health_route(self, request: Request) -> Response:
         return ok(self.health())
+
+    # -- metrics ----------------------------------------------------------
+
+    def metrics(self) -> Dict:
+        """Numeric counters for the ``/metrics`` endpoint.
+
+        Subclasses extend this with their own counters; the route pairs
+        it with a snapshot of the network-wide
+        :class:`~repro.observability.metrics.MetricsRegistry` when one
+        is installed.
+        """
+        return {
+            "requests_served": self.service.requests_served,
+            "requests_failed": self.service.requests_failed,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_failed": self.heartbeats_failed,
+        }
+
+    def _metrics_route(self, request: Request) -> Response:
+        registry = self.host.network.metrics
+        return ok({
+            "component": self.metrics(),
+            "registry": registry.snapshot() if registry is not None else {},
+        })

@@ -237,6 +237,19 @@ class DeviceProxy(Proxy):
         })
         return info
 
+    def metrics(self) -> Dict:
+        info = super().metrics()
+        info.update({
+            "frames_received": self.frames_received,
+            "frames_rejected": self.frames_rejected,
+            "frames_dropped_offline": self.frames_dropped_offline,
+            "measurements_published": self.measurements_published,
+            "publications_buffered": self.peer.publications_buffered,
+            "publications_dropped": self.peer.publications_dropped,
+            "publications_flushed": self.peer.publications_flushed,
+        })
+        return info
+
     def descriptor(self) -> Dict:
         return {
             "district_id": self.district_id,

@@ -14,11 +14,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-import numpy as np
-
 from repro.errors import QueryError
 from repro.network.resilience import ResiliencePolicy
 from repro.network.scheduler import Scheduler
+from repro.observability.metrics import Histogram, MetricsRegistry
 
 if TYPE_CHECKING:  # avoid a runtime cycle with the scenario builder
     from repro.simulation.scenario import DeployedDistrict
@@ -45,38 +44,41 @@ class Summary:
 
 
 class MetricsRecorder:
-    """Named sample collections with percentile summaries."""
+    """Named sample collections with percentile summaries.
 
-    def __init__(self) -> None:
-        self._samples: Dict[str, List[float]] = {}
+    A thin experiment-harness facade over the general-purpose
+    :class:`~repro.observability.metrics.MetricsRegistry`: every metric
+    is one of its histograms, so the same samples are visible through
+    ``/metrics`` endpoints when the recorder is given a network's
+    installed registry.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    def _histogram(self, name: str) -> Histogram:
+        instrument = self.registry.get(name)
+        if not isinstance(instrument, Histogram):
+            raise QueryError(f"no samples recorded for {name!r}")
+        return instrument
 
     def record(self, name: str, value: float) -> None:
         """Add one sample to metric *name*."""
-        self._samples.setdefault(name, []).append(float(value))
+        self.registry.histogram(name).observe(float(value))
 
     def samples(self, name: str) -> List[float]:
         """Raw samples of one metric."""
-        try:
-            return list(self._samples[name])
-        except KeyError:
-            raise QueryError(f"no samples recorded for {name!r}") from None
+        return list(self._histogram(name).values)
 
     def names(self) -> List[str]:
-        return sorted(self._samples)
+        return [name for name in self.registry.names()
+                if isinstance(self.registry.get(name), Histogram)]
 
     def summary(self, name: str) -> Summary:
         """Percentile summary of one metric."""
-        values = np.asarray(self.samples(name), dtype=float)
-        return Summary(
-            name=name,
-            count=len(values),
-            mean=float(np.mean(values)),
-            p50=float(np.percentile(values, 50)),
-            p90=float(np.percentile(values, 90)),
-            p99=float(np.percentile(values, 99)),
-            minimum=float(np.min(values)),
-            maximum=float(np.max(values)),
-        )
+        stats = self._histogram(name).stats()
+        return Summary(name=name, **stats)
 
     def summaries(self) -> List[Summary]:
         return [self.summary(name) for name in self.names()]

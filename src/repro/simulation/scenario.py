@@ -66,6 +66,10 @@ class ScenarioConfig:
     #: period of the peers' subscription keepalive (re-subscribe after a
     #: broker crash-restart); None disables it.
     peer_keepalive: Optional[float] = None
+    #: install the observability layer (tracer + metrics registry, see
+    #: :func:`repro.observability.install`) on the network at deploy
+    #: time.  The default keeps both disabled: zero tracing overhead.
+    observability: bool = False
 
 
 @dataclass
@@ -92,6 +96,16 @@ class DeployedDistrict:
     @property
     def district_id(self) -> str:
         return self.dataset.district_id
+
+    @property
+    def tracer(self):
+        """The network's tracer, or None when tracing is not installed."""
+        return self.network.tracer
+
+    @property
+    def metrics(self):
+        """The network's metrics registry, or None when not installed."""
+        return self.network.metrics
 
     def energy_report(self):
         """Fleet energy standing, shortest projected lifetime first."""
@@ -172,6 +186,10 @@ def deploy(config: Optional[ScenarioConfig] = None,
                              jitter=config.net_jitter, seed=config.seed),
         seed=config.seed,
     )
+    if config.observability:
+        from repro.observability import install
+
+        install(network)
     broker = Broker(network.add_host("broker"))
     master = MasterNode(network.add_host("master"))
     return deploy_into(master, broker, config, dataset)
@@ -312,6 +330,10 @@ def deploy_federation(configs) -> Federation:
                              jitter=base.net_jitter, seed=base.seed),
         seed=base.seed,
     )
+    if base.observability:
+        from repro.observability import install
+
+        install(network)
     broker = Broker(network.add_host("broker"))
     master = MasterNode(network.add_host("master"))
     federation = Federation(scheduler=scheduler, network=network,

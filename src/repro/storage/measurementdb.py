@@ -56,6 +56,7 @@ class MeasurementDatabase:
         self.service.add_route(GET, "/freshness/{device_id}",
                                self._freshness_route)
         self.service.add_route(GET, "/health", self._health_route)
+        self.service.add_route(GET, "/metrics", self._metrics_route)
 
     @property
     def uri(self) -> str:
@@ -170,4 +171,23 @@ class MeasurementDatabase:
             "rejected": self.rejected,
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeats_failed": self.heartbeats_failed,
+        })
+
+    def metrics(self) -> Dict:
+        """Numeric counters for the ``/metrics`` endpoint."""
+        return {
+            "ingested": self.ingested,
+            "rejected": self.rejected,
+            "devices": len(self._freshness),
+            "requests_served": self.service.requests_served,
+            "requests_failed": self.service.requests_failed,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_failed": self.heartbeats_failed,
+        }
+
+    def _metrics_route(self, request: Request) -> Response:
+        registry = self.host.network.metrics
+        return ok({
+            "component": self.metrics(),
+            "registry": registry.snapshot() if registry is not None else {},
         })

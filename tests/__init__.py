@@ -1,0 +1,5 @@
+"""Test suite for the district-energy integration framework.
+
+Organised by subsystem (one ``test_<subsystem>.py`` per package under
+``src/repro``); run tier-1 with ``PYTHONPATH=src python -m pytest -x -q``.
+"""

@@ -1,0 +1,416 @@
+"""Tests for the observability layer: tracing, metrics, /metrics routes.
+
+Covers the tracer's span algebra in isolation, trace propagation
+through the real request path (client → master → proxy) and the
+pub/sub path (publisher → broker fanout → subscriber delivery), the
+zero-overhead disabled mode, the metrics registry, and the structured
+resilience events.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, QueryError
+from repro.network.resilience import ResiliencePolicy, RetryPolicy
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import GET, HttpClient, WebService, error, ok
+from repro.observability import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    install,
+    render_waterfall,
+    uninstall,
+)
+from repro.observability.tracing import (
+    CLIENT,
+    CONSUMER,
+    PRODUCER,
+    SERVER,
+    TraceContext,
+)
+from repro.ontology import AreaQuery
+from repro.simulation.faults import FaultInjector
+from repro.simulation.metrics import MetricsRecorder
+from repro.simulation.scenario import ScenarioConfig, deploy
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(Scheduler())
+
+
+# -- tracer unit behaviour -------------------------------------------------
+
+
+class TestTracer:
+    def test_span_nesting_via_activation_stack(self, tracer):
+        with tracer.span("outer", host="h") as outer:
+            with tracer.span("inner", host="h") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.finished and inner.finished
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert len(tracer.trace_ids()) == 2
+
+    def test_explicit_context_parent_links_across_hops(self, tracer):
+        parent = tracer.start_span("send", host="a")
+        tracer.finish(parent)
+        context = TraceContext.from_dict(parent.context.to_dict())
+        child = tracer.start_span("recv", host="b", parent=context)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_inheritance_gated_on_host(self, tracer):
+        # while host "user" has an active span, a span started by an
+        # unrelated host must NOT leak into the user's trace
+        with tracer.span("workflow", host="user"):
+            stray = tracer.start_span("sample", host="proxy-dev-1")
+            same = tracer.start_span("fetch", host="user")
+        assert stray.parent_id is None
+        assert same.parent_id is not None
+
+    def test_event_attachment_gated_on_host(self, tracer):
+        with tracer.span("workflow", host="user"):
+            tracer.event("mine", host="user", n=1)
+            tracer.event("other_hosts", host="elsewhere", n=2)
+        assert {e.name for e in tracer.events()} == {"mine",
+                                                     "other_hosts"}
+        assert len(tracer.loose_events) == 1
+        assert tracer.loose_events[0].name == "other_hosts"
+
+    def test_error_in_block_marks_span(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("x")
+        assert span.status == "error"
+        assert span.finished
+
+    def test_max_spans_drops_beyond_capacity(self):
+        small = Tracer(Scheduler(), max_spans=2)
+        for _ in range(5):
+            small.finish(small.start_span("s"))
+        assert len(small.spans()) == 2
+        assert small.spans_dropped == 3
+
+    def test_ids_are_deterministic(self):
+        first = Tracer(Scheduler())
+        second = Tracer(Scheduler())
+        ids = [first.start_span("a").span_id,
+               first.start_span("b").span_id]
+        assert ids == [second.start_span("a").span_id,
+                       second.start_span("b").span_id]
+
+    def test_export_and_waterfall_render(self, tracer):
+        scheduler = tracer.scheduler
+        with tracer.span("root", host="u"):
+            scheduler.schedule(1.0, lambda: None)
+            scheduler.run_until_idle()
+            with tracer.span("leaf", host="u"):
+                pass
+        trace_id = tracer.trace_ids()[0]
+        tree = tracer.export(trace_id)
+        json.dumps(tree)  # must be JSON-able
+        assert tree["spans"][0]["name"] == "root"
+        assert tree["spans"][0]["children"][0]["name"] == "leaf"
+        art = render_waterfall(tracer, trace_id)
+        assert "root" in art and "leaf" in art and "#" in art
+
+
+# -- metrics registry ------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc()
+        registry.counter("requests").inc(2)
+        registry.gauge("depth").set(7.0)
+        for v in (1.0, 2.0, 3.0):
+            registry.histogram("latency").observe(v)
+        snap = registry.snapshot()
+        assert snap["requests"] == 3
+        assert snap["depth"] == 7.0
+        assert snap["latency"]["count"] == 3
+        assert snap["latency"]["p50"] == pytest.approx(2.0)
+
+    def test_callback_gauge_reads_live_value(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.gauge_fn("live", lambda: state["n"])
+        assert registry.snapshot()["live"] == 1
+        state["n"] = 5
+        assert registry.snapshot()["live"] == 5
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_empty_histogram_has_no_stats(self):
+        with pytest.raises(QueryError):
+            Histogram("h").stats()
+
+    def test_render_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        text = registry.render()
+        assert "a 1" in text
+        assert "b_p50" in text
+
+    def test_recorder_is_a_registry_facade(self):
+        registry = MetricsRegistry()
+        recorder = MetricsRecorder(registry)
+        recorder.record("m", 1.0)
+        recorder.record("m", 3.0)
+        assert recorder.samples("m") == [1.0, 3.0]
+        assert recorder.summary("m").mean == pytest.approx(2.0)
+        # the same samples are visible through the registry snapshot
+        assert registry.snapshot()["m"]["count"] == 2
+        with pytest.raises(QueryError):
+            recorder.samples("absent")
+
+
+# -- disabled mode ---------------------------------------------------------
+
+
+class TestDisabledMode:
+    def test_default_deploy_has_no_observability(self):
+        d = deploy(ScenarioConfig(seed=3, n_buildings=1,
+                                  devices_per_building=1, net_jitter=0.0))
+        assert d.tracer is None
+        assert d.metrics is None
+
+    def test_untraced_requests_carry_no_trace_header(self, net):
+        service = WebService(net.add_host("server"))
+        seen = []
+
+        @service.route(GET, "/ping")
+        def ping(request):
+            seen.append(request.trace)
+            return ok("pong")
+
+        client = HttpClient(net.add_host("user"))
+        assert client.get("svc://server/ping").body == "pong"
+        assert seen == [None]
+
+    def test_disabled_tracer_records_nothing(self, net):
+        install(net)
+        net.tracer.enabled = False
+        service = WebService(net.add_host("server"))
+        service.add_route(GET, "/ping", lambda request: ok("pong"))
+        client = HttpClient(net.add_host("user"))
+        client.get("svc://server/ping")
+        assert net.tracer.spans() == []
+        assert net.tracer.events() == []
+
+    def test_install_uninstall_roundtrip(self, net):
+        layer = install(net)
+        assert layer.tracer is net.tracer
+        assert layer.metrics is net.metrics
+        again = install(net)  # idempotent: keeps the same instances
+        assert again.tracer is layer.tracer
+        uninstall(net)
+        assert net.tracer is None and net.metrics is None
+
+
+# -- propagation through the deployed architecture -------------------------
+
+
+@pytest.fixture(scope="module")
+def observed():
+    d = deploy(ScenarioConfig(seed=11, n_buildings=2,
+                              devices_per_building=2, n_networks=1,
+                              net_jitter=0.0, observability=True))
+    d.run(900.0)
+    return d
+
+
+class TestRequestPathPropagation:
+    def test_workflow_roots_one_trace_with_nested_hops(self, observed):
+        tracer = observed.tracer
+        tracer.clear()
+        client = observed.client("trace-user", with_broker=False)
+        client.build_area_model(AreaQuery(district_id=observed.district_id))
+
+        roots = tracer.spans(name="build_area_model")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.finished and root.parent_id is None
+
+        # every HTTP request of the workflow is a CLIENT child of the
+        # root, and each has exactly one SERVER child on another host:
+        # the redirect pattern (resolve on master, fetches on proxies)
+        client_spans = [s for s in tracer.children_of(root)
+                        if s.kind == CLIENT]
+        assert len(client_spans) >= 3  # resolve + model fetches
+        assert any(s.name == "GET /resolve" for s in client_spans)
+        for span in client_spans:
+            servers = [c for c in tracer.children_of(span)
+                       if c.kind == SERVER]
+            assert len(servers) == 1
+            assert servers[0].host != span.host
+            assert servers[0].trace_id == root.trace_id
+
+        resolve_client = next(s for s in client_spans
+                              if s.name == "GET /resolve")
+        resolve_server = tracer.children_of(resolve_client)[0]
+        assert resolve_server.host == "master"
+        # the master's internal ontology work nests under its hop
+        internals = tracer.children_of(resolve_server)
+        assert any(s.name == "ontology resolve" for s in internals)
+
+    def test_server_spans_cover_processing_delay(self, observed):
+        tracer = observed.tracer
+        tracer.clear()
+        client = observed.client("delay-user", with_broker=False)
+        client.resolve(AreaQuery(district_id=observed.district_id))
+        spans = tracer.spans(name="GET /resolve")
+        server = next(s for s in spans if s.kind == SERVER)
+        client_span = next(s for s in spans if s.kind == CLIENT)
+        assert server.duration > 0.0
+        # the client span covers the network round-trip, so it is at
+        # least as long as the server's processing window
+        assert client_span.duration >= server.duration
+
+    def test_export_of_workflow_trace_is_jsonable(self, observed):
+        tracer = observed.tracer
+        tracer.clear()
+        client = observed.client("export-user", with_broker=False)
+        client.build_area_model(AreaQuery(district_id=observed.district_id))
+        trace_id = tracer.spans(name="build_area_model")[0].trace_id
+        json.dumps(tracer.export(trace_id))
+        assert "build_area_model" in render_waterfall(tracer, trace_id)
+
+
+class TestPubSubPropagation:
+    def test_delivery_inherits_publisher_trace(self, observed):
+        tracer = observed.tracer
+        tracer.clear()
+        observed.run(120.0)  # devices keep sampling and publishing
+
+        publishes = [s for s in tracer.spans() if s.kind == PRODUCER]
+        assert publishes
+        publish = publishes[0]
+        fanouts = tracer.children_of(publish)
+        assert len(fanouts) == 1
+        fanout = fanouts[0]
+        assert fanout.kind == "broker"
+        assert fanout.host == "broker"
+        deliveries = [s for s in tracer.children_of(fanout)
+                      if s.kind == CONSUMER]
+        # at least the measurement database subscribes to everything
+        assert deliveries
+        assert all(d.trace_id == publish.trace_id for d in deliveries)
+        assert all(d.start >= publish.start for d in deliveries)
+
+    def test_fanout_span_counts_deliveries(self, observed):
+        tracer = observed.tracer
+        tracer.clear()
+        observed.run(60.0)
+        fanout = next(s for s in tracer.spans() if s.kind == "broker")
+        assert fanout.attributes["deliveries"] >= 1
+
+
+# -- /metrics endpoints ----------------------------------------------------
+
+
+class TestMetricsEndpoints:
+    def test_master_metrics_route(self, observed):
+        client = observed.client("metrics-user", with_broker=False)
+        body = client.http.get(
+            observed.master.uri.rstrip("/") + "/metrics").body
+        assert body["component"]["registrations"] > 0
+        assert body["component"]["ontology_nodes"] > 0
+        assert isinstance(body["registry"], dict)
+
+    def test_proxy_metrics_route(self, observed):
+        client = observed.client("metrics-user2", with_broker=False)
+        proxy = next(iter(observed.device_proxies.values()))
+        body = client.http.get(proxy.uri.rstrip("/") + "/metrics").body
+        assert body["component"]["frames_received"] > 0
+        assert body["component"]["measurements_published"] > 0
+
+    def test_measurement_db_metrics_route(self, observed):
+        client = observed.client("metrics-user3", with_broker=False)
+        body = client.http.get(
+            observed.measurement_db.uri.rstrip("/") + "/metrics").body
+        assert body["component"]["ingested"] > 0
+
+    def test_routes_answer_without_observability_installed(self):
+        d = deploy(ScenarioConfig(seed=4, n_buildings=1,
+                                  devices_per_building=1, net_jitter=0.0))
+        d.run(60.0)
+        client = d.client("plain-user", with_broker=False)
+        body = client.http.get(
+            d.master.uri.rstrip("/") + "/metrics").body
+        assert body["registry"] == {}
+
+
+# -- structured resilience events ------------------------------------------
+
+
+class TestResilienceEvents:
+    def test_retry_and_exhaustion_events(self, net):
+        install(net)
+        service = WebService(net.add_host("flaky"))
+        service.add_route(GET, "/x", lambda request: error(503, "down"))
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0))
+        client = HttpClient(net.add_host("user"), policy=policy)
+        response = client.get("svc://flaky/x", check=False)
+        assert response.status == 503
+        retries = net.tracer.events("retry")
+        assert len(retries) == 2
+        assert retries[0].attributes["cause"] == "http 503"
+        assert len(net.tracer.events("retry_exhausted")) == 1
+
+    def test_lease_eviction_event(self):
+        d = deploy(ScenarioConfig(seed=5, n_buildings=2,
+                                  devices_per_building=2, net_jitter=0.0,
+                                  heartbeat_period=30.0,
+                                  observability=True))
+        d.run(120.0)
+        injector = FaultInjector(d)
+        spec = d.dataset.buildings[0].devices[0]
+        injector.kill_device_proxy(spec.entity_id, spec.protocol)
+        d.run(150.0)
+        events = d.tracer.events("lease_evicted")
+        assert events
+        assert d.master.lease_evictions == len(events)
+
+    def test_buffer_flush_event_after_broker_outage(self):
+        d = deploy(ScenarioConfig(seed=6, n_buildings=1,
+                                  devices_per_building=2, net_jitter=0.0,
+                                  publish_buffer=64, observability=True))
+        d.run(120.0)
+        injector = FaultInjector(d)
+        injector.kill_broker()
+        d.run(60.0)
+        assert d.tracer.events("broker_suspect")
+        injector.restore_broker()
+        d.run(60.0)
+        flushes = d.tracer.events("buffer_flush")
+        assert flushes
+        assert sum(e.attributes["flushed"] for e in flushes) > 0
