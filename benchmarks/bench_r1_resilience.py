@@ -28,6 +28,8 @@ and flushes the outage backlog into the measurement DB (lower
 staleness), at the cost of a modest heartbeat/keepalive chatter.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -39,7 +41,9 @@ from repro.simulation.scenario import ScenarioConfig, deploy
 
 EXPERIMENT = "R1"
 SEED = 29
-ROUNDS = 6
+#: REPRO_BENCH_QUICK=1 shrinks the schedule for a CI smoke run
+#: (3 rounds: the minimum that still includes one broker outage)
+ROUNDS = 3 if os.environ.get("REPRO_BENCH_QUICK") else 6
 HEARTBEAT = 20.0          # lease = 3 * heartbeat = 60 s
 OUTAGE = 90.0             # > one lease: evictions take effect mid-outage
 RECOVERY = 60.0           # > one heartbeat: re-registrations land

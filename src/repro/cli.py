@@ -52,6 +52,8 @@ EXPERIMENTS = (
      "bench_a1_redirect_vs_relay.py"),
     ("R1", "resilience under churn: availability + staleness",
      "bench_r1_resilience.py"),
+    ("R2", "master HA: availability through kill/partition/heal",
+     "bench_r2_master_ha.py"),
     ("O1", "observability: attribution, churn events, overhead",
      "bench_o1_observability.py"),
 )

@@ -7,7 +7,10 @@
 * :func:`integrate` / :class:`IntegratedModel` — client-side merging of
   heterogeneous source models with conflict detection;
 * :class:`ConsumptionProfiler` / :func:`awareness_report` — the energy
-  profiling and user-awareness products built on top.
+  profiling and user-awareness products built on top;
+* :func:`replicate_master` / :class:`MasterReplicationGroup` — master
+  high availability: replicated masters with epoch-fenced failover
+  (see :mod:`repro.core.replication`).
 """
 
 from repro.core.analytics import (
@@ -31,6 +34,12 @@ from repro.core.monitoring import (
     awareness_report,
 )
 from repro.core.relay import RelayingMaster
+from repro.core.replication import (
+    MasterReplicationGroup,
+    ReplicatedMaster,
+    ReplicationConfig,
+    replicate_master,
+)
 
 __all__ = [
     "Anomaly",
@@ -43,9 +52,13 @@ __all__ = [
     "IntegratedEntity",
     "IntegratedModel",
     "MasterNode",
+    "MasterReplicationGroup",
     "PropertyConflict",
     "RelayingMaster",
+    "ReplicatedMaster",
+    "ReplicationConfig",
     "SheddingPlan",
     "awareness_report",
     "integrate",
+    "replicate_master",
 ]

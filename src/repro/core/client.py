@@ -16,7 +16,7 @@ Device-proxy) and live subscriptions on the middleware.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common import serialization
 from repro.common.cdf import ActuationResult, EntityModel
@@ -31,10 +31,10 @@ from repro.errors import (
 from repro.middleware.broker import Event
 from repro.middleware.peer import MiddlewarePeer, Subscription
 from repro.middleware.topics import actuation_topic, measurement_filter
-from repro.network.resilience import ResiliencePolicy
+from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.transport import Host
 from repro.network.webservice import HttpClient
-from repro.observability.tracing import INTERNAL
+from repro.observability.tracing import INTERNAL, emit
 from repro.core.integration import IntegratedModel, integrate
 from repro.ontology.queries import (
     AreaQuery,
@@ -46,13 +46,25 @@ from repro.storage.query import RangeQuery
 
 
 class DistrictClient:
-    """An end-user application speaking to one master node."""
+    """An end-user application speaking to a master (or master set).
 
-    def __init__(self, host: Host, master_uri: str,
+    *master_uri* accepts one URI (the paper's single master), a
+    sequence of URIs, or a shared
+    :class:`~repro.network.resilience.FailoverSet` — a replicated
+    master set in seniority order (see
+    :mod:`repro.core.replication`).  Master calls stick to the replica
+    that last worked and rotate to the next on timeouts, open circuits
+    and 5xx answers, so a primary kill costs one failed call instead of
+    an outage.
+    """
+
+    def __init__(self, host: Host,
+                 master_uri: Union[str, Sequence[str], FailoverSet],
                  broker_host: Optional[str] = None, timeout: float = 5.0,
                  policy: Optional[ResiliencePolicy] = None):
         self.host = host
-        self.master_uri = master_uri.rstrip("/")
+        self.masters = master_uri if isinstance(master_uri, FailoverSet) \
+            else FailoverSet(master_uri)
         self.http = HttpClient(host, timeout=timeout, policy=policy)
         self.peer = MiddlewarePeer(host, broker_host) if broker_host \
             else None
@@ -60,12 +72,51 @@ class DistrictClient:
         self.data_requests = 0
         self.fetch_failures = 0
 
+    @property
+    def master_uri(self) -> str:
+        """The master URI calls currently target (current set member)."""
+        return self.masters.current
+
+    @property
+    def master_failovers(self) -> int:
+        """How many times master calls rotated to another replica."""
+        return self.masters.failovers
+
+    def _master_get(self, path: str,
+                    params: Optional[Dict[str, str]] = None):
+        """GET from the master set, failing over across replicas.
+
+        Tries each replica at most once per call, starting from the one
+        that last worked; re-raises the final error when the whole set
+        is down.  Retryable failures are the same ones the resilience
+        layer recognises: timeouts, open circuits and 5xx answers
+        (including the 503 a standby/fenced master returns for writes).
+        """
+        last_error: Optional[Exception] = None
+        for _ in range(len(self.masters)):
+            uri = self.masters.current
+            try:
+                return self.http.get(uri + path, params=params)
+            except (RequestTimeoutError, CircuitOpenError) as exc:
+                last_error = exc
+            except ServiceError as exc:
+                if exc.status < 500:
+                    raise
+                last_error = exc
+            failed, uri = uri, self.masters.advance()
+            emit(self.host.network, "master_failover", host=self.host.name,
+                 failed=failed, next=uri, client=self.host.name)
+        raise last_error
+
     # -- step 1: resolution ----------------------------------------------
 
     def resolve(self, query: AreaQuery) -> ResolvedArea:
-        """Ask the master which proxies serve the queried area."""
-        response = self.http.get(self.master_uri + "/resolve",
-                                 params=query.to_params())
+        """Ask the master which proxies serve the queried area.
+
+        With a replicated master set the answer may come from a
+        read-only standby while the primary is down.
+        """
+        response = self._master_get("/resolve", params=query.to_params())
         return ResolvedArea.from_dict(response.body)
 
     # -- step 2: model retrieval --------------------------------------------

@@ -24,12 +24,15 @@ behaviour, still the default).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
+from repro import persistence
 from repro.common.cdf import DeviceDescription
 from repro.common.identifiers import entity_kind
 from repro.datasources.geometry import BoundingBox
 from repro.errors import (
+    NotPrimaryError,
     OntologyError,
     QueryError,
     RegistrationError,
@@ -65,6 +68,14 @@ class MasterNode:
         self.default_lease = default_lease
         self._leases: Dict[str, float] = {}  # proxy uri -> expiry time
         self._sweeper = None
+        #: replication agent (see :mod:`repro.core.replication`); None
+        #: keeps the legacy single-master behaviour
+        self.replication = None
+        #: periodic persisted snapshots (see :meth:`start_snapshots`)
+        self.snapshot_path: Optional[str] = None
+        self.snapshots_written = 0
+        self.last_snapshot_time: Optional[float] = None
+        self._snapshot_task = None
         self.service = WebService(host, processing_delay=processing_delay)
         self.service.add_route(POST, "/register", self._register_route)
         self.service.add_route(GET, "/resolve", self._resolve_route)
@@ -128,6 +139,75 @@ class MasterNode:
             self._sweeper.stop()
             self._sweeper = None
 
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The master's replicable state: ontology forest + lease table."""
+        return {
+            "ontology": self.ontology.to_dict(),
+            "leases": dict(self._leases),
+        }
+
+    def restore_snapshot(self, snapshot: Dict) -> None:
+        """Replace the master's state with a :meth:`snapshot` payload."""
+        self.ontology = DistrictOntology.from_dict(snapshot["ontology"])
+        self._leases = {uri: float(expiry) for uri, expiry
+                        in snapshot.get("leases", {}).items()}
+
+    def start_snapshots(self, path: str, period: float) -> None:
+        """Persist the ontology + leases to *path* every *period* seconds.
+
+        The durable complement of proxy re-registration: after a clean
+        restart :meth:`recover_from_snapshot` restores the last persisted
+        state, so ``/resolve`` answers immediately instead of waiting a
+        full heartbeat round.  Idempotent; stop with
+        :meth:`stop_snapshots`.
+        """
+        self.snapshot_path = path
+        if self._snapshot_task is None:
+            self._snapshot_task = self.host.network.scheduler.every(
+                period, self.write_snapshot
+            )
+
+    def stop_snapshots(self) -> None:
+        if self._snapshot_task is not None:
+            self._snapshot_task.stop()
+            self._snapshot_task = None
+
+    def write_snapshot(self) -> None:
+        """Persist one snapshot now (requires :attr:`snapshot_path`)."""
+        if self.snapshot_path is None:
+            return
+        persistence.save_ontology(self.ontology, self.snapshot_path,
+                                  leases=self._leases)
+        self.snapshots_written += 1
+        self.last_snapshot_time = self.host.network.scheduler.now
+        emit(self.host.network, "master_snapshot", host=self.host.name,
+             path=self.snapshot_path, master=self.host.name)
+
+    def recover_from_snapshot(self) -> bool:
+        """Restore ontology and leases from the persisted snapshot.
+
+        Returns True when a snapshot was loaded, False when no snapshot
+        path is configured or none has been written yet.  Leases are
+        restored with their original absolute expiries, so proxies that
+        died while the master was down still get evicted on schedule.
+        """
+        if self.snapshot_path is None or \
+                not os.path.exists(self.snapshot_path):
+            return False
+        snap = persistence.load_ontology_snapshot(self.snapshot_path)
+        self.ontology = snap.ontology
+        self._leases = dict(snap.leases)
+        return True
+
+    @property
+    def last_snapshot_age(self) -> Optional[float]:
+        """Seconds since the last persisted snapshot (None if never)."""
+        if self.last_snapshot_time is None:
+            return None
+        return self.host.network.scheduler.now - self.last_snapshot_time
+
     def _track_lease(self, uri: str, lease: Optional[float]) -> None:
         if lease is None:
             lease = self.default_lease
@@ -163,6 +243,24 @@ class MasterNode:
         Re-registering the same proxy (same URI) is idempotent — it
         refreshes the registration and renews its lease, which is
         exactly what the periodic heartbeat does.
+
+        On a replicated master the write is gated first (standbys and
+        fenced primaries raise :class:`NotPrimaryError`) and streamed to
+        the standbys afterwards.
+        """
+        if self.replication is not None:
+            self.replication.check_writable()
+        result = self.apply_registration(payload)
+        if self.replication is not None:
+            self.replication.record_write(payload)
+        return result
+
+    def apply_registration(self, payload: Dict) -> Dict:
+        """Apply a registration without replication gating/streaming.
+
+        The raw state transition shared by client-facing
+        :meth:`register` and by replicated log entries applied on a
+        standby (which must bypass the primary-only write gate).
         """
         kind = payload.get("proxy_kind")
         lease = payload.get("lease")
@@ -319,6 +417,9 @@ class MasterNode:
     def _register_route(self, request: Request) -> Response:
         try:
             body = self.register(request.body or {})
+        except NotPrimaryError as exc:
+            # retryable: the caller should fail over to another master
+            return error(503, str(exc))
         except RegistrationError as exc:
             return error(400, str(exc))
         return ok(body)
@@ -336,20 +437,37 @@ class MasterNode:
     def _ontology_route(self, request: Request) -> Response:
         return ok(self.ontology.to_dict())
 
+    def replication_status(self) -> Dict:
+        """Role/epoch/lag summary, also valid for unreplicated masters.
+
+        An unreplicated master reports itself as a lone primary at epoch
+        0 with zero lag, so operators read one uniform shape from
+        ``/health`` whether or not HA is deployed.
+        """
+        if self.replication is not None:
+            status = self.replication.status()
+        else:
+            status = {"role": "primary", "epoch": 0, "fenced": False,
+                      "replication_lag": 0, "peers": 0}
+        status["last_snapshot_age"] = self.last_snapshot_age
+        return status
+
     def _health_route(self, request: Request) -> Response:
         self.expire_leases()
-        return ok({
+        payload = {
             "status": "ok",
             "registrations": self.registrations,
             "resolves_served": self.resolves_served,
             "active_leases": self.active_leases,
             "lease_evictions": self.lease_evictions,
             "ontology_nodes": self.ontology.node_count(),
-        })
+        }
+        payload.update(self.replication_status())
+        return ok(payload)
 
     def metrics(self) -> Dict:
         """Flat counter snapshot served by ``GET /metrics``."""
-        return {
+        counters = {
             "registrations": self.registrations,
             "resolves_served": self.resolves_served,
             "active_leases": self.active_leases,
@@ -357,7 +475,10 @@ class MasterNode:
             "ontology_nodes": self.ontology.node_count(),
             "requests_served": self.service.requests_served,
             "requests_failed": self.service.requests_failed,
+            "snapshots_written": self.snapshots_written,
         }
+        counters.update(self.replication_status())
+        return counters
 
     def _metrics_route(self, request: Request) -> Response:
         self.expire_leases()

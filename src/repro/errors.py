@@ -103,6 +103,17 @@ class UnknownEntityError(OntologyError):
     """An ontology query referenced an entity that does not exist."""
 
 
+class NotPrimaryError(ReproError):
+    """A write reached a master that is not the writable primary.
+
+    Raised by a standby (writes must go to the primary) or by a fenced
+    primary that lost contact with its standbys (see
+    :mod:`repro.core.replication`).  The master's ``/register`` route
+    maps it to a retryable 503 so clients fail over to the next master
+    in their set instead of treating it as a permanent refusal.
+    """
+
+
 class RegistrationError(ReproError):
     """A proxy registration was rejected by the master node."""
 

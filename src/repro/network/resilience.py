@@ -10,6 +10,11 @@ through them:
   clock (the caller schedules them on the DES scheduler), so retried
   requests pay realistic wall time inside experiments and remain fully
   reproducible for a fixed seed.
+* :class:`FailoverSet` — an ordered set of equivalent service URIs (a
+  master replica set, see :mod:`repro.core.replication`) with a rotating
+  cursor: callers talk to :attr:`FailoverSet.current` and
+  :meth:`FailoverSet.advance` to the next replica when it fails, so a
+  dead or deposed master costs one failed call, not an outage.
 * :class:`CircuitBreaker` — a per-target-host closed/open/half-open
   state machine.  After ``failure_threshold`` consecutive failures the
   circuit *opens* and requests to that host fail fast with
@@ -28,7 +33,7 @@ resilience benchmarks through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,6 +42,56 @@ from repro.errors import ConfigurationError
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+
+class FailoverSet:
+    """An ordered set of equivalent service URIs with a rotating cursor.
+
+    Built from one URI, a sequence of URIs, or another
+    :class:`FailoverSet` (shared so several call sites — registration
+    and heartbeat, say — remember the same working replica).  The
+    cursor sticks to the last URI that worked: :meth:`advance` rotates
+    to the next replica and counts a failover.
+    """
+
+    def __init__(self, uris: Union[str, Sequence[str], "FailoverSet"]):
+        self._index = 0
+        self.failovers = 0
+        if isinstance(uris, FailoverSet):
+            self._uris = list(uris.uris)
+            self._index = uris._index  # keep pointing at the working one
+        elif isinstance(uris, str):
+            self._uris = [uris.rstrip("/")]
+        else:
+            self._uris = [uri.rstrip("/") for uri in uris]
+        if not self._uris:
+            raise ConfigurationError("failover set needs at least one URI")
+
+    @property
+    def uris(self) -> List[str]:
+        """Every URI in the set, in seniority order."""
+        return list(self._uris)
+
+    @property
+    def current(self) -> str:
+        """The URI calls should currently target."""
+        return self._uris[self._index]
+
+    def advance(self) -> str:
+        """Rotate to the next replica after a failure; returns it."""
+        self._index = (self._index + 1) % len(self._uris)
+        if len(self._uris) > 1:
+            self.failovers += 1
+        return self.current
+
+    def __len__(self) -> int:
+        return len(self._uris)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._uris)
+
+    def __repr__(self) -> str:
+        return f"FailoverSet({self._uris!r}, current={self.current!r})"
 
 
 class RetryPolicy:

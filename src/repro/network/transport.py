@@ -134,6 +134,7 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     messages_dropped_flaky: int = 0
+    messages_dropped_partition: int = 0
     latency_spikes: int = 0
     bytes_sent: int = 0
     per_host_received: Dict[str, int] = field(default_factory=dict)
@@ -143,6 +144,7 @@ class NetworkStats:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.messages_dropped_flaky = 0
+        self.messages_dropped_partition = 0
         self.latency_spikes = 0
         self.bytes_sent = 0
         self.per_host_received.clear()
@@ -196,6 +198,11 @@ class Network:
         self.metrics = None
         self._hosts: Dict[str, Host] = {}
         self._flaky: Dict[str, FlakyProfile] = {}
+        #: active partitions: frozensets of isolated host names.  A
+        #: message is dropped (both directions) when exactly one of its
+        #: endpoints belongs to a partition's isolated side, so hosts
+        #: added after the cut land on the majority side.
+        self._partitions: list = []
         self._drop_rng = np.random.RandomState(seed + 1)
 
     def add_host(self, name: str) -> Host:
@@ -237,6 +244,39 @@ class Network:
         """Currently degraded hosts and their profiles."""
         return dict(self._flaky)
 
+    # -- partitions ---------------------------------------------------------
+
+    def partition(self, hosts) -> None:
+        """Cut the links between *hosts* and everyone else, symmetrically.
+
+        Both sides stay alive and keep talking within themselves; every
+        message crossing the cut is dropped in **both** directions until
+        :meth:`heal_partition`.  Unlike :meth:`set_host_online`, a
+        partitioned host keeps serving the peers on its own side.
+        """
+        isolated = frozenset(hosts)
+        if not isolated:
+            raise ConfigurationError("partition needs at least one host")
+        for name in isolated:
+            self.host(name)  # raises UnknownHostError
+        self._partitions.append(isolated)
+
+    def heal_partition(self) -> None:
+        """Remove every active partition (no-op when none exist)."""
+        self._partitions.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether any partition is currently active."""
+        return bool(self._partitions)
+
+    def partition_blocks(self, sender: str, recipient: str) -> bool:
+        """Whether an active partition severs the sender->recipient link."""
+        for isolated in self._partitions:
+            if (sender in isolated) != (recipient in isolated):
+                return True
+        return False
+
     def send(self, sender: str, recipient: str, port: str, payload: Any
              ) -> None:
         """Schedule delivery of *payload* from *sender* to *recipient*.
@@ -252,15 +292,17 @@ class Network:
         size = estimate_size(payload)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
-        dropped = (
-            not dst.online
-            or not self._hosts[sender].online
-            or (
-                self.drop_probability > 0.0
-                and self._drop_rng.random_sample() < self.drop_probability
-            )
-        )
-        if dropped:
+        if not dst.online or not self._hosts[sender].online:
+            self.stats.messages_dropped += 1
+            return
+        if self._partitions and self.partition_blocks(sender, recipient):
+            self.stats.messages_dropped += 1
+            self.stats.messages_dropped_partition += 1
+            return
+        if (
+            self.drop_probability > 0.0
+            and self._drop_rng.random_sample() < self.drop_probability
+        ):
             self.stats.messages_dropped += 1
             return
         extra_delay = 0.0

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.errors import SerializationError
 from repro.ontology.model import DistrictOntology
@@ -47,18 +48,37 @@ def _read_json(path: str) -> Dict:
 # ontology snapshots
 
 
-def save_ontology(ontology: DistrictOntology, path: str) -> None:
-    """Write the ontology forest to *path* as a versioned JSON snapshot."""
+@dataclass
+class OntologySnapshot:
+    """A loaded master-state snapshot: the forest plus lease metadata.
+
+    *leases* maps registered proxy URIs to their absolute lease-expiry
+    times on the simulated clock (empty for permanent registrations and
+    for snapshots written before leases existed).
+    """
+
+    ontology: DistrictOntology
+    leases: Dict[str, float] = field(default_factory=dict)
+
+
+def save_ontology(ontology: DistrictOntology, path: str,
+                  leases: Optional[Dict[str, float]] = None) -> None:
+    """Write the ontology forest to *path* as a versioned JSON snapshot.
+
+    *leases* (proxy URI -> absolute expiry, simulated seconds) rides
+    along so a restarted master can restore its lease table too — see
+    :meth:`repro.core.master.MasterNode.recover_from_snapshot`.
+    """
     _write_json(path, {
         "format": "repro-ontology",
         "version": _ONTOLOGY_VERSION,
         "ontology": ontology.to_dict(),
+        "leases": {uri: float(expiry)
+                   for uri, expiry in (leases or {}).items()},
     })
 
 
-def load_ontology(path: str) -> DistrictOntology:
-    """Load an ontology snapshot written by :func:`save_ontology`."""
-    payload = _read_json(path)
+def _check_ontology_header(path: str, payload: Dict) -> None:
     if payload.get("format") != "repro-ontology":
         raise SerializationError(f"{path!r} is not an ontology snapshot")
     if payload.get("version") != _ONTOLOGY_VERSION:
@@ -66,7 +86,28 @@ def load_ontology(path: str) -> DistrictOntology:
             f"unsupported ontology snapshot version "
             f"{payload.get('version')!r}"
         )
+
+
+def load_ontology(path: str) -> DistrictOntology:
+    """Load an ontology snapshot written by :func:`save_ontology`."""
+    payload = _read_json(path)
+    _check_ontology_header(path, payload)
     return DistrictOntology.from_dict(payload["ontology"])
+
+
+def load_ontology_snapshot(path: str) -> OntologySnapshot:
+    """Load an ontology snapshot *with* its lease metadata.
+
+    Snapshots written before leases were persisted load with an empty
+    lease table (every registration treated as permanent).
+    """
+    payload = _read_json(path)
+    _check_ontology_header(path, payload)
+    return OntologySnapshot(
+        ontology=DistrictOntology.from_dict(payload["ontology"]),
+        leases={uri: float(expiry)
+                for uri, expiry in payload.get("leases", {}).items()},
+    )
 
 
 # --------------------------------------------------------------------------

@@ -21,14 +21,15 @@ flight or timing out against a dead master.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Union
 
 from repro.errors import (
+    CircuitOpenError,
     RegistrationError,
     RequestTimeoutError,
     ServiceError,
 )
-from repro.network.resilience import ResiliencePolicy
+from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import PeriodicTask
 from repro.network.transport import Host
 from repro.network.webservice import (
@@ -56,6 +57,7 @@ class Proxy(abc.ABC):
         self.heartbeats_sent = 0
         self.heartbeats_failed = 0
         self._client = HttpClient(host, policy=policy)
+        self._masters: Optional[FailoverSet] = None
         self._heartbeat_task: Optional[PeriodicTask] = None
         self.service.add_route(GET, "/health", self._health_route)
         self.service.add_route(GET, "/metrics", self._metrics_route)
@@ -81,42 +83,72 @@ class Proxy(abc.ABC):
             payload["lease"] = lease
         return payload
 
-    def register_with(self, master_uri: str,
+    def register_with(self, master_uri: Union[str, Sequence[str],
+                                              FailoverSet],
                       lease: Optional[float] = None) -> Dict:
         """Register on the master node; returns the master's response body.
 
+        *master_uri* may be one URI, a sequence of URIs, or a shared
+        :class:`~repro.network.resilience.FailoverSet` — a replicated
+        master set tried in order until one accepts the write (a
+        standby's 503, a timeout or an open circuit rotate to the next
+        replica; a 4xx refusal is final).  The set is remembered, so
+        :meth:`start_heartbeat` keeps renewing against whichever
+        replica currently answers.
+
         With *lease*, the registration is valid for that many simulated
         seconds and must be renewed (see :meth:`start_heartbeat`).
-        Raises :class:`RegistrationError` if the master refuses or is
-        unreachable.
+        Raises :class:`RegistrationError` if the master refuses or the
+        whole set is unreachable.
         """
-        try:
-            response = self._client.post(
-                master_uri.rstrip("/") + "/register",
-                body=self._registration_payload(lease),
-            )
-        except (ServiceError, RequestTimeoutError) as exc:
-            raise RegistrationError(
-                f"master rejected registration of {self.name}: {exc}"
-            ) from exc
-        self.registered = True
-        return response.body
+        masters = master_uri if isinstance(master_uri, FailoverSet) \
+            else FailoverSet(master_uri)
+        self._masters = masters
+        payload = self._registration_payload(lease)
+        last_error: Optional[Exception] = None
+        for _ in range(len(masters)):
+            try:
+                response = self._client.post(
+                    masters.current + "/register", body=payload,
+                )
+            except ServiceError as exc:
+                if exc.status < 500:
+                    raise RegistrationError(
+                        f"master rejected registration of {self.name}: "
+                        f"{exc}"
+                    ) from exc
+                last_error = exc
+            except (RequestTimeoutError, CircuitOpenError) as exc:
+                last_error = exc
+            else:
+                self.registered = True
+                return response.body
+            masters.advance()
+        raise RegistrationError(
+            f"no master accepted registration of {self.name}: {last_error}"
+        ) from last_error
 
     # -- registration heartbeat -------------------------------------------
 
-    def start_heartbeat(self, master_uri: str, period: float,
+    def start_heartbeat(self, master_uri: Union[str, Sequence[str],
+                                                FailoverSet], period: float,
                         lease: Optional[float] = None,
                         initial_delay: Optional[float] = None) -> None:
         """Renew the registration every *period* simulated seconds.
 
         *lease* defaults to three periods, so a single lost heartbeat
-        does not evict a healthy proxy.  Idempotent; stop with
-        :meth:`stop_heartbeat`.
+        does not evict a healthy proxy.  With a master set, a failed
+        heartbeat rotates to the next replica, so renewals find the new
+        primary within a few periods of a failover.  Idempotent; stop
+        with :meth:`stop_heartbeat`.
         """
         if self._heartbeat_task is not None:
             return
         if lease is None:
             lease = 3.0 * period
+        if not isinstance(master_uri, FailoverSet):
+            master_uri = FailoverSet(master_uri)
+        self._masters = master_uri
         self._heartbeat_task = self.host.network.scheduler.every(
             period, self._heartbeat, master_uri, lease,
             initial_delay=initial_delay,
@@ -128,26 +160,32 @@ class Proxy(abc.ABC):
             self._heartbeat_task.stop()
             self._heartbeat_task = None
 
-    def _heartbeat(self, master_uri: str, lease: float) -> None:
+    def _heartbeat(self, masters: FailoverSet, lease: float) -> None:
         """One asynchronous heartbeat: POST /register, observe outcome."""
         future = self._client.request(
-            master_uri.rstrip("/") + "/register", POST,
+            masters.current + "/register", POST,
             body=self._registration_payload(lease),
         )
-        future.add_done_callback(self._on_heartbeat_done)
+        future.add_done_callback(
+            lambda fut: self._on_heartbeat_done(masters, fut)
+        )
 
-    def _on_heartbeat_done(self, future) -> None:
+    def _on_heartbeat_done(self, masters: FailoverSet, future) -> None:
         try:
             response = future.result()
         except Exception:
             self.heartbeats_failed += 1
             self.registered = False
+            masters.advance()  # dead master: try the next replica
             return
         if response.ok:
             self.heartbeats_sent += 1
             self.registered = True
         else:
+            # a standby/fenced master answers 503: rotate towards the
+            # primary so the next renewal lands before the lease expires
             self.heartbeats_failed += 1
+            masters.advance()
 
     # -- health -----------------------------------------------------------
 

@@ -64,9 +64,35 @@ class FaultInjector:
         return list(self._offline)
 
     def partition(self, hosts: Iterable[str]) -> None:
-        """Take a set of hosts offline together."""
-        for host_name in hosts:
-            self.take_offline(host_name)
+        """Cut the links between *hosts* and the rest of the network.
+
+        A true partition, not a crash: the isolated hosts stay up and
+        keep talking **to each other**, but no message crosses the cut
+        in either direction.  Undo with :meth:`heal_partition`.
+        Repeated calls layer additional cuts (each healed together).
+        """
+        self.deployment.network.partition(hosts)
+
+    def heal_partition(self) -> None:
+        """Remove every active partition; all hosts can talk again."""
+        self.deployment.network.heal_partition()
+
+    def partition_master(self, with_hosts: Iterable[str] = ()) -> str:
+        """Partition the current primary master away from the district.
+
+        On a replicated deployment the *current primary* (which may be a
+        promoted standby) is isolated — together with any *with_hosts*
+        kept on its side of the cut — so the standbys stop hearing its
+        heartbeats and fail over, while the old primary self-fences.
+        Returns the isolated master's host name.
+        """
+        deployment = self.deployment
+        if deployment.replication is not None:
+            primary = deployment.replication.primary_master
+        else:
+            primary = deployment.master
+        self.partition([primary.host.name, *with_hosts])
+        return primary.host.name
 
     # -- degraded-link faults ----------------------------------------------
 
@@ -145,22 +171,38 @@ class FaultInjector:
 
     # -- master restart and recovery ------------------------------------------
 
-    def restart_master(self) -> None:
-        """Crash-restart the master: its in-memory ontology is lost."""
-        self.deployment.master.reset()
+    def restart_master(self, recover: bool = True) -> bool:
+        """Crash-restart the master; recover state where possible.
+
+        The in-memory ontology and lease table are wiped by the crash.
+        With ``recover=True`` (the default) the restarted master reloads
+        both from its last persisted snapshot when snapshotting is
+        configured (see
+        :meth:`~repro.core.master.MasterNode.recover_from_snapshot`), so
+        a clean restart no longer needs an operator-driven
+        :meth:`reregister_all`.  Returns True when state was recovered.
+        Pass ``recover=False`` to simulate losing the snapshot too.
+        """
+        master = self.deployment.master
+        master.reset()
+        if recover:
+            return master.recover_from_snapshot()
+        return False
 
     def reregister_all(self) -> None:
         """Every proxy re-registers, rebuilding the master's ontology.
 
         In production this is the periodic registration heartbeat; here
-        the injector triggers one round explicitly.
+        the injector triggers one round explicitly.  On a replicated
+        deployment each proxy targets the whole master set.
         """
         deployment = self.deployment
-        deployment.measurement_db.register_with(deployment.master.uri)
-        deployment.gis_proxy.register_with(deployment.master.uri)
+        uris = deployment.master_uris
+        deployment.measurement_db.register_with(uris)
+        deployment.gis_proxy.register_with(uris)
         for proxy in deployment.bim_proxies.values():
-            proxy.register_with(deployment.master.uri)
+            proxy.register_with(uris)
         for proxy in deployment.sim_proxies.values():
-            proxy.register_with(deployment.master.uri)
+            proxy.register_with(uris)
         for proxy in deployment.device_proxies.values():
-            proxy.register_with(deployment.master.uri)
+            proxy.register_with(uris)

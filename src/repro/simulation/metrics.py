@@ -133,8 +133,25 @@ def resilience_counters(deployment: "DeployedDistrict",
         "broker_publish_acks": broker.publish_acks_sent,
         "broker_pings_answered": broker.pings_answered,
         "messages_dropped_flaky": net.messages_dropped_flaky,
+        "messages_dropped_partition": net.messages_dropped_partition,
         "latency_spikes": net.latency_spikes,
     }
+    if deployment.replication is not None:
+        counters.update(replication_counters(deployment))
     if policy is not None:
         counters.update(policy.counters())
     return counters
+
+
+def replication_counters(deployment: "DeployedDistrict"
+                         ) -> Dict[str, int]:
+    """Aggregated master-replication counters of a deployment.
+
+    Empty for single-master deployments; otherwise the group-wide sums
+    from :meth:`~repro.core.replication.MasterReplicationGroup.counters`
+    (writes accepted/rejected, entries applied, promotions, fencings,
+    ...) used by the HA benchmark reports.
+    """
+    if deployment.replication is None:
+        return {}
+    return deployment.replication.counters()

@@ -15,6 +15,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.client import DistrictClient
 from repro.core.master import MasterNode
+from repro.core.replication import (
+    MasterReplicationGroup,
+    ReplicationConfig,
+    replicate_master,
+)
 from repro.datasources.generators import (
     DeviceSpec,
     DistrictDataset,
@@ -26,7 +31,7 @@ from repro.devices.energy import DeviceEnergyModel, budget_for_protocol
 from repro.devices.firmware import DeviceFirmware, RadioLink
 from repro.errors import ConfigurationError
 from repro.middleware.broker import Broker
-from repro.network.resilience import ResiliencePolicy
+from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
 from repro.protocols.base import make_adapter
@@ -70,6 +75,20 @@ class ScenarioConfig:
     #: :func:`repro.observability.install`) on the network at deploy
     #: time.  The default keeps both disabled: zero tracing overhead.
     observability: bool = False
+    #: number of standby master replicas (see
+    #: :mod:`repro.core.replication`).  0 keeps the paper's single
+    #: master; 1–2 deploy a replicated master group, and clients and
+    #: proxy registrations automatically use the whole master set.
+    master_standbys: int = 0
+    #: replication timing knobs; None uses :class:`ReplicationConfig`
+    #: defaults (only meaningful with ``master_standbys > 0``)
+    replication: Optional[ReplicationConfig] = None
+    #: when set, the (primary) master persists periodic ontology+lease
+    #: snapshots to this path, and a restarted master recovers from it
+    #: (see :meth:`~repro.core.master.MasterNode.recover_from_snapshot`)
+    master_snapshot_path: Optional[str] = None
+    #: period of persisted master snapshots, simulated seconds
+    master_snapshot_period: float = 300.0
 
 
 @dataclass
@@ -92,10 +111,19 @@ class DeployedDistrict:
     devices: Dict[str, SimulatedDevice] = field(default_factory=dict)
     energy_models: Dict[str, "DeviceEnergyModel"] = \
         field(default_factory=dict)
+    #: the replicated master group, None for a single-master deployment
+    replication: Optional[MasterReplicationGroup] = None
 
     @property
     def district_id(self) -> str:
         return self.dataset.district_id
+
+    @property
+    def master_uris(self) -> List[str]:
+        """Every master URI, seniority first (one entry when unreplicated)."""
+        if self.replication is not None:
+            return self.replication.uris()
+        return [self.master.uri]
 
     @property
     def tracer(self):
@@ -130,7 +158,7 @@ class DeployedDistrict:
         """
         host = self.network.add_host(name)
         return DistrictClient(
-            host, self.master.uri,
+            host, self.master_uris,
             broker_host=self.broker.name if with_broker else None,
             policy=policy,
         )
@@ -192,18 +220,36 @@ def deploy(config: Optional[ScenarioConfig] = None,
         install(network)
     broker = Broker(network.add_host("broker"))
     master = MasterNode(network.add_host("master"))
-    return deploy_into(master, broker, config, dataset)
+    replication = _replicate_if_configured(master, config)
+    return deploy_into(master, broker, config, dataset,
+                       replication=replication)
+
+
+def _replicate_if_configured(master: MasterNode, config: ScenarioConfig
+                             ) -> Optional[MasterReplicationGroup]:
+    """Stand up the configured master HA: standbys and/or snapshots."""
+    if config.master_snapshot_path:
+        master.start_snapshots(config.master_snapshot_path,
+                               config.master_snapshot_period)
+    if not config.master_standbys:
+        return None
+    return replicate_master(master, config.master_standbys,
+                            config.replication)
 
 
 def deploy_into(master: MasterNode, broker: Broker,
                 config: ScenarioConfig,
                 dataset: Optional[DistrictDataset] = None,
-                district_index: int = 1) -> DeployedDistrict:
+                district_index: int = 1,
+                replication: Optional[MasterReplicationGroup] = None
+                ) -> DeployedDistrict:
     """Deploy one district onto existing master/broker infrastructure.
 
     The building block of multi-district federations: host names are
     prefixed with ``config.host_prefix`` so several districts coexist on
-    one simulated network.
+    one simulated network.  With *replication*, every proxy registers
+    against the whole master set (failing over to the replica that
+    answers) instead of the one primary.
     """
     network = master.host.network
     scheduler = network.scheduler
@@ -219,22 +265,31 @@ def deploy_into(master: MasterNode, broker: Broker,
         )
     heartbeat = config.heartbeat_period
     lease = heartbeat * config.lease_factor if heartbeat else None
+    master_uris = replication.uris() if replication is not None \
+        else [master.uri]
     if heartbeat:
-        master.start_lease_sweeper(heartbeat)
+        # every replica sweeps leases: a promoted standby must keep
+        # evicting dead proxies without operator intervention
+        targets = replication.masters() if replication is not None \
+            else [master]
+        for member in targets:
+            member.start_lease_sweeper(heartbeat)
 
     measurement_db = MeasurementDatabase(
         network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id,
         peer_keepalive=config.peer_keepalive,
     )
-    measurement_db.register_with(master.uri, lease=lease)
+    mdb_masters = FailoverSet(master_uris)
+    measurement_db.register_with(mdb_masters, lease=lease)
     if heartbeat:
-        measurement_db.start_heartbeat(master.uri, heartbeat, lease=lease)
+        measurement_db.start_heartbeat(mdb_masters, heartbeat, lease=lease)
 
     gis_proxy = GisProxy(network.add_host(f"{prefix}proxy-gis"),
                          dataset.gis, dataset.district_id)
-    gis_proxy.register_with(master.uri, lease=lease)
+    gis_masters = FailoverSet(master_uris)
+    gis_proxy.register_with(gis_masters, lease=lease)
     if heartbeat:
-        gis_proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
+        gis_proxy.start_heartbeat(gis_masters, heartbeat, lease=lease)
 
     deployment = DeployedDistrict(
         config=config,
@@ -245,6 +300,7 @@ def deploy_into(master: MasterNode, broker: Broker,
         broker=broker,
         measurement_db=measurement_db,
         gis_proxy=gis_proxy,
+        replication=replication,
     )
 
     for building in dataset.buildings:
@@ -258,9 +314,10 @@ def deploy_into(master: MasterNode, broker: Broker,
             gis_feature_id=building.feature_id,
             bounds=feature.geometry.bounds(),
         )
-        proxy.register_with(master.uri, lease=lease)
+        proxy_masters = FailoverSet(master_uris)
+        proxy.register_with(proxy_masters, lease=lease)
         if heartbeat:
-            proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
+            proxy.start_heartbeat(proxy_masters, heartbeat, lease=lease)
         deployment.bim_proxies[building.entity_id] = proxy
 
     for network_spec in dataset.networks:
@@ -270,9 +327,10 @@ def deploy_into(master: MasterNode, broker: Broker,
             entity_id=network_spec.entity_id,
             district_id=dataset.district_id,
         )
-        proxy.register_with(master.uri, lease=lease)
+        proxy_masters = FailoverSet(master_uris)
+        proxy.register_with(proxy_masters, lease=lease)
         if heartbeat:
-            proxy.start_heartbeat(master.uri, heartbeat, lease=lease)
+            proxy.start_heartbeat(proxy_masters, heartbeat, lease=lease)
         deployment.sim_proxies[network_spec.entity_id] = proxy
 
     _deploy_devices(deployment)
@@ -390,8 +448,8 @@ def _deploy_devices(deployment: DeployedDistrict) -> None:
             deployment.devices[spec.device_id] = device
         heartbeat = config.heartbeat_period
         lease = heartbeat * config.lease_factor if heartbeat else None
-        proxy.register_with(master_uri=deployment.master.uri, lease=lease)
+        proxy_masters = FailoverSet(deployment.master_uris)
+        proxy.register_with(master_uri=proxy_masters, lease=lease)
         if heartbeat:
-            proxy.start_heartbeat(deployment.master.uri, heartbeat,
-                                  lease=lease)
+            proxy.start_heartbeat(proxy_masters, heartbeat, lease=lease)
         deployment.device_proxies[(entity_id, protocol)] = proxy

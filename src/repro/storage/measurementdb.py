@@ -10,13 +10,14 @@ benchmarks) can ask one place for historical data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.common.cdf import Measurement
 from repro.errors import QueryError, SeriesNotFoundError
 from repro.middleware.broker import Event
 from repro.middleware.peer import MiddlewarePeer
 from repro.middleware.topics import district_filter
+from repro.network.resilience import FailoverSet
 from repro.network.transport import Host
 from repro.network.webservice import (
     GET,
@@ -72,19 +73,33 @@ class MeasurementDatabase:
             payload["lease"] = lease
         return payload
 
-    def register_with(self, master_uri: str,
+    def register_with(self, master_uri: Union[str, Sequence[str],
+                                              FailoverSet],
                       lease: Optional[float] = None) -> None:
-        """Announce this measurement DB on the master's district root."""
-        self._client.post(master_uri.rstrip("/") + "/register",
+        """Announce this measurement DB on the master's district root.
+
+        Accepts one URI or a replicated master set (see
+        :class:`~repro.network.resilience.FailoverSet`).
+        """
+        masters = master_uri if isinstance(master_uri, FailoverSet) \
+            else FailoverSet(master_uri)
+        self._client.post(masters.current + "/register",
                           body=self._registration_payload(lease))
 
-    def start_heartbeat(self, master_uri: str, period: float,
+    def start_heartbeat(self, master_uri: Union[str, Sequence[str],
+                                                FailoverSet], period: float,
                         lease: Optional[float] = None) -> None:
-        """Renew the registration every *period* simulated seconds."""
+        """Renew the registration every *period* simulated seconds.
+
+        With a master set, a failed renewal rotates to the next replica
+        (the same failover the proxies' heartbeat performs).
+        """
         if self._heartbeat_task is not None:
             return
         if lease is None:
             lease = 3.0 * period
+        if not isinstance(master_uri, FailoverSet):
+            master_uri = FailoverSet(master_uri)
         self._heartbeat_task = self.host.network.scheduler.every(
             period, self._heartbeat, master_uri, lease
         )
@@ -94,9 +109,9 @@ class MeasurementDatabase:
             self._heartbeat_task.stop()
             self._heartbeat_task = None
 
-    def _heartbeat(self, master_uri: str, lease: float) -> None:
+    def _heartbeat(self, masters: FailoverSet, lease: float) -> None:
         future = self._client.request(
-            master_uri.rstrip("/") + "/register", POST,
+            masters.current + "/register", POST,
             body=self._registration_payload(lease),
         )
 
@@ -108,6 +123,7 @@ class MeasurementDatabase:
             except Exception:
                 pass
             self.heartbeats_failed += 1
+            masters.advance()  # dead or deposed master: try the next
 
         future.add_done_callback(record)
 

@@ -149,5 +149,94 @@ class TestPartition:
         intact = [b for b in model.buildings
                   if b.entity_id != target.entity_id]
         assert all("bim" in b.sources for b in intact)
-        injector.restore_all()
+        # a partition is a link cut, not a crash: no host is offline
         assert injector.offline_hosts == []
+        assert deployment.network.partitioned
+        injector.heal_partition()
+        assert not deployment.network.partitioned
+        healed = client.build_area_model(
+            AreaQuery(district_id=deployment.district_id),
+            strict=False,
+        )
+        assert "bim" in healed.entity(target.entity_id).sources
+
+    def test_partition_blocks_both_directions(self, deployment, injector):
+        net = deployment.network
+        injector.partition(["proxy-gis"])
+        assert net.partition_blocks("proxy-gis", "master")
+        assert net.partition_blocks("master", "proxy-gis")
+        # hosts on the same side of the cut keep talking
+        assert not net.partition_blocks("master", "mdb")
+        injector.heal_partition()
+        assert not net.partition_blocks("proxy-gis", "master")
+
+    def test_isolated_hosts_still_reach_each_other(self, deployment,
+                                                   injector):
+        injector.partition(["proxy-gis", "mdb"])
+        assert not deployment.network.partition_blocks("proxy-gis", "mdb")
+        assert deployment.network.partition_blocks("proxy-gis", "master")
+        injector.heal_partition()
+
+    def test_partition_drops_are_counted(self, deployment, injector):
+        net = deployment.network
+        net.stats.reset()
+        injector.partition(["broker"])
+        deployment.run(120.0)  # device proxies keep publishing into it
+        assert net.stats.messages_dropped_partition > 0
+        assert net.stats.messages_dropped >= \
+            net.stats.messages_dropped_partition
+        injector.heal_partition()
+
+    def test_partition_master_isolates_the_single_master(self, deployment,
+                                                         injector):
+        isolated = injector.partition_master()
+        assert isolated == "master"
+        client = deployment.client("cut-user", with_broker=False)
+        client.http.timeout = 0.5
+        with pytest.raises(RequestTimeoutError):
+            client.resolve(AreaQuery(district_id=deployment.district_id))
+        injector.heal_partition()
+        resolved = client.resolve(
+            AreaQuery(district_id=deployment.district_id)
+        )
+        assert len(resolved.entities) > 0
+
+
+class TestMasterSnapshotRecovery:
+    def test_restart_recovers_from_snapshot(self, tmp_path):
+        path = str(tmp_path / "master.json")
+        d = deploy(ScenarioConfig(
+            seed=23, n_buildings=2, devices_per_building=2,
+            net_jitter=0.0, heartbeat_period=30.0,
+            master_snapshot_path=path, master_snapshot_period=60.0,
+        ))
+        d.run(300.0)
+        injector = FaultInjector(d)
+        before_nodes = d.master.ontology.node_count()
+        before_leases = d.master.active_leases
+        assert before_nodes > 0 and before_leases > 0
+        recovered = injector.restart_master()
+        assert recovered
+        # no reregister_all needed: ontology AND leases are back
+        assert d.master.ontology.node_count() == before_nodes
+        assert d.master.active_leases == before_leases
+        client = d.client("recovered-user", with_broker=False)
+        resolved = client.resolve(AreaQuery(district_id=d.district_id))
+        assert len(resolved.entities) == 3  # 2 buildings + 1 network
+
+    def test_restart_without_recovery_stays_empty(self, tmp_path):
+        path = str(tmp_path / "master.json")
+        d = deploy(ScenarioConfig(
+            seed=23, n_buildings=2, devices_per_building=2,
+            net_jitter=0.0, master_snapshot_path=path,
+            master_snapshot_period=60.0,
+        ))
+        d.run(300.0)
+        injector = FaultInjector(d)
+        assert injector.restart_master(recover=False) is False
+        assert d.master.ontology.node_count() == 0
+
+    def test_restart_without_snapshot_config_recovers_nothing(
+            self, deployment, injector):
+        assert injector.restart_master() is False
+        assert deployment.master.ontology.node_count() == 0
