@@ -56,6 +56,8 @@ EXPERIMENTS = (
      "bench_r2_master_ha.py"),
     ("O1", "observability: attribution, churn events, overhead",
      "bench_o1_observability.py"),
+    ("O2", "fleet SLO alerting: detection latency, false positives",
+     "bench_o2_fleet_slo.py"),
 )
 
 
@@ -103,6 +105,20 @@ def _build_parser() -> argparse.ArgumentParser:
     energy.add_argument("--buildings", type=int, default=4)
     energy.add_argument("--days", type=float, default=1.0)
     energy.add_argument("--seed", type=int, default=9)
+
+    fleet = sub.add_parser(
+        "fleet", help="deploy with the fleet monitor and show the "
+                      "operator view (fleet table + alert log)"
+    )
+    fleet.add_argument("--buildings", type=int, default=4)
+    fleet.add_argument("--devices", type=int, default=4)
+    fleet.add_argument("--hours", type=float, default=1.0)
+    fleet.add_argument("--interval", type=float, default=30.0,
+                       help="scrape interval, simulated seconds")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--chaos", action="store_true",
+                       help="inject a mid-run broker outage to "
+                            "demonstrate the alert lifecycle")
 
     sub.add_parser("protocols", help="list supported field protocols")
     sub.add_parser("experiments", help="list the experiment index")
@@ -234,6 +250,35 @@ def cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.observability.collector import (
+        FleetMonitorConfig,
+        render_fleet,
+    )
+    from repro.observability.slo import render_alert_log
+    from repro.simulation import FaultInjector
+
+    district = deploy(ScenarioConfig(
+        seed=args.seed, n_buildings=args.buildings,
+        devices_per_building=args.devices, n_networks=1,
+        fleet_monitor=FleetMonitorConfig(scrape_interval=args.interval),
+    ))
+    total = duration(hours=args.hours)
+    if args.chaos:
+        district.run(total / 3)
+        injector = FaultInjector(district)
+        injector.kill_broker()
+        district.run(total / 3)
+        injector.restore_broker()
+        district.run(total / 3)
+    else:
+        district.run(total)
+    print(render_fleet(district.fleet))
+    print()
+    print(render_alert_log(district.fleet.alerts))
+    return 0
+
+
 def cmd_protocols(_args: argparse.Namespace) -> int:
     for name in available_protocols():
         adapter = make_adapter(name)
@@ -256,6 +301,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "dashboard": cmd_dashboard,
     "energy": cmd_energy,
+    "fleet": cmd_fleet,
     "protocols": cmd_protocols,
     "experiments": cmd_experiments,
 }

@@ -20,6 +20,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
 from repro.network.transport import Host, Message
+from repro.network.webservice import (
+    GET,
+    Request,
+    Response,
+    WebService,
+    ok,
+)
 from repro.observability.tracing import TraceContext
 
 BROKER_PORT = "pubsub"
@@ -63,14 +70,62 @@ class Broker:
         self._retained: Dict[str, dict] = {}
         self._ids = itertools.count(1)
         host.bind(BROKER_PORT, self._on_message)
+        # the broker's data plane stays raw pub/sub frames, but it serves
+        # the same /health + /metrics endpoints as every other node so
+        # the fleet collector can scrape it
+        self.service = WebService(host)
+        self.service.add_route(GET, "/health", self._health_route)
+        self.service.add_route(GET, "/metrics", self._metrics_route)
 
     @property
     def name(self) -> str:
         return self.host.name
 
+    @property
+    def uri(self) -> str:
+        """The broker's Web-Service base URI (health/metrics only)."""
+        return self.service.base_uri
+
     def subscription_count(self) -> int:
         """Number of live subscriptions."""
         return len(self._subs)
+
+    # -- health + metrics endpoints ---------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness payload of the ``/health`` route."""
+        return {
+            "status": "ok",
+            "role": "broker",
+            "subscriptions": len(self._subs),
+            "retained_topics": len(self._retained),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """Numeric counters for the ``/metrics`` endpoint."""
+        return {
+            "published": self.stats.published,
+            "fanout_deliveries": self.stats.fanout_deliveries,
+            "subscriptions": self.stats.subscriptions,
+            "live_subscriptions": len(self._subs),
+            "retained_topics": len(self._retained),
+            "dead_subscriptions_dropped":
+                self.stats.dead_subscriptions_dropped,
+            "duplicate_subscriptions_ignored":
+                self.stats.duplicate_subscriptions_ignored,
+            "publish_acks_sent": self.stats.publish_acks_sent,
+            "pings_answered": self.stats.pings_answered,
+        }
+
+    def _health_route(self, request: Request) -> Response:
+        return ok(self.health())
+
+    def _metrics_route(self, request: Request) -> Response:
+        registry = self.host.network.metrics
+        return ok({
+            "component": self.metrics(),
+            "registry": registry.snapshot() if registry is not None else {},
+        })
 
     def reset(self) -> None:
         """Simulate a broker crash-restart: all in-memory state is lost.

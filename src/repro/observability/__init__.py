@@ -18,11 +18,27 @@ until :func:`install` is called — either directly or via
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.observability.collector import (
+    FleetMonitor,
+    FleetMonitorConfig,
+    MetricsCollector,
+    ScrapeTarget,
+    TimeSeries,
+    render_fleet,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.observability.slo import (
+    SLO,
+    Alert,
+    AlertManager,
+    SloEngine,
+    default_slos,
+    render_alert_log,
 )
 from repro.observability.tracing import (
     Span,
@@ -62,16 +78,28 @@ def uninstall(network) -> None:
 
 
 __all__ = [
+    "Alert",
+    "AlertManager",
     "Counter",
+    "FleetMonitor",
+    "FleetMonitorConfig",
     "Gauge",
     "Histogram",
+    "MetricsCollector",
     "MetricsRegistry",
     "Observability",
+    "SLO",
+    "ScrapeTarget",
+    "SloEngine",
     "Span",
     "SpanEvent",
+    "TimeSeries",
     "TraceContext",
     "Tracer",
+    "default_slos",
     "install",
+    "render_fleet",
+    "render_alert_log",
     "render_waterfall",
     "uninstall",
 ]

@@ -24,6 +24,8 @@ background tasks — so instruments are safe on the simulation hot path.
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -74,22 +76,57 @@ class Gauge:
         return self._value
 
 
+#: default per-histogram sample cap — beyond this, reservoir sampling
+#: keeps a uniform subset instead of growing without bound
+DEFAULT_MAX_SAMPLES = 4096
+
+
 class Histogram:
-    """A named sample collection summarised by percentiles."""
+    """A named sample collection summarised by percentiles.
 
-    __slots__ = ("name", "values")
+    Memory is bounded: once *max_samples* samples are held, further
+    observations replace random kept ones (Algorithm R reservoir
+    sampling), so the retained set stays a uniform sample of the whole
+    stream and the percentile summary remains representative.  The
+    replacement RNG is seeded from the metric name, keeping snapshots
+    deterministic run to run.  ``count`` and ``stats()["count"]`` keep
+    reporting the number *observed*, not the number retained, and
+    ``samples_dropped`` says how many fell to the reservoir.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "values", "max_samples", "observed",
+                 "samples_dropped", "_rng")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+        if max_samples < 1:
+            raise ConfigurationError(
+                "histogram needs room for at least one sample"
+            )
         self.name = name
         self.values: List[float] = []
+        self.max_samples = max_samples
+        self.observed = 0
+        self.samples_dropped = 0
+        self._rng: Optional[random.Random] = None
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
-        self.values.append(float(value))
+        """Record one sample (reservoir-downsampled past the cap)."""
+        self.observed += 1
+        if len(self.values) < self.max_samples:
+            self.values.append(float(value))
+            return
+        if self._rng is None:
+            self._rng = random.Random(
+                zlib.crc32(self.name.encode()) & 0x7FFFFFFF
+            )
+        self.samples_dropped += 1
+        slot = self._rng.randrange(self.observed)
+        if slot < self.max_samples:
+            self.values[slot] = float(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self.observed
 
     def stats(self) -> Dict[str, float]:
         """Percentile summary; raises :class:`QueryError` when empty."""
@@ -97,7 +134,7 @@ class Histogram:
             raise QueryError(f"no samples recorded for {self.name!r}")
         values = np.asarray(self.values, dtype=float)
         return {
-            "count": len(values),
+            "count": self.observed,
             "mean": float(np.mean(values)),
             "p50": float(np.percentile(values, 50)),
             "p90": float(np.percentile(values, 90)),
@@ -157,10 +194,17 @@ class MetricsRegistry:
         self._instruments[name] = gauge
         return gauge
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create the histogram called *name*."""
+    def histogram(self, name: str,
+                  max_samples: Optional[int] = None) -> Histogram:
+        """Get or create the histogram called *name*.
+
+        *max_samples* sets the reservoir cap when the histogram is
+        first created; it is ignored on later lookups.
+        """
+        cap = max_samples if max_samples is not None \
+            else DEFAULT_MAX_SAMPLES
         return self._get_or_create(name, Histogram,
-                                   lambda: Histogram(name))
+                                   lambda: Histogram(name, cap))
 
     # -- queries -----------------------------------------------------------
 
@@ -174,13 +218,19 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """One flat JSON-able dict: scalars for counters/gauges,
-        percentile dicts for (non-empty) histograms."""
+        percentile dicts for histograms.
+
+        An empty histogram still appears, as ``{"count": 0}`` — a
+        scraper can then tell "no samples yet" from "metric missing".
+        """
         result: Dict[str, Any] = {}
         for name in self.names():
             instrument = self._instruments[name]
             if isinstance(instrument, Histogram):
-                if instrument.count:
+                if instrument.values:
                     result[name] = instrument.stats()
+                else:
+                    result[name] = {"count": 0}
             else:
                 result[name] = instrument.value
         return result

@@ -34,6 +34,7 @@ from repro.middleware.broker import Broker
 from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
+from repro.observability.collector import FleetMonitor, FleetMonitorConfig
 from repro.protocols.base import make_adapter
 from repro.proxies.database_proxy import BimProxy, GisProxy, SimProxy
 from repro.proxies.device_proxy import DeviceProxy
@@ -89,6 +90,11 @@ class ScenarioConfig:
     master_snapshot_path: Optional[str] = None
     #: period of persisted master snapshots, simulated seconds
     master_snapshot_period: float = 300.0
+    #: deploy an in-sim fleet monitor (metrics collector + SLO engine +
+    #: alert manager, see :mod:`repro.observability.collector`) that
+    #: scrapes every node of this district through the transport layer.
+    #: None (the default) deploys nothing: zero scrape traffic.
+    fleet_monitor: Optional[FleetMonitorConfig] = None
 
 
 @dataclass
@@ -113,6 +119,8 @@ class DeployedDistrict:
         field(default_factory=dict)
     #: the replicated master group, None for a single-master deployment
     replication: Optional[MasterReplicationGroup] = None
+    #: the deployed fleet monitor, None unless configured
+    fleet: Optional[FleetMonitor] = None
 
     @property
     def district_id(self) -> str:
@@ -334,7 +342,36 @@ def deploy_into(master: MasterNode, broker: Broker,
         deployment.sim_proxies[network_spec.entity_id] = proxy
 
     _deploy_devices(deployment)
+    if config.fleet_monitor is not None:
+        deployment.fleet = _deploy_fleet_monitor(deployment)
     return deployment
+
+
+def _deploy_fleet_monitor(deployment: DeployedDistrict) -> FleetMonitor:
+    """Stand up the fleet monitor node and register every scrape target."""
+    config = deployment.config
+    prefix = config.host_prefix
+    monitor = FleetMonitor(
+        deployment.network.add_host(f"{prefix}fleet-monitor"),
+        config.fleet_monitor,
+    )
+    masters = deployment.replication.masters() \
+        if deployment.replication is not None else [deployment.master]
+    for member in masters:
+        monitor.watch(member.host.name, member.uri, "master")
+    monitor.watch(deployment.broker.name, deployment.broker.uri, "broker")
+    monitor.watch(deployment.measurement_db.host.name,
+                  deployment.measurement_db.uri, "measurement")
+    monitor.watch(deployment.gis_proxy.name, deployment.gis_proxy.uri,
+                  "gis")
+    for _, proxy in sorted(deployment.bim_proxies.items()):
+        monitor.watch(proxy.name, proxy.uri, "bim")
+    for _, proxy in sorted(deployment.sim_proxies.items()):
+        monitor.watch(proxy.name, proxy.uri, "sim")
+    for _, proxy in sorted(deployment.device_proxies.items()):
+        monitor.watch(proxy.name, proxy.uri, "device")
+    monitor.start()
+    return monitor
 
 
 @dataclass

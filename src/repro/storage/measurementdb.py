@@ -10,7 +10,10 @@ benchmarks) can ask one place for historical data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.common.cdf import Measurement
 from repro.errors import QueryError, SeriesNotFoundError
@@ -46,6 +49,10 @@ class MeasurementDatabase:
         self.heartbeats_sent = 0
         self.heartbeats_failed = 0
         self._freshness: Dict[str, float] = {}  # device -> last sample time
+        # rolling window of recent publish->delivery latencies; a rolling
+        # percentile (unlike a cumulative histogram) recovers once an
+        # outage's flushed backlog ages out of the window
+        self._delivery_latencies: Deque[float] = deque(maxlen=256)
         self._client = HttpClient(host)
         self._heartbeat_task = None
         self.peer = MiddlewarePeer(host, broker_host,
@@ -142,6 +149,12 @@ class MeasurementDatabase:
             return
         self.store.insert(measurement)
         self.ingested += 1
+        latency = event.delivered_at - event.published_at
+        if latency >= 0:
+            self._delivery_latencies.append(latency)
+            registry = self.host.network.metrics
+            if registry is not None:
+                registry.histogram("mdb.delivery_latency").observe(latency)
         previous = self._freshness.get(measurement.device_id, float("-inf"))
         if measurement.timestamp > previous:
             self._freshness[measurement.device_id] = measurement.timestamp
@@ -155,6 +168,25 @@ class MeasurementDatabase:
     def freshness(self, device_id: str) -> Optional[float]:
         """Timestamp of the newest ingested sample for *device_id*."""
         return self._freshness.get(device_id)
+
+    def delivery_latency_p90(self) -> float:
+        """p90 of the rolling publish→delivery latency window (seconds)."""
+        if not self._delivery_latencies:
+            return 0.0
+        return float(np.percentile(
+            np.asarray(self._delivery_latencies, dtype=float), 90
+        ))
+
+    def freshness_lag_max(self) -> float:
+        """Worst per-device age of the newest ingested sample (seconds).
+
+        The district-level staleness indicator: a silent device (or a
+        lost middleware path) shows up here as an ever-growing lag.
+        """
+        if not self._freshness:
+            return 0.0
+        now = self.host.network.scheduler.now
+        return max(now - last for last in self._freshness.values())
 
     # -- web-service routes -------------------------------------------------
 
@@ -195,6 +227,8 @@ class MeasurementDatabase:
             "ingested": self.ingested,
             "rejected": self.rejected,
             "devices": len(self._freshness),
+            "delivery_latency_p90": self.delivery_latency_p90(),
+            "freshness_lag_max": self.freshness_lag_max(),
             "requests_served": self.service.requests_served,
             "requests_failed": self.service.requests_failed,
             "heartbeats_sent": self.heartbeats_sent,

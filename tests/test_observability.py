@@ -414,3 +414,139 @@ class TestResilienceEvents:
         flushes = d.tracer.events("buffer_flush")
         assert flushes
         assert sum(e.attributes["flushed"] for e in flushes) > 0
+
+
+# -- histogram memory bound ------------------------------------------------
+
+
+class TestHistogramReservoir:
+    def test_cap_bounds_retained_samples(self):
+        h = Histogram("h", max_samples=100)
+        for v in range(1000):
+            h.observe(float(v))
+        assert len(h.values) == 100
+        assert h.count == 1000
+        assert h.samples_dropped == 900
+        # the summary reports the observed population, not the reservoir
+        assert h.stats()["count"] == 1000
+
+    def test_reservoir_stays_representative(self):
+        h = Histogram("h", max_samples=200)
+        for v in range(10_000):
+            h.observe(float(v))
+        stats = h.stats()
+        # a uniform sample of 0..9999: the percentiles track the stream
+        assert 3_500 < stats["p50"] < 6_500
+        assert stats["minimum"] < 2_000
+        assert stats["maximum"] > 8_000
+
+    def test_downsampling_is_deterministic(self):
+        def fill():
+            h = Histogram("latency", max_samples=50)
+            for v in range(500):
+                h.observe(float(v))
+            return h.values
+
+        assert fill() == fill()
+
+    def test_under_cap_keeps_everything(self):
+        h = Histogram("h", max_samples=100)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.values == [float(v) for v in range(100)]
+        assert h.samples_dropped == 0
+
+    def test_registry_passes_cap_through(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", max_samples=7)
+        for v in range(20):
+            h.observe(float(v))
+        assert len(registry.histogram("h").values) == 7
+        assert registry.snapshot()["h"]["count"] == 20
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", max_samples=0)
+
+
+# -- exposition format (golden output) -------------------------------------
+
+
+class TestExpositionFormat:
+    def test_snapshot_reports_empty_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet")
+        assert registry.snapshot()["quiet"] == {"count": 0}
+
+    def test_render_golden_output(self):
+        registry = MetricsRegistry()
+        registry.counter("a.requests").inc(3)
+        registry.histogram("b.latency").observe(2.0)
+        registry.gauge("c.depth").set(2.5)
+        registry.histogram("d.quiet")  # no samples yet
+        assert registry.render() == (
+            "a.requests 3\n"
+            "b.latency_count 1\n"
+            "b.latency_mean 2.0\n"
+            "b.latency_p50 2.0\n"
+            "b.latency_p90 2.0\n"
+            "b.latency_p99 2.0\n"
+            "b.latency_minimum 2.0\n"
+            "b.latency_maximum 2.0\n"
+            "c.depth 2.5\n"
+            "d.quiet_count 0"
+        )
+
+    def test_empty_histogram_distinct_from_missing(self):
+        registry = MetricsRegistry()
+        registry.histogram("present")
+        snap = registry.snapshot()
+        assert "present" in snap and "absent" not in snap
+        assert "present_count 0" in registry.render()
+
+
+class TestWaterfallGolden:
+    def test_two_span_waterfall_layout(self):
+        scheduler = Scheduler()
+        tracer = Tracer(scheduler)
+        root = tracer.start_span("root", kind=CLIENT, host="app")
+        scheduler.run_until(0.004)
+        child = tracer.start_span("child", kind=SERVER, host="svc",
+                                  parent=root)
+        scheduler.run_until(0.008)
+        tracer.finish(child)
+        scheduler.run_until(0.010)
+        tracer.finish(root)
+        art = render_waterfall(tracer, root.trace_id, width=48)
+        lines = art.split("\n")
+        assert lines[0] == \
+            f"trace {root.trace_id} — 10.000 ms, 2 spans"
+        # root: full-width bar, zero offset, 10 ms duration
+        assert lines[1] == (
+            f"{'root (client@app)':<44s} |{'#' * 48}| "
+            f"+   0.000ms   10.000ms"
+        )
+        # child: indented, bar covering the 4–8 ms slice (19 of 48 cols)
+        assert lines[2] == (
+            f"{'  child (server@svc)':<44s} "
+            f"|{' ' * 19}{'#' * 19}{' ' * 10}| "
+            f"+   4.000ms    4.000ms"
+        )
+        # golden alignment: every bar opens and closes in one column
+        assert len({line.index("|") for line in lines[1:]}) == 1
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_elision_note_past_max_spans(self):
+        scheduler = Scheduler()
+        tracer = Tracer(scheduler)
+        root = tracer.start_span("root", kind=CLIENT, host="app")
+        for n in range(5):
+            scheduler.run_until(0.001 * (n + 1))
+            tracer.finish(
+                tracer.start_span(f"s{n}", kind=SERVER, host="svc",
+                                  parent=root)
+            )
+        tracer.finish(root)
+        art = render_waterfall(tracer, root.trace_id, max_spans=3)
+        assert "... 3 more spans elided" in art
+        assert "s4" not in art
