@@ -1,0 +1,171 @@
+"""Experiment C9 — the resolve fast path (indexes + epoch caching).
+
+Two phases:
+
+* **Repeat-query sweep** — for each district size, a *cold* client
+  (cache disabled) and a *warm* client (TTL cache, revalidating
+  against the master's ontology epoch) issue the same repeated
+  whole-district resolve workload.  The warm client must be at least
+  5x faster in **both** simulated latency and wall clock, because a
+  fresh hit never touches the network and a revalidation ships a
+  bodyless 304 instead of the full tuple forest.  The cache hit ratio
+  and the master-side cache counters are reported alongside.
+
+* **Churn phase** — under registration heartbeats, a device proxy is
+  killed and the run continues past its lease expiry and the client
+  TTL.  Every post-churn resolve is checked against the evicted
+  proxy's URI: the epoch bump at eviction must invalidate both the
+  master's answer cache and the client's cached entry, so the count of
+  stale answers is asserted to be exactly zero.
+
+Set ``REPRO_BENCH_QUICK=1`` for a shortened CI smoke run.
+"""
+
+import os
+
+import pytest
+
+from repro.ontology import AreaQuery
+from repro.simulation import MetricsRecorder, ScenarioConfig, deploy
+from repro.simulation.faults import FaultInjector
+
+EXPERIMENT = "C9"
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = (10, 40) if QUICK else (10, 40, 80)
+ROUNDS = 2 if QUICK else 5  # resolve rounds per client
+ROUND_RESOLVES = 20  # resolves per round; TTL expires between rounds
+CACHE_TTL = 50.0
+ROUND_GAP = 60.0  # simulated idle between rounds (> TTL)
+
+_deployments = {}
+
+
+def district_of(n_buildings):
+    if n_buildings not in _deployments:
+        deployment = deploy(ScenarioConfig(
+            seed=900 + n_buildings, n_buildings=n_buildings,
+            devices_per_building=4, n_networks=1,
+        ))
+        deployment.run(600.0)
+        _deployments[n_buildings] = deployment
+    return _deployments[n_buildings]
+
+
+def run_workload(district, client, metrics, label):
+    """ROUNDS x ROUND_RESOLVES whole-district resolves, TTL gaps between."""
+    whole = AreaQuery(district_id=district.district_id)
+    area = None
+    for _ in range(ROUNDS):
+        with metrics.wallclock(f"{label} wall"):
+            for _ in range(ROUND_RESOLVES):
+                with metrics.simulated(f"{label} resolve",
+                                       district.scheduler):
+                    area = client.resolve(whole)
+        district.run(ROUND_GAP)
+    return area
+
+
+@pytest.mark.parametrize("n_buildings", SIZES)
+def test_repeat_resolve_speedup(n_buildings, benchmark, report):
+    district = district_of(n_buildings)
+    metrics = MetricsRecorder()
+
+    cold = district.client(f"c9-cold-{n_buildings}", with_broker=False)
+    cold_area = run_workload(district, cold, metrics, "cold")
+
+    warm = district.client(f"c9-warm-{n_buildings}", with_broker=False,
+                           resolve_cache_ttl=CACHE_TTL)
+    warm_area = run_workload(district, warm, metrics, "warm")
+
+    # the fast path must not change answers
+    assert {e.entity_id for e in warm_area.entities} == \
+        {e.entity_id for e in cold_area.entities}
+
+    whole = AreaQuery(district_id=district.district_id)
+    benchmark.pedantic(lambda: warm.resolve(whole), rounds=3,
+                       iterations=10)
+
+    cold_sim = metrics.summary("cold resolve")
+    warm_sim = metrics.summary("warm resolve")
+    cold_wall = metrics.summary("cold wall")
+    warm_wall = metrics.summary("warm wall")
+    lookups = (warm.resolve_cache_hits + warm.resolve_cache_misses
+               + warm.resolve_revalidations)
+    hit_ratio = warm.resolve_cache_hits / lookups
+    cold_sim_total = cold_sim.mean * cold_sim.count
+    warm_sim_total = warm_sim.mean * warm_sim.count
+    cold_wall_total = cold_wall.mean * cold_wall.count
+    warm_wall_total = warm_wall.mean * warm_wall.count
+    sim_speedup = cold_sim_total / max(warm_sim_total, 1e-12)
+    wall_speedup = cold_wall_total / max(warm_wall_total, 1e-12)
+
+    master = district.master
+    report.header(EXPERIMENT,
+                  "resolve fast path: repeat whole-district queries")
+    report.add(EXPERIMENT,
+               f"buildings={n_buildings:<4d}"
+               f" cold p50={cold_sim.p50 * 1e3:7.2f}ms"
+               f" warm p50={warm_sim.p50 * 1e3:7.2f}ms"
+               f" sim x{sim_speedup:7.1f} wall x{wall_speedup:6.1f}"
+               f" hit ratio={hit_ratio:.2f}"
+               f" 304s={warm.resolve_not_modified}"
+               f" master hits={master.resolve_cache_hits}")
+
+    # acceptance: the cached repeat workload is >= 5x faster on both
+    # clocks (simulated network latency avoided, serialization skipped)
+    assert cold_sim_total >= 5.0 * warm_sim_total, (
+        f"simulated speedup only x{sim_speedup:.1f}"
+    )
+    assert cold_wall_total >= 5.0 * warm_wall_total, (
+        f"wall-clock speedup only x{wall_speedup:.1f}"
+    )
+    assert hit_ratio > 0.5
+    assert warm.resolve_not_modified >= 1  # the 304 path was exercised
+    assert master.resolve_cache_hits >= 1  # so was the server cache
+
+
+def test_churn_never_serves_evicted_uri(report):
+    district = deploy(ScenarioConfig(
+        seed=901, n_buildings=4, devices_per_building=3,
+        n_networks=1, heartbeat_period=10.0,
+    ))
+    district.run(120.0)
+    client = district.client("c9-churn", with_broker=False,
+                             resolve_cache_ttl=15.0)
+    whole = AreaQuery(district_id=district.district_id)
+
+    entity_id = district.dataset.buildings[0].entity_id
+    protocol = next(proto for (e_id, proto) in district.device_proxies
+                    if e_id == entity_id)
+    dead_uri = district.device_proxies[(entity_id, protocol)].uri
+    warm = client.resolve(whole)
+    assert dead_uri in {d.proxy_uri for e in warm.entities
+                        for d in e.devices}
+
+    epoch_before = district.master.ontology_epoch
+    FaultInjector(district).kill_device_proxy(entity_id, protocol)
+    # run past the lease (3 heartbeat periods) and the client TTL, so
+    # the eviction has landed and the cached entry must revalidate
+    district.run(60.0)
+
+    stale_answers = 0
+    checks = 3 if QUICK else 10
+    for _ in range(checks):
+        area = client.resolve(whole)
+        uris = {d.proxy_uri for e in area.entities for d in e.devices}
+        if dead_uri in uris:
+            stale_answers += 1
+        district.run(20.0)  # expire the TTL again before the next check
+
+    report.header(EXPERIMENT, "resolve fast path: churn phase")
+    report.add(EXPERIMENT,
+               f"post-churn resolves={checks} stale answers="
+               f"{stale_answers} lease evictions="
+               f"{district.master.lease_evictions} epoch "
+               f"{epoch_before}->{district.master.ontology_epoch}")
+    assert stale_answers == 0, (
+        f"{stale_answers} post-churn resolves still redirected to the "
+        f"evicted proxy {dead_uri}"
+    )
+    assert district.master.lease_evictions >= 1
+    assert district.master.ontology_epoch > epoch_before

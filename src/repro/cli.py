@@ -48,6 +48,8 @@ EXPERIMENTS = (
      "bench_c7_profiling.py"),
     ("C8", "remote actuation round-trips and churn",
      "bench_c8_actuation.py"),
+    ("C9", "resolve fast path: cache speedup and churn freshness",
+     "bench_c9_resolve_cache.py"),
     ("A1", "ablation: redirect vs relay-through-master",
      "bench_a1_redirect_vs_relay.py"),
     ("R1", "resilience under churn: availability + staleness",

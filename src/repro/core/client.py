@@ -16,6 +16,7 @@ Device-proxy) and live subscriptions on the middleware.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common import serialization
@@ -45,6 +46,17 @@ from repro.ontology.queries import (
 from repro.storage.query import RangeQuery
 
 
+class _ResolveCacheEntry:
+    """One cached ``/resolve`` answer with its validator and fetch time."""
+
+    __slots__ = ("area", "epoch", "fetched_at")
+
+    def __init__(self, area: ResolvedArea, epoch: str, fetched_at: float):
+        self.area = area
+        self.epoch = epoch
+        self.fetched_at = fetched_at
+
+
 class DistrictClient:
     """An end-user application speaking to a master (or master set).
 
@@ -56,12 +68,24 @@ class DistrictClient:
     that last worked and rotate to the next on timeouts, open circuits
     and 5xx answers, so a primary kill costs one failed call instead of
     an outage.
+
+    *resolve_cache_ttl* (simulated seconds) opts the client into the
+    resolve fast path: a :meth:`resolve` answer younger than the TTL is
+    served from memory with no network traffic, and an older one is
+    *revalidated* with a conditional GET (``if_none_match`` carrying the
+    answer's epoch token) — the master confirms an unchanged ontology
+    with a bodyless 304-style reply, skipping the full payload.  The
+    TTL bounds staleness: a proxy evicted mid-TTL can keep resolving
+    from this client's cache for at most ``resolve_cache_ttl`` seconds.
+    None (the default) disables caching entirely.
     """
 
     def __init__(self, host: Host,
                  master_uri: Union[str, Sequence[str], FailoverSet],
                  broker_host: Optional[str] = None, timeout: float = 5.0,
-                 policy: Optional[ResiliencePolicy] = None):
+                 policy: Optional[ResiliencePolicy] = None,
+                 resolve_cache_ttl: Optional[float] = None,
+                 resolve_cache_max: int = 64):
         self.host = host
         self.masters = master_uri if isinstance(master_uri, FailoverSet) \
             else FailoverSet(master_uri)
@@ -71,6 +95,14 @@ class DistrictClient:
         self.models_fetched = 0
         self.data_requests = 0
         self.fetch_failures = 0
+        self.resolve_cache_ttl = resolve_cache_ttl
+        self.resolve_cache_max = resolve_cache_max
+        self.resolve_cache_hits = 0
+        self.resolve_cache_misses = 0
+        self.resolve_revalidations = 0
+        self.resolve_not_modified = 0
+        self._resolve_cache: "OrderedDict[Tuple, _ResolveCacheEntry]" = \
+            OrderedDict()
 
     @property
     def master_uri(self) -> str:
@@ -110,14 +142,70 @@ class DistrictClient:
 
     # -- step 1: resolution ----------------------------------------------
 
-    def resolve(self, query: AreaQuery) -> ResolvedArea:
+    def resolve(self, query: AreaQuery,
+                use_cache: bool = True) -> ResolvedArea:
         """Ask the master which proxies serve the queried area.
 
         With a replicated master set the answer may come from a
         read-only standby while the primary is down.
+
+        With :attr:`resolve_cache_ttl` set, repeat queries are served
+        from the client cache (fresh within the TTL) or revalidated
+        against the master's ontology epoch (one tiny conditional GET
+        instead of the full payload); ``use_cache=False`` forces a full
+        fetch for one call.
         """
-        response = self._master_get("/resolve", params=query.to_params())
-        return ResolvedArea.from_dict(response.body)
+        if self.resolve_cache_ttl is None or not use_cache:
+            response = self._master_get("/resolve",
+                                        params=query.to_params())
+            return ResolvedArea.from_dict(response.body)
+        return self._resolve_cached(query)
+
+    def _resolve_cached(self, query: AreaQuery) -> ResolvedArea:
+        params = query.to_params()
+        key = tuple(sorted(params.items()))
+        now = self.host.network.scheduler.now
+        entry = self._resolve_cache.get(key)
+        if entry is not None and \
+                now - entry.fetched_at < self.resolve_cache_ttl:
+            self._resolve_cache.move_to_end(key)
+            self.resolve_cache_hits += 1
+            emit(self.host.network, "resolve_cache_hit",
+                 host=self.host.name, epoch=entry.epoch,
+                 client=self.host.name)
+            return entry.area
+        if entry is not None and entry.epoch:
+            # stale entry with a validator: revalidate via conditional
+            # GET — a 304 refreshes the TTL without any payload
+            self.resolve_revalidations += 1
+            params["if_none_match"] = entry.epoch
+            try:
+                response = self._master_get("/resolve", params=params)
+            except ServiceError as exc:
+                if exc.status == 304:
+                    entry.fetched_at = self.host.network.scheduler.now
+                    self._resolve_cache.move_to_end(key)
+                    self.resolve_not_modified += 1
+                    emit(self.host.network, "resolve_cache_not_modified",
+                         host=self.host.name, epoch=entry.epoch,
+                         client=self.host.name)
+                    return entry.area
+                raise
+        else:
+            self.resolve_cache_misses += 1
+            emit(self.host.network, "resolve_cache_miss",
+                 host=self.host.name, client=self.host.name)
+            response = self._master_get("/resolve", params=params)
+        area = ResolvedArea.from_dict(response.body)
+        epoch = response.body.get("epoch", "") \
+            if isinstance(response.body, dict) else ""
+        self._resolve_cache[key] = _ResolveCacheEntry(
+            area, epoch, self.host.network.scheduler.now
+        )
+        self._resolve_cache.move_to_end(key)
+        while len(self._resolve_cache) > self.resolve_cache_max:
+            self._resolve_cache.popitem(last=False)
+        return area
 
     # -- step 2: model retrieval --------------------------------------------
 

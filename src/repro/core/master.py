@@ -25,7 +25,8 @@ behaviour, still the default).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro import persistence
 from repro.common.cdf import DeviceDescription
@@ -53,8 +54,24 @@ from repro.ontology.model import DeviceNode, DistrictOntology, EntityNode
 from repro.ontology.queries import AreaQuery, resolve
 
 
+#: bound on the master-side resolve cache (serialized answers)
+RESOLVE_CACHE_MAX = 256
+
+
 class MasterNode:
-    """Registration target and query resolver for one or more districts."""
+    """Registration target and query resolver for one or more districts.
+
+    ``/resolve`` answers are cached behind an **ontology epoch**: a
+    version counter bumped by every mutation of the forest
+    (:meth:`apply_registration`, :meth:`_evict_uri`, :meth:`reset`,
+    :meth:`restore_snapshot`).  A cached serialized answer is served
+    only while the epoch is unchanged, so a cache hit can never
+    redirect a client to an evicted proxy.  Clients may revalidate a
+    previous answer with an ``if_none_match`` parameter carrying the
+    answer's :meth:`epoch_token`; an unchanged token earns a bodyless
+    304-style response (see
+    :meth:`repro.core.client.DistrictClient.resolve`).
+    """
 
     def __init__(self, host: Host, processing_delay: float = 2e-4,
                  default_lease: Optional[float] = None):
@@ -63,6 +80,17 @@ class MasterNode:
         self.registrations = 0
         self.resolves_served = 0
         self.lease_evictions = 0
+        #: forest version: bumped by every registration, eviction,
+        #: reset and snapshot restore — the resolve-cache validator
+        self.ontology_epoch = 0
+        self.resolve_cache_hits = 0
+        self.resolve_cache_misses = 0
+        self.resolve_not_modified = 0
+        self.resolve_cache_max = RESOLVE_CACHE_MAX
+        #: canonical query params -> serialized ResolvedArea dict, valid
+        #: only while the epoch token matches (lazy invalidation)
+        self._resolve_cache: "OrderedDict[Tuple, Dict]" = OrderedDict()
+        self._resolve_cache_token: Optional[str] = None
         #: default lease applied to registrations that do not name one;
         #: None keeps legacy permanent registrations
         self.default_lease = default_lease
@@ -99,6 +127,33 @@ class MasterNode:
         """
         self.ontology = DistrictOntology()
         self._leases.clear()
+        self.bump_epoch()
+
+    # -- epoch + resolve cache ------------------------------------------------
+
+    def bump_epoch(self) -> None:
+        """Advance the ontology epoch (monotone, never reset to zero)."""
+        self.ontology_epoch += 1
+
+    def epoch_token(self) -> str:
+        """The resolve-cache validator (the ``/resolve`` ETag).
+
+        Combines the serving member's name, its replication epoch and
+        the ontology epoch: a token can only compare equal when the
+        same master answers from provably unchanged state.  Including
+        the member name keeps a lagging standby's token from ever
+        matching the primary's; including the replication epoch
+        invalidates every client cache across a failover even though
+        the promoted standby keeps its own ontology-epoch counter.
+        """
+        repl_epoch = self.replication.epoch \
+            if self.replication is not None else 0
+        return f"{self.host.name}:{repl_epoch}:{self.ontology_epoch}"
+
+    def invalidate_resolve_cache(self) -> None:
+        """Drop every cached resolve answer (epoch transitions)."""
+        self._resolve_cache.clear()
+        self._resolve_cache_token = None
 
     # -- leases ---------------------------------------------------------------
 
@@ -146,13 +201,23 @@ class MasterNode:
         return {
             "ontology": self.ontology.to_dict(),
             "leases": dict(self._leases),
+            "ontology_epoch": self.ontology_epoch,
         }
 
     def restore_snapshot(self, snapshot: Dict) -> None:
-        """Replace the master's state with a :meth:`snapshot` payload."""
+        """Replace the master's state with a :meth:`snapshot` payload.
+
+        The local ontology epoch jumps past both its own value and the
+        snapshot's, so it stays monotone whichever side was ahead, and
+        every answer cached against the pre-restore state is invalid.
+        """
         self.ontology = DistrictOntology.from_dict(snapshot["ontology"])
         self._leases = {uri: float(expiry) for uri, expiry
                         in snapshot.get("leases", {}).items()}
+        self.ontology_epoch = max(
+            self.ontology_epoch, int(snapshot.get("ontology_epoch", 0))
+        ) + 1
+        self.invalidate_resolve_cache()
 
     def start_snapshots(self, path: str, period: float) -> None:
         """Persist the ontology + leases to *path* every *period* seconds.
@@ -179,7 +244,8 @@ class MasterNode:
         if self.snapshot_path is None:
             return
         persistence.save_ontology(self.ontology, self.snapshot_path,
-                                  leases=self._leases)
+                                  leases=self._leases,
+                                  epoch=self.ontology_epoch)
         self.snapshots_written += 1
         self.last_snapshot_time = self.host.network.scheduler.now
         emit(self.host.network, "master_snapshot", host=self.host.name,
@@ -199,6 +265,9 @@ class MasterNode:
         snap = persistence.load_ontology_snapshot(self.snapshot_path)
         self.ontology = snap.ontology
         self._leases = dict(snap.leases)
+        self.ontology_epoch = max(self.ontology_epoch,
+                                  snap.ontology_epoch) + 1
+        self.invalidate_resolve_cache()
         return True
 
     @property
@@ -220,20 +289,38 @@ class MasterNode:
         self._leases[uri] = self.host.network.scheduler.now + float(lease)
 
     def _evict_uri(self, uri: str) -> None:
-        """Remove every ontology reference to one proxy URI."""
+        """Remove every ontology reference to one proxy URI.
+
+        Entities hollowed out by the eviction (no proxy URIs left, no
+        devices left) are pruned with their subtree: a URI-less entity
+        would still match area queries while redirecting the client
+        nowhere, and would inflate ``ontology_nodes`` forever.  Any
+        actual removal bumps the ontology epoch, so no cached resolve
+        answer can keep pointing at the dead proxy.
+        """
+        changed = False
         for district in self.ontology.districts():
             if uri in district.gis_uris:
                 district.gis_uris.remove(uri)
+                changed = True
             if uri in district.measurement_uris:
                 district.measurement_uris.remove(uri)
-            for entity in district.entities.values():
+                changed = True
+            for entity in list(district.entities.values()):
                 for kind in [k for k, u in entity.proxy_uris.items()
                              if u == uri]:
                     del entity.proxy_uris[kind]
+                    changed = True
                 for device_id in [d_id for d_id, node
                                   in entity.devices.items()
                                   if node.proxy_uri == uri]:
-                    del entity.devices[device_id]
+                    district.remove_device(entity.entity_id, device_id)
+                    changed = True
+                if not entity.proxy_uris and not entity.devices:
+                    district.remove_entity(entity.entity_id)
+                    changed = True
+        if changed:
+            self.bump_epoch()
 
     # -- registration (in-process API; the route wraps this) -----------------
 
@@ -277,6 +364,10 @@ class MasterNode:
         uri = payload.get("uri")
         if uri:
             self._track_lease(uri, None if lease is None else float(lease))
+        # conservative invalidation: every accepted registration (even
+        # an unchanged heartbeat refresh) advances the epoch, so cached
+        # answers can only ever under-live the truth, never outlive it
+        self.bump_epoch()
         return result
 
     def _district_node(self, district_id: str, name: str = ""):
@@ -285,10 +376,9 @@ class MasterNode:
         except UnknownEntityError:
             return self.ontology.add_district(district_id, name)
 
-    def _entity_node(self, district_id: str, entity_id: str,
+    def _entity_node(self, district, entity_id: str,
                      entity_type: Optional[str] = None,
                      name: str = "") -> EntityNode:
-        district = self._district_node(district_id)
         if entity_id in district.entities:
             return district.entities[entity_id]
         inferred = entity_kind(entity_id)
@@ -301,7 +391,7 @@ class MasterNode:
             entity_type=entity_type or inferred,
             name=name,
         )
-        self.ontology.add_entity(district_id, node)
+        self.ontology.add_entity(district.district_id, node)
         return node
 
     def _register_database(self, payload: Dict) -> Dict:
@@ -325,8 +415,9 @@ class MasterNode:
                 raise RegistrationError(
                     f"{source_kind} registration needs entity_id"
                 )
+            district = self._district_node(district_id)
             entity = self._entity_node(
-                district_id, entity_id,
+                district, entity_id,
                 payload.get("entity_type"), payload.get("name", ""),
             )
             if payload.get("name") and not entity.name:
@@ -334,7 +425,8 @@ class MasterNode:
             entity.proxy_uris[source_kind] = uri
             bounds = payload.get("bounds")
             if bounds:
-                entity.bounds = BoundingBox.from_list(bounds)
+                district.set_bounds(entity_id,
+                                    BoundingBox.from_list(bounds))
             if payload.get("gis_feature_id"):
                 entity.gis_feature_id = payload["gis_feature_id"]
             if payload.get("commodity"):
@@ -354,9 +446,10 @@ class MasterNode:
                 "device proxy registered without devices"
             )
         attached = []
+        district = self._district_node(district_id)
         for device_data in devices:
             description = DeviceDescription.from_dict(device_data)
-            entity = self._entity_node(district_id, description.entity_id)
+            entity = self._entity_node(district, description.entity_id)
             node = DeviceNode(
                 device_id=description.device_id,
                 proxy_uri=uri,
@@ -372,15 +465,35 @@ class MasterNode:
                         f"device {description.device_id} already "
                         f"registered by {existing.proxy_uri}"
                     )
-                entity.devices[description.device_id] = node  # heartbeat
+                district.replace_device(entity.entity_id, node)  # heartbeat
             else:
                 try:
-                    entity.add_device(node)
+                    district.add_device(entity.entity_id, node)
                 except OntologyError as exc:
                     raise RegistrationError(str(exc)) from exc
             attached.append(description.device_id)
+        self._prune_stale_devices(district, uri, set(attached))
         self.registrations += 1
         return {"attached": "devices", "device_ids": attached}
+
+    def _prune_stale_devices(self, district, uri: str,
+                             reported: set) -> None:
+        """Drop this proxy's device leaves that vanished from its payload.
+
+        A registration is the proxy's authoritative full device list:
+        when a heartbeat re-registers with *fewer* devices (a sensor
+        was unplugged, a fleet shrank), the leaves it no longer reports
+        must stop resolving immediately rather than lingering until a
+        full lease eviction.  Entities hollowed out by the prune (no
+        proxy URIs, no devices) are removed with it.
+        """
+        for entity in list(district.entities.values()):
+            stale = [d_id for d_id, node in entity.devices.items()
+                     if node.proxy_uri == uri and d_id not in reported]
+            for device_id in stale:
+                district.remove_device(entity.entity_id, device_id)
+            if stale and not entity.proxy_uris and not entity.devices:
+                district.remove_entity(entity.entity_id)
 
     def _register_measurement(self, payload: Dict) -> Dict:
         district_id = payload.get("district_id")
@@ -425,14 +538,49 @@ class MasterNode:
         return ok(body)
 
     def _resolve_route(self, request: Request) -> Response:
+        self.expire_leases()  # evictions must land before the token read
+        token = self.epoch_token()
+        params = dict(request.params)
+        claimed = params.pop("if_none_match", None)
+        if claimed is not None and claimed == token:
+            # conditional GET: the client's cached answer is still
+            # valid — confirm with a bodyless 304 instead of rebuilding
+            # and re-serializing the whole tuple forest
+            self.resolve_not_modified += 1
+            self.resolves_served += 1
+            emit(self.host.network, "resolve_cache_not_modified",
+                 host=self.host.name, epoch=token, master=self.host.name)
+            return Response(304, {"epoch": token}, "not modified")
+        if self._resolve_cache_token != token:
+            # lazy invalidation: the first resolve after any epoch bump
+            # drops every answer cached against the previous forest
+            self._resolve_cache.clear()
+            self._resolve_cache_token = token
+        key = tuple(sorted(params.items()))
+        cached = self._resolve_cache.get(key)
+        if cached is not None:
+            self._resolve_cache.move_to_end(key)
+            self.resolve_cache_hits += 1
+            self.resolves_served += 1
+            emit(self.host.network, "resolve_cache_hit",
+                 host=self.host.name, epoch=token, master=self.host.name)
+            return ok(cached)
         try:
-            query = AreaQuery.from_params(request.params)
+            query = AreaQuery.from_params(params)
             resolved = self.resolve_area(query)
         except QueryError as exc:
             return error(400, str(exc))
         except UnknownEntityError as exc:
             return error(404, str(exc))
-        return ok(resolved.to_dict())
+        body = resolved.to_dict()
+        body["epoch"] = token
+        self._resolve_cache[key] = body
+        while len(self._resolve_cache) > self.resolve_cache_max:
+            self._resolve_cache.popitem(last=False)
+        self.resolve_cache_misses += 1
+        emit(self.host.network, "resolve_cache_miss",
+             host=self.host.name, epoch=token, master=self.host.name)
+        return ok(body)
 
     def _ontology_route(self, request: Request) -> Response:
         return ok(self.ontology.to_dict())
@@ -461,6 +609,7 @@ class MasterNode:
             "active_leases": self.active_leases,
             "lease_evictions": self.lease_evictions,
             "ontology_nodes": self.ontology.node_count(),
+            "ontology_epoch": self.ontology_epoch,
         }
         payload.update(self.replication_status())
         return ok(payload)
@@ -473,6 +622,10 @@ class MasterNode:
             "active_leases": self.active_leases,
             "lease_evictions": self.lease_evictions,
             "ontology_nodes": self.ontology.node_count(),
+            "ontology_epoch": self.ontology_epoch,
+            "resolve_cache_hits": self.resolve_cache_hits,
+            "resolve_cache_misses": self.resolve_cache_misses,
+            "resolve_not_modified": self.resolve_not_modified,
             "requests_served": self.service.requests_served,
             "requests_failed": self.service.requests_failed,
             "snapshots_written": self.snapshots_written,

@@ -338,6 +338,10 @@ class ReplicatedMaster:
     def _adopt_epoch(self, epoch: int, deposed_by: str = "") -> None:
         self.epoch = epoch
         self._needs_resync = True  # cleared by the new primary's snapshot
+        # the replication epoch is part of the resolve-cache validator:
+        # answers cached under the old epoch must stop being served now,
+        # before the new primary's snapshot rewrites local state
+        self.master.invalidate_resolve_cache()
         self.counters["epoch_adoptions"] += 1
         emit(self.master.host.network, "repl_epoch_adopted", host=self.name,
              epoch=epoch, master=self.name)
@@ -357,6 +361,11 @@ class ReplicatedMaster:
         self._needs_resync = False
         self.log_seq = self.applied_seq
         self.primary_name = self.name
+        # bump the ontology epoch too: token monotonicity across
+        # failover — no client revalidation against the new primary can
+        # 304-match an answer minted by the deposed one
+        self.master.bump_epoch()
+        self.master.invalidate_resolve_cache()
         now = self._now
         self._last_any_ack = now
         self._last_snapshot_stream = now

@@ -229,7 +229,14 @@ class Broker:
         if span is not None:
             event["trace"] = span.header()
         if payload.get("retain"):
-            self._retained[topic] = dict(event)
+            # the span header is request-scoped: replaying it with the
+            # retained copy at subscribe time — possibly much later —
+            # would parent the delivery span under a long-finished
+            # trace, so the stored copy drops it (replay deliveries are
+            # root-less, like any untraced event)
+            retained = dict(event)
+            retained.pop("trace", None)
+            self._retained[topic] = retained
         network = self.host.network
         dead: List[int] = []
         deliveries = 0

@@ -213,11 +213,15 @@ class WebService:
                 response = self.router.dispatch(request)
         except Exception as exc:  # handler bug -> 500, like a real server
             response = error(500, f"{type(exc).__name__}: {exc}")
+        # 3xx answers (e.g. the resolve fast path's 304 not-modified)
+        # are successfully served, not failures: they must not burn the
+        # availability SLOs built on requests_served/requests_failed
+        served = 200 <= response.status < 400
         if tracer is not None:
             span.attributes["status"] = response.status
             tracer.finish(span,
-                          status="ok" if response.ok else "error")
-        if response.ok:
+                          status="ok" if served else "error")
+        if served:
             self.requests_served += 1
         else:
             self.requests_failed += 1
@@ -455,7 +459,7 @@ class HttpClient:
                 span.attributes["status"] = status
                 tracer.finish(
                     span,
-                    status="ok" if 200 <= status < 300 else "error",
+                    status="ok" if 200 <= status < 400 else "error",
                 )
         future.set_result(
             Response(

@@ -208,6 +208,37 @@ def _device_matches(device_quantities: Sequence[str],
     return query.quantity in device_quantities
 
 
+def _candidate_entities(district, query: AreaQuery):
+    """Plan the entity scan: prune candidates via the secondary indexes.
+
+    Intersects every applicable index (explicit ids, entity type,
+    quantity inverted index, spatial grid) and walks only the surviving
+    ids; each index yields a superset of the exact answer, so
+    :func:`_matches` still applies the full predicates.  With no
+    applicable index (a whole-district query) every entity is scanned,
+    as before.
+    """
+    sets = []
+    if query.entity_ids:
+        sets.append({i for i in query.entity_ids if i in district.entities})
+    if query.entity_type is not None:
+        sets.append(district.entity_ids_of_type(query.entity_type))
+    if query.quantity is not None:
+        sets.append(district.entity_ids_with_quantity(query.quantity))
+    if query.bbox is not None:
+        grid_ids = district.entity_ids_in_bbox(query.bbox)
+        if grid_ids is not None:
+            sets.append(grid_ids)
+    if not sets:
+        return district.entities.values()
+    candidates = set.intersection(*sorted(sets, key=len))
+    if len(candidates) == len(district.entities):
+        return district.entities.values()
+    # filter over the insertion-ordered dict keeps answer order stable
+    return [entity for entity_id, entity in district.entities.items()
+            if entity_id in candidates]
+
+
 def resolve(ontology: DistrictOntology, query: AreaQuery) -> ResolvedArea:
     """Evaluate an area query against the ontology.
 
@@ -216,7 +247,7 @@ def resolve(ontology: DistrictOntology, query: AreaQuery) -> ResolvedArea:
     """
     district = ontology.district(query.district_id)
     matched: List[ResolvedEntity] = []
-    for entity in district.entities.values():
+    for entity in _candidate_entities(district, query):
         if not _matches(entity, query):
             continue
         devices = tuple(

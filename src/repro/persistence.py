@@ -54,20 +54,26 @@ class OntologySnapshot:
 
     *leases* maps registered proxy URIs to their absolute lease-expiry
     times on the simulated clock (empty for permanent registrations and
-    for snapshots written before leases existed).
+    for snapshots written before leases existed).  *ontology_epoch* is
+    the master's forest version at snapshot time (0 for snapshots
+    written before epochs existed), restored so resolve-cache
+    validators stay monotone across a master restart.
     """
 
     ontology: DistrictOntology
     leases: Dict[str, float] = field(default_factory=dict)
+    ontology_epoch: int = 0
 
 
 def save_ontology(ontology: DistrictOntology, path: str,
-                  leases: Optional[Dict[str, float]] = None) -> None:
+                  leases: Optional[Dict[str, float]] = None,
+                  epoch: int = 0) -> None:
     """Write the ontology forest to *path* as a versioned JSON snapshot.
 
     *leases* (proxy URI -> absolute expiry, simulated seconds) rides
     along so a restarted master can restore its lease table too — see
     :meth:`repro.core.master.MasterNode.recover_from_snapshot`.
+    *epoch* persists the master's ontology epoch for the same reason.
     """
     _write_json(path, {
         "format": "repro-ontology",
@@ -75,6 +81,7 @@ def save_ontology(ontology: DistrictOntology, path: str,
         "ontology": ontology.to_dict(),
         "leases": {uri: float(expiry)
                    for uri, expiry in (leases or {}).items()},
+        "ontology_epoch": int(epoch),
     })
 
 
@@ -107,6 +114,7 @@ def load_ontology_snapshot(path: str) -> OntologySnapshot:
         ontology=DistrictOntology.from_dict(payload["ontology"]),
         leases={uri: float(expiry)
                 for uri, expiry in payload.get("leases", {}).items()},
+        ontology_epoch=int(payload.get("ontology_epoch", 0)),
     )
 
 

@@ -157,18 +157,22 @@ class DeployedDistrict:
         self.scheduler.run_for(duration)
 
     def client(self, name: str = "user", with_broker: bool = True,
-               policy: Optional["ResiliencePolicy"] = None
+               policy: Optional["ResiliencePolicy"] = None,
+               resolve_cache_ttl: Optional[float] = None
                ) -> DistrictClient:
         """Create an end-user application host + client.
 
         *policy* opts the client's HTTP layer into retries and circuit
-        breaking (see :mod:`repro.network.resilience`).
+        breaking (see :mod:`repro.network.resilience`);
+        *resolve_cache_ttl* opts it into the resolve fast path (cached
+        area answers revalidated against the master's ontology epoch).
         """
         host = self.network.add_host(name)
         return DistrictClient(
             host, self.master_uris,
             broker_host=self.broker.name if with_broker else None,
             policy=policy,
+            resolve_cache_ttl=resolve_cache_ttl,
         )
 
     def device_proxy_for(self, device_id: str) -> DeviceProxy:

@@ -1,0 +1,447 @@
+"""Tests for the resolve fast path: indexes, epochs and caches.
+
+Covers the three layers introduced by the fast-path work:
+
+* the district-level secondary indexes (entity type, sensed quantity,
+  spatial grid) that prune resolve candidates;
+* the master's ontology epoch and server-side resolve cache (including
+  the conditional-GET 304 path);
+* the client's TTL cache with epoch revalidation, and its interaction
+  with lease evictions, snapshot restores and standby promotion.
+
+It also carries the regression tests for the staleness sweep: a device
+proxy re-registering with fewer devices must prune the vanished leaves,
+and an eviction that hollows out an entity must prune the entity node.
+"""
+
+import pytest
+
+from repro.core.client import DistrictClient
+from repro.core.master import MasterNode
+from repro.core.replication import ReplicationConfig
+from repro.datasources.geometry import BoundingBox
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import HttpClient
+from repro.ontology.queries import AreaQuery
+from repro.simulation import ScenarioConfig, deploy
+from repro.simulation.faults import FaultInjector
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+@pytest.fixture
+def master(net):
+    return MasterNode(net.add_host("master"))
+
+
+def bim_payload(entity="bld-0001", uri="svc://proxy-bim-1/",
+                bounds=(0.0, 0.0, 50.0, 50.0)):
+    return {"proxy_kind": "database", "source_kind": "bim",
+            "district_id": "dst-0001", "entity_id": entity, "uri": uri,
+            "entity_type": "building", "name": f"Building {entity}",
+            "bounds": list(bounds), "gis_feature_id": "ft-00001"}
+
+
+def sim_payload(entity="net-0001", uri="svc://proxy-sim-1/"):
+    return {"proxy_kind": "database", "source_kind": "sim",
+            "district_id": "dst-0001", "entity_id": entity, "uri": uri,
+            "entity_type": "network", "name": "Heat 1",
+            "commodity": "heat"}
+
+
+def device_payload(uri="svc://proxy-dev-1/", entity="bld-0001",
+                   device_ids=("dev-0101",), quantity="power"):
+    return {
+        "proxy_kind": "device", "district_id": "dst-0001", "uri": uri,
+        "protocol": "zigbee",
+        "devices": [{
+            "record": "device", "device_id": device_id,
+            "protocol": "zigbee", "entity_id": entity,
+            "sensors": [{"quantity": quantity, "sample_period": 60.0}],
+            "actuators": [],
+        } for device_id in device_ids],
+    }
+
+
+def whole_district():
+    return AreaQuery(district_id="dst-0001")
+
+
+class TestSecondaryIndexes:
+    def populate(self, master):
+        master.register(bim_payload("bld-0001", "svc://bim-1/",
+                                    bounds=(0.0, 0.0, 50.0, 50.0)))
+        master.register(bim_payload("bld-0002", "svc://bim-2/",
+                                    bounds=(500.0, 500.0, 550.0, 550.0)))
+        master.register(sim_payload("net-0001", "svc://sim-1/"))
+        master.register(device_payload("svc://dev-1/", "bld-0001",
+                                       ("dev-0101",), "power"))
+        master.register(device_payload("svc://dev-2/", "bld-0002",
+                                       ("dev-0201",), "temperature"))
+
+    def test_type_index_tracks_registrations(self, master):
+        self.populate(master)
+        district = master.ontology.district("dst-0001")
+        assert district.entity_ids_of_type("building") == \
+            {"bld-0001", "bld-0002"}
+        assert district.entity_ids_of_type("network") == {"net-0001"}
+
+    def test_quantity_index_is_refcounted(self, master):
+        self.populate(master)
+        district = master.ontology.district("dst-0001")
+        assert district.entity_ids_with_quantity("power") == {"bld-0001"}
+        # second power device on the same entity, then remove one: the
+        # entity must stay indexed while any power device remains
+        master.register(device_payload("svc://dev-1/", "bld-0001",
+                                       ("dev-0101", "dev-0102"), "power"))
+        district.remove_device("bld-0001", "dev-0101")
+        assert district.entity_ids_with_quantity("power") == {"bld-0001"}
+        district.remove_device("bld-0001", "dev-0102")
+        assert district.entity_ids_with_quantity("power") == set()
+
+    def test_grid_index_prunes_bbox_candidates(self, master):
+        self.populate(master)
+        district = master.ontology.district("dst-0001")
+        near = district.entity_ids_in_bbox(
+            BoundingBox(0.0, 0.0, 60.0, 60.0))
+        assert "bld-0001" in near
+        assert "bld-0002" not in near
+
+    def test_indexed_resolve_matches_predicates(self, master):
+        self.populate(master)
+        q_type = AreaQuery("dst-0001", entity_type="building")
+        resolved = master.resolve_area(q_type)
+        assert {e.entity_id for e in resolved.entities} == \
+            {"bld-0001", "bld-0002"}
+        q_quantity = AreaQuery("dst-0001", quantity="temperature")
+        resolved = master.resolve_area(q_quantity)
+        assert {e.entity_id for e in resolved.entities} == {"bld-0002"}
+        q_bbox = AreaQuery(
+            "dst-0001", bbox=BoundingBox(400.0, 400.0, 600.0, 600.0))
+        resolved = master.resolve_area(q_bbox)
+        assert {e.entity_id for e in resolved.entities} == {"bld-0002"}
+
+    def test_indexes_follow_eviction(self, master):
+        self.populate(master)
+        master._evict_uri("svc://dev-2/")
+        master._evict_uri("svc://bim-2/")
+        district = master.ontology.district("dst-0001")
+        assert district.entity_ids_of_type("building") == {"bld-0001"}
+        assert district.entity_ids_with_quantity("temperature") == set()
+        assert district.entity_ids_in_bbox(
+            BoundingBox(400.0, 400.0, 600.0, 600.0)) == set()
+
+
+class TestOntologyEpoch:
+    def test_registration_bumps_epoch(self, master):
+        before = master.ontology_epoch
+        master.register(bim_payload())
+        assert master.ontology_epoch == before + 1
+        # heartbeat refreshes invalidate conservatively too
+        master.register(bim_payload())
+        assert master.ontology_epoch == before + 2
+
+    def test_eviction_bumps_epoch_only_on_change(self, master):
+        master.register(bim_payload())
+        before = master.ontology_epoch
+        master._evict_uri("svc://nobody-registered-this/")
+        assert master.ontology_epoch == before
+        master._evict_uri("svc://proxy-bim-1/")
+        assert master.ontology_epoch == before + 1
+
+    def test_reset_and_restore_keep_epoch_monotone(self, master):
+        master.register(bim_payload())
+        snapshot = master.snapshot()
+        epoch_at_snapshot = master.ontology_epoch
+        master.register(sim_payload())
+        before_restore = master.ontology_epoch
+        master.restore_snapshot(snapshot)
+        # the restored forest is older, but the epoch never goes back
+        assert master.ontology_epoch > before_restore
+        assert master.ontology_epoch > epoch_at_snapshot
+        before_reset = master.ontology_epoch
+        master.reset()
+        assert master.ontology_epoch == before_reset + 1
+
+    def test_token_names_the_serving_member(self, net):
+        a = MasterNode(net.add_host("master-a"))
+        b = MasterNode(net.add_host("master-b"))
+        a.register(bim_payload())
+        b.register(bim_payload())
+        # equal counters on different members must never compare equal
+        assert a.ontology_epoch == b.ontology_epoch
+        assert a.epoch_token() != b.epoch_token()
+
+
+class TestServerResolveCache:
+    def resolve(self, net, master, params=None):
+        client = HttpClient(net.add_host("probe")) \
+            if not hasattr(self, "_probe") else self._probe
+        self._probe = client
+        return client.call(
+            master.uri.rstrip("/") + "/resolve",
+            params=params or {"district_id": "dst-0001"}, check=False,
+        )
+
+    def test_repeat_resolve_hits_cache(self, net, master):
+        master.register(bim_payload())
+        first = self.resolve(net, master)
+        second = self.resolve(net, master)
+        assert first.status == 200 and second.status == 200
+        assert master.resolve_cache_misses == 1
+        assert master.resolve_cache_hits == 1
+        assert second.body == first.body
+        assert second.body["epoch"] == master.epoch_token()
+
+    def test_registration_invalidates_cached_answer(self, net, master):
+        master.register(bim_payload())
+        first = self.resolve(net, master)
+        master.register(sim_payload())
+        second = self.resolve(net, master)
+        assert master.resolve_cache_hits == 0
+        assert master.resolve_cache_misses == 2
+        assert len(second.body["entities"]) == \
+            len(first.body["entities"]) + 1
+
+    def test_eviction_invalidates_cached_answer(self, net, master):
+        master.register(bim_payload())
+        master.register(device_payload("svc://dev-1/"))
+        self.resolve(net, master)
+        master._evict_uri("svc://dev-1/")
+        answer = self.resolve(net, master)
+        uris = {d["proxy_uri"] for e in answer.body["entities"]
+                for d in e["devices"]}
+        assert "svc://dev-1/" not in uris
+
+    def test_conditional_get_earns_304(self, net, master):
+        master.register(bim_payload())
+        first = self.resolve(net, master)
+        token = first.body["epoch"]
+        reply = self.resolve(net, master, params={
+            "district_id": "dst-0001", "if_none_match": token,
+        })
+        assert reply.status == 304
+        assert reply.body["epoch"] == token
+        assert master.resolve_not_modified == 1
+        # a stale token gets the full answer instead
+        master.register(sim_payload())
+        reply = self.resolve(net, master, params={
+            "district_id": "dst-0001", "if_none_match": token,
+        })
+        assert reply.status == 200
+        assert reply.body["epoch"] != token
+
+    def test_304_counts_as_served_not_failed(self, net, master):
+        master.register(bim_payload())
+        first = self.resolve(net, master)
+        failed_before = master.service.requests_failed
+        self.resolve(net, master, params={
+            "district_id": "dst-0001",
+            "if_none_match": first.body["epoch"],
+        })
+        # 304 must not burn the resolve-availability SLO
+        assert master.service.requests_failed == failed_before
+
+    def test_cache_stays_bounded(self, net, master):
+        master.register(bim_payload("bld-0001"))
+        master.register(bim_payload("bld-0002", "svc://bim-2/"))
+        master.resolve_cache_max = 1
+        self.resolve(net, master, params={"district_id": "dst-0001",
+                                          "entity_ids": "bld-0001"})
+        self.resolve(net, master, params={"district_id": "dst-0001",
+                                          "entity_ids": "bld-0002"})
+        assert len(master._resolve_cache) == 1
+
+    def test_metrics_expose_cache_counters(self, net, master):
+        master.register(bim_payload())
+        self.resolve(net, master)
+        self.resolve(net, master)
+        metrics = self._probe.get(master.uri + "metrics").body["component"]
+        assert metrics["resolve_cache_hits"] == 1
+        assert metrics["resolve_cache_misses"] == 1
+        assert metrics["resolve_not_modified"] == 0
+        assert metrics["ontology_epoch"] == master.ontology_epoch
+
+
+class TestClientResolveCache:
+    def make_client(self, net, master, ttl=60.0):
+        return DistrictClient(net.add_host("user"), master.uri,
+                              resolve_cache_ttl=ttl)
+
+    def test_fresh_hit_sends_no_traffic(self, net, master):
+        master.register(bim_payload())
+        client = self.make_client(net, master)
+        first = client.resolve(whole_district())
+        sent = client.http.requests_sent
+        second = client.resolve(whole_district())
+        assert client.http.requests_sent == sent  # served from memory
+        assert client.resolve_cache_hits == 1
+        assert second is first
+
+    def test_stale_entry_revalidates_with_304(self, net, master):
+        master.register(bim_payload())
+        client = self.make_client(net, master, ttl=10.0)
+        first = client.resolve(whole_district())
+        net.scheduler.run_for(15.0)  # past the TTL, ontology unchanged
+        second = client.resolve(whole_district())
+        assert second is first  # the 304 kept the cached object
+        assert client.resolve_revalidations == 1
+        assert client.resolve_not_modified == 1
+        # the 304 refreshed the TTL: the next resolve is a memory hit
+        client.resolve(whole_district())
+        assert client.resolve_cache_hits == 1
+
+    def test_epoch_change_forces_full_refresh(self, net, master):
+        master.register(bim_payload())
+        client = self.make_client(net, master, ttl=10.0)
+        first = client.resolve(whole_district())
+        master.register(sim_payload())
+        net.scheduler.run_for(15.0)
+        second = client.resolve(whole_district())
+        assert client.resolve_not_modified == 0
+        assert len(second.entities) == len(first.entities) + 1
+
+    def test_use_cache_false_bypasses_cache(self, net, master):
+        master.register(bim_payload())
+        client = self.make_client(net, master)
+        client.resolve(whole_district())
+        sent = client.http.requests_sent
+        client.resolve(whole_district(), use_cache=False)
+        assert client.http.requests_sent == sent + 1
+
+    def test_no_ttl_keeps_legacy_behaviour(self, net, master):
+        master.register(bim_payload())
+        client = DistrictClient(net.add_host("user"), master.uri)
+        client.resolve(whole_district())
+        client.resolve(whole_district())
+        assert client.resolve_cache_hits == 0
+        assert client.http.requests_sent == 2
+
+    def test_restore_snapshot_invalidates_client_cache(self, net, master):
+        master.register(bim_payload())
+        snapshot = master.snapshot()
+        client = self.make_client(net, master, ttl=10.0)
+        client.resolve(whole_district())
+        master.restore_snapshot(snapshot)
+        net.scheduler.run_for(15.0)
+        client.resolve(whole_district())
+        # the restore bumped the epoch, so revalidation cannot 304
+        assert client.resolve_revalidations == 1
+        assert client.resolve_not_modified == 0
+
+
+class TestCacheUnderChurn:
+    def test_lease_eviction_mid_ttl_is_bounded_staleness(self):
+        d = deploy(ScenarioConfig(
+            seed=7, n_buildings=2, devices_per_building=2,
+            net_jitter=0.0, heartbeat_period=10.0,
+        ))
+        d.run(30.0)
+        client = d.client("cache-user", with_broker=False,
+                          resolve_cache_ttl=20.0)
+        entity_id = d.dataset.buildings[0].entity_id
+        protocol = next(protocol for (e_id, protocol)
+                        in d.device_proxies if e_id == entity_id)
+        dead_uri = d.device_proxies[(entity_id, protocol)].service.base_uri
+        first = client.resolve(whole_district_of(d))
+        assert dead_uri in proxy_uris_of(first)
+        FaultInjector(d).kill_device_proxy(entity_id, protocol)
+        # within the TTL the client may keep serving the dead proxy —
+        # that staleness is the documented bound of the fast path
+        d.run(10.0)
+        stale = client.resolve(whole_district_of(d))
+        assert stale is first
+        # past the TTL the lease has expired server-side: revalidation
+        # must notice the epoch bump and drop the evicted URI
+        d.run(31.0)
+        fresh = client.resolve(whole_district_of(d))
+        assert client.resolve_revalidations >= 1
+        assert dead_uri not in proxy_uris_of(fresh)
+        assert d.master.lease_evictions >= 1
+
+    def test_promotion_invalidates_tokens_across_failover(self):
+        config = ReplicationConfig(heartbeat_period=1.0,
+                                   fencing_timeout=3.0,
+                                   failover_timeout=5.0,
+                                   promotion_stagger=3.0)
+        d = deploy(ScenarioConfig(
+            seed=7, n_buildings=2, devices_per_building=1,
+            net_jitter=0.0, master_standbys=1, heartbeat_period=10.0,
+            replication=config,
+        ))
+        d.run(30.0)
+        client = d.client("ha-user", with_broker=False,
+                          resolve_cache_ttl=5.0)
+        client.http.timeout = 1.0
+        first = client.resolve(whole_district_of(d))
+        standby = d.replication.member("master-r1").master
+        epoch_before = standby.ontology_epoch
+        FaultInjector(d).take_offline("master")
+        d.run(20.0)  # failover: the standby promotes itself
+        assert d.replication.primary.name == "master-r1"
+        # promotion bumps the promoted ontology epoch (monotone token)
+        assert standby.ontology_epoch > epoch_before
+        second = client.resolve(whole_district_of(d))
+        # the new member's token can never 304-match the old answer
+        assert client.resolve_not_modified == 0
+        assert proxy_uris_of(second) == proxy_uris_of(first)
+
+
+def whole_district_of(d):
+    return AreaQuery(district_id=d.district_id)
+
+
+def proxy_uris_of(area):
+    return {device.proxy_uri for entity in area.entities
+            for device in entity.devices}
+
+
+class TestStalenessRegressions:
+    def test_shrunken_reregistration_prunes_vanished_devices(self, master):
+        master.register(device_payload(
+            "svc://dev-1/", device_ids=("dev-0101", "dev-0102")))
+        master.register(device_payload(
+            "svc://dev-1/", device_ids=("dev-0101",)))
+        entity = master.ontology.district("dst-0001").entity("bld-0001")
+        assert set(entity.devices) == {"dev-0101"}
+        resolved = master.resolve_area(whole_district())
+        device_ids = {dev.device_id for e in resolved.entities
+                      for dev in e.devices}
+        assert device_ids == {"dev-0101"}
+
+    def test_shrunken_reregistration_spares_other_proxies(self, master):
+        master.register(device_payload("svc://dev-1/",
+                                       device_ids=("dev-0101",)))
+        other = device_payload("svc://dev-2/", device_ids=("dev-0103",))
+        other["protocol"] = "modbus"
+        other["devices"][0]["protocol"] = "modbus"
+        master.register(other)
+        # dev-1 re-registers with a different list; dev-2's leaf stays
+        master.register(device_payload("svc://dev-1/",
+                                       device_ids=("dev-0102",)))
+        entity = master.ontology.district("dst-0001").entity("bld-0001")
+        assert set(entity.devices) == {"dev-0102", "dev-0103"}
+
+    def test_eviction_prunes_hollow_entities(self, master):
+        # a device-only skeleton entity: eviction leaves it with no
+        # proxy URIs and no devices, so the node must go away entirely
+        master.register(device_payload("svc://dev-1/"))
+        nodes_before = master.ontology.node_count()
+        master._evict_uri("svc://dev-1/")
+        district = master.ontology.district("dst-0001")
+        assert "bld-0001" not in district.entities
+        assert master.ontology.node_count() < nodes_before
+        resolved = master.resolve_area(whole_district())
+        assert resolved.entities == ()
+
+    def test_eviction_keeps_entities_with_other_sources(self, master):
+        master.register(bim_payload())
+        master.register(device_payload("svc://dev-1/"))
+        master._evict_uri("svc://dev-1/")
+        entity = master.ontology.district("dst-0001").entity("bld-0001")
+        assert entity.proxy_uris == {"bim": "svc://proxy-bim-1/"}
+        assert entity.devices == {}

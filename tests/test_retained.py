@@ -4,6 +4,7 @@ import pytest
 
 from repro.middleware.broker import Broker
 from repro.middleware.peer import connect
+from repro.observability import install
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
 
@@ -28,6 +29,27 @@ class TestRetainedMessages:
         assert len(events) == 1
         assert events[0].payload == {"v": 2}  # only the latest value
         assert events[0].retained
+
+    def test_retained_replay_drops_publisher_trace(self, net):
+        # regression: the retained copy used to keep the publisher's
+        # live span header, so a replay at subscribe time — possibly
+        # much later — parented the delivery span under a long-finished
+        # trace.  The replayed delivery must be trace-root-less.
+        install(net, metrics=False)
+        publisher = connect(net.add_host("pub"), "broker")
+        publisher.publish("state/plant", {"v": 1}, retain=True)
+        net.scheduler.run_until_idle()
+        publish_traces = set(net.tracer.trace_ids())
+        assert publish_traces  # the live publication was traced
+        events = []
+        late = connect(net.add_host("late"), "broker")
+        late.subscribe("state/#", events.append)
+        net.scheduler.run_until_idle()
+        assert len(events) == 1 and events[0].retained
+        deliveries = [s for s in net.tracer.spans()
+                      if s.name.startswith("deliver ")]
+        # no delivery span was parented under the publisher's old trace
+        assert all(s.trace_id not in publish_traces for s in deliveries)
 
     def test_non_retained_not_replayed(self, net):
         publisher = connect(net.add_host("pub"), "broker")
