@@ -56,6 +56,8 @@ EXPERIMENTS = (
      "bench_r1_resilience.py"),
     ("R2", "master HA: availability through kill/partition/heal",
      "bench_r2_master_ha.py"),
+    ("R3", "durable data plane: loss, duplicates, flood goodput",
+     "bench_r3_data_plane.py"),
     ("O1", "observability: attribution, churn events, overhead",
      "bench_o1_observability.py"),
     ("O2", "fleet SLO alerting: detection latency, false positives",

@@ -148,3 +148,22 @@ class StorageError(ReproError):
 
 class SeriesNotFoundError(StorageError):
     """A queried time series does not exist in the store."""
+
+
+class BackpressureError(StorageError):
+    """An ingest queue is full; the caller should retry later.
+
+    Raised by a consumer whose bounded ingest queue is saturated.  The
+    middleware translates it into a *busy* negative acknowledgement so
+    the broker redelivers after a delay instead of dead-lettering.
+    """
+
+
+class PoisonPayloadError(StorageError):
+    """A payload failed translation/validation and cannot be ingested.
+
+    Raised by a consumer for malformed events.  The middleware
+    translates it into a *poison* negative acknowledgement; after the
+    broker's redelivery budget is exhausted the event moves to the
+    dead-letter queue instead of wedging the consumer.
+    """

@@ -8,28 +8,63 @@ rebuilt: a service on the simulated network that accepts subscriptions
 
 The broker speaks raw transport messages (not the REST layer) because
 pub/sub is push-based; the control verbs are ``subscribe``,
-``unsubscribe`` and ``publish``.
+``unsubscribe``, ``publish``, ``ping`` and the durable-data-plane pair
+``delivery_ack`` / ``delivery_nack``.
+
+Three opt-in mechanisms make the measurement path durable end-to-end:
+
+* **Acked subscriptions** (``subscribe`` with ``ack: true``) — every
+  delivery to such a subscriber carries a ``delivery_id`` and is held
+  as *pending* until acknowledged; an unacknowledged delivery is resent
+  after ``delivery_ack_timeout``.  Combined with the publishers'
+  publish acks this yields at-least-once delivery from device proxy to
+  measurement DB (consumers deduplicate, see
+  :class:`~repro.storage.measurementdb.MeasurementDatabase`).
+* **End-to-end publish acks** — when a reliable publication matches
+  acked subscribers, the ``pub-ack`` back to the publisher is deferred
+  until every acked subscriber has acknowledged (or the event was
+  dead-lettered), so "acked" means "durably handled", not "received".
+* **Dead-letter queue** — a delivery negatively acknowledged as
+  *poison* (payload fails translation/validation) more than
+  ``max_delivery_attempts`` times moves to a bounded dead-letter store
+  (inspect via ``GET /deadletter``, drain via ``POST
+  /deadletter/drain``) instead of wedging the consumer.  *Busy* nacks
+  (consumer backpressure) only delay redelivery and never dead-letter.
+
+:class:`BrokerOverloadConfig` adds backpressure: when the pending
+delivery backlog crosses the high watermark (hysteresis down to the low
+watermark), or one publisher exceeds its fairness quota of pending
+deliveries, reliable publications are answered with a ``pub-reject``
+(the pub/sub analogue of HTTP 429) carrying ``retry_after``; peers
+honour it by pausing and buffering (see
+:class:`~repro.middleware.peer.MiddlewarePeer`).  Unreliable
+publications are shed outright while saturated.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
 from repro.network.transport import Host, Message
 from repro.network.webservice import (
     GET,
+    POST,
     Request,
     Response,
     WebService,
     ok,
 )
-from repro.observability.tracing import TraceContext
+from repro.observability.tracing import TraceContext, emit
 
 BROKER_PORT = "pubsub"
+
+#: topic level prefixed to a dead-lettered event's original topic
+DEAD_LETTER_PREFIX = "deadletter"
 
 
 @dataclass(frozen=True)
@@ -56,19 +91,114 @@ class BrokerStats:
     duplicate_subscriptions_ignored: int = 0
     publish_acks_sent: int = 0
     pings_answered: int = 0
+    # -- durable data plane ------------------------------------------------
+    deliveries_acked: int = 0
+    redeliveries: int = 0
+    consumer_busy: int = 0
+    poison_nacks: int = 0
+    dead_lettered: int = 0
+    dead_letters_drained: int = 0
+    publications_shed: int = 0
+    publisher_rejections: int = 0
+
+
+@dataclass
+class BrokerOverloadConfig:
+    """Backpressure knobs for the broker's pending-delivery backlog."""
+
+    #: pending deliveries at which global shedding starts
+    high_watermark: int = 256
+    #: pending deliveries at which global shedding stops (hysteresis)
+    low_watermark: int = 128
+    #: max pending deliveries any single publisher may hold (fairness)
+    publisher_quota: int = 64
+    #: back-off advised to rejected publishers, simulated seconds
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.high_watermark < 1 or self.low_watermark < 0:
+            raise ConfigurationError("watermarks must be positive")
+        if self.low_watermark > self.high_watermark:
+            raise ConfigurationError(
+                "low watermark must not exceed high watermark"
+            )
+        if self.publisher_quota < 1:
+            raise ConfigurationError("publisher quota must be >= 1")
+        if self.retry_after <= 0:
+            raise ConfigurationError("retry_after must be positive")
+
+
+@dataclass
+class _Sub:
+    """One live subscription in the broker's table."""
+
+    pattern: str
+    subscriber: str
+    port: str
+    token: Optional[int] = None
+    #: deliveries to this subscription must be acknowledged
+    ack: bool = False
+
+
+@dataclass
+class _PendingDelivery:
+    """One unacknowledged delivery to an acked subscription."""
+
+    delivery_id: int
+    sub_id: int
+    subscriber: str
+    port: str
+    event: dict
+    publisher: str
+    topic: str
+    attempts: int = 1
+    #: poison nacks received (busy nacks do not count)
+    poison_count: int = 0
+    #: key of the publisher's pending pub-ack, None for unreliable
+    pub_key: Optional[Tuple[str, str, int]] = None
+
+
+@dataclass
+class _PendingPublish:
+    """A reliable publication awaiting its acked subscribers."""
+
+    publisher: str
+    ack_port: str
+    pub_id: int
+    remaining: Set[int] = field(default_factory=set)
 
 
 class Broker:
     """Central topic broker bound to a simulated host."""
 
-    def __init__(self, host: Host):
+    def __init__(self, host: Host,
+                 overload: Optional[BrokerOverloadConfig] = None,
+                 delivery_ack_timeout: float = 2.0,
+                 max_delivery_attempts: int = 8,
+                 dead_letter_capacity: int = 1024):
+        if delivery_ack_timeout <= 0:
+            raise ConfigurationError("delivery ack timeout must be positive")
+        if max_delivery_attempts < 1:
+            raise ConfigurationError("delivery attempts must be >= 1")
         self.host = host
         self.stats = BrokerStats()
-        # subscription id -> (pattern, subscriber host, port, token)
-        self._subs: Dict[int, Tuple[str, str, str, Optional[int]]] = {}
+        self.overload = overload
+        self.delivery_ack_timeout = delivery_ack_timeout
+        self.max_delivery_attempts = max_delivery_attempts
+        self._subs: Dict[int, _Sub] = {}
         # topic -> last retained event payload (publish with retain=True)
         self._retained: Dict[str, dict] = {}
         self._ids = itertools.count(1)
+        self._delivery_ids = itertools.count(1)
+        #: delivery_id -> unacknowledged delivery
+        self._deliveries: Dict[int, _PendingDelivery] = {}
+        #: (publisher, ack_port, pub_id) -> deferred end-to-end pub-ack
+        self._pending_pubs: Dict[Tuple[str, str, int], _PendingPublish] = {}
+        #: publisher host -> pending delivery count (fairness accounting)
+        self._pending_by_publisher: Dict[str, int] = {}
+        self._shedding = False
+        self.dead_letters: Deque[dict] = deque(maxlen=dead_letter_capacity)
+        self.shed_by_topic: Dict[str, int] = {}
         host.bind(BROKER_PORT, self._on_message)
         # the broker's data plane stays raw pub/sub frames, but it serves
         # the same /health + /metrics endpoints as every other node so
@@ -76,6 +206,9 @@ class Broker:
         self.service = WebService(host)
         self.service.add_route(GET, "/health", self._health_route)
         self.service.add_route(GET, "/metrics", self._metrics_route)
+        self.service.add_route(GET, "/deadletter", self._dead_letter_route)
+        self.service.add_route(POST, "/deadletter/drain",
+                               self._dead_letter_drain_route)
 
     @property
     def name(self) -> str:
@@ -90,6 +223,20 @@ class Broker:
         """Number of live subscriptions."""
         return len(self._subs)
 
+    def pending_delivery_count(self) -> int:
+        """Deliveries sent to acked subscribers but not yet acknowledged."""
+        return len(self._deliveries)
+
+    def data_plane_saturation(self) -> float:
+        """Pending-delivery backlog as a fraction of the high watermark.
+
+        0.0 when no overload config is installed; values >= 1.0 mean the
+        broker is actively shedding load.
+        """
+        if self.overload is None:
+            return 0.0
+        return len(self._deliveries) / float(self.overload.high_watermark)
+
     # -- health + metrics endpoints ---------------------------------------
 
     def health(self) -> Dict[str, Any]:
@@ -99,6 +246,9 @@ class Broker:
             "role": "broker",
             "subscriptions": len(self._subs),
             "retained_topics": len(self._retained),
+            "pending_deliveries": len(self._deliveries),
+            "shedding": self._shedding,
+            "dead_letters": len(self.dead_letters),
         }
 
     def metrics(self) -> Dict[str, Any]:
@@ -115,6 +265,17 @@ class Broker:
                 self.stats.duplicate_subscriptions_ignored,
             "publish_acks_sent": self.stats.publish_acks_sent,
             "pings_answered": self.stats.pings_answered,
+            "pending_deliveries": len(self._deliveries),
+            "deliveries_acked": self.stats.deliveries_acked,
+            "redeliveries": self.stats.redeliveries,
+            "consumer_busy": self.stats.consumer_busy,
+            "poison_nacks": self.stats.poison_nacks,
+            "dead_lettered": self.stats.dead_lettered,
+            "dead_letters_queued": len(self.dead_letters),
+            "publications_shed": self.stats.publications_shed,
+            "publisher_rejections": self.stats.publisher_rejections,
+            "data_plane_saturation": self.data_plane_saturation(),
+            "shed_by_topic": dict(self.shed_by_topic),
         }
 
     def _health_route(self, request: Request) -> Response:
@@ -127,14 +288,34 @@ class Broker:
             "registry": registry.snapshot() if registry is not None else {},
         })
 
+    def _dead_letter_route(self, request: Request) -> Response:
+        return ok({
+            "count": len(self.dead_letters),
+            "events": list(self.dead_letters),
+        })
+
+    def _dead_letter_drain_route(self, request: Request) -> Response:
+        drained = list(self.dead_letters)
+        self.dead_letters.clear()
+        self.stats.dead_letters_drained += len(drained)
+        return ok({"drained": len(drained), "events": drained})
+
     def reset(self) -> None:
         """Simulate a broker crash-restart: all in-memory state is lost.
 
         Subscribers recover via their keepalive re-subscription (see
-        :meth:`repro.middleware.peer.MiddlewarePeer.resubscribe_all`).
+        :meth:`repro.middleware.peer.MiddlewarePeer.resubscribe_all`);
+        publishers re-send publications that never earned a pub-ack from
+        their offline buffers, and consumer-side dedup absorbs the
+        resulting redeliveries.
         """
         self._subs.clear()
         self._retained.clear()
+        self._deliveries.clear()
+        self._pending_pubs.clear()
+        self._pending_by_publisher.clear()
+        self._shedding = False
+        self.dead_letters.clear()
 
     # -- control-plane handling ------------------------------------------
 
@@ -149,6 +330,10 @@ class Broker:
             self._publish(message)
         elif verb == "ping":
             self._ping(message)
+        elif verb == "delivery_ack":
+            self._delivery_ack(message)
+        elif verb == "delivery_nack":
+            self._delivery_nack(message)
         # unknown verbs are dropped, like a real broker ignoring bad frames
 
     def _ping(self, message: Message) -> None:
@@ -163,29 +348,33 @@ class Broker:
         pattern = payload["pattern"]
         validate_filter(pattern)
         token = payload.get("token")
+        ack = bool(payload.get("ack", False))
         sub_id = None
         if token is not None:
             # keepalive re-subscription: same peer, port and token means
             # the same logical subscription — re-ack it, don't duplicate
-            for existing_id, (_, subscriber, port, sub_token) \
-                    in self._subs.items():
-                if subscriber == message.sender and \
-                        port == payload["port"] and sub_token == token:
+            for existing_id, sub in self._subs.items():
+                if sub.subscriber == message.sender and \
+                        sub.port == payload["port"] and sub.token == token:
                     sub_id = existing_id
+                    sub.ack = ack
                     self.stats.duplicate_subscriptions_ignored += 1
                     break
         replay_retained = sub_id is None
         if sub_id is None:
             sub_id = next(self._ids)
-            self._subs[sub_id] = (pattern, message.sender, payload["port"],
-                                  token)
+            self._subs[sub_id] = _Sub(pattern, message.sender,
+                                      payload["port"], token, ack)
             self.stats.subscriptions += 1
         self.host.send(message.sender, payload["port"],
                        {"kind": "sub-ack", "sub_id": sub_id,
                         "token": token})
         # late-join state transfer: deliver matching retained events so a
         # new subscriber immediately knows each topic's last value (not
-        # re-replayed on deduplicated keepalive re-subscriptions)
+        # re-replayed on deduplicated keepalive re-subscriptions).
+        # Replays are fire-and-forget even on acked subscriptions: the
+        # consumer's dedup window absorbs them, and a lost replay only
+        # delays the last-value until the next live publication.
         if replay_retained:
             for topic, retained in self._retained.items():
                 if topic_matches(pattern, topic):
@@ -198,16 +387,70 @@ class Broker:
     def _unsubscribe(self, message: Message) -> None:
         self._subs.pop(message.payload.get("sub_id"), None)
 
+    # -- backpressure ------------------------------------------------------
+
+    def _count_shed(self, topic: str) -> None:
+        self.stats.publications_shed += 1
+        self.shed_by_topic[topic] = self.shed_by_topic.get(topic, 0) + 1
+        registry = self.host.network.metrics
+        if registry is not None:
+            registry.counter("pubsub.publications_shed").inc()
+
+    def _over_quota(self, publisher: str) -> bool:
+        """Per-publisher fairness: one flooder cannot starve the rest."""
+        if self.overload is None:
+            return False
+        pending = self._pending_by_publisher.get(publisher, 0)
+        return pending >= self.overload.publisher_quota
+
+    def _saturated(self) -> bool:
+        """Global watermark check with hysteresis (the shedding latch)."""
+        if self.overload is None:
+            return False
+        depth = len(self._deliveries)
+        if self._shedding and depth <= self.overload.low_watermark:
+            self._shedding = False
+            emit(self.host.network, "broker_shedding_stopped",
+                 host=self.host.name, broker=self.host.name, depth=depth)
+        elif not self._shedding and depth >= self.overload.high_watermark:
+            self._shedding = True
+            emit(self.host.network, "broker_shedding_started",
+                 host=self.host.name, broker=self.host.name, depth=depth)
+        return self._shedding
+
+    def _reject_publish(self, message: Message, fairness: bool) -> None:
+        payload = message.payload
+        topic = payload["topic"]
+        self._count_shed(topic)
+        if fairness:
+            self.stats.publisher_rejections += 1
+        emit(self.host.network, "publication_shed", host=self.host.name,
+             broker=self.host.name, publisher=message.sender, topic=topic,
+             cause="quota" if fairness else "watermark")
+        if payload.get("pub_id") is not None and payload.get("ack_port"):
+            # the pub/sub analogue of HTTP 429 + Retry-After: tell the
+            # publisher to back off instead of silently dropping
+            self.host.send(message.sender, payload["ack_port"], {
+                "kind": "pub-reject",
+                "pub_id": payload["pub_id"],
+                "status": 429,
+                "retry_after": self.overload.retry_after,
+            })
+        # unreliable publications are shed outright (no channel to say no)
+
+    # -- publication -------------------------------------------------------
+
     def _publish(self, message: Message) -> None:
         payload = message.payload
         topic = payload["topic"]
         validate_topic(topic)
+        over_quota = self._over_quota(message.sender)
+        if self._saturated() or over_quota:
+            self._reject_publish(message, fairness=over_quota)
+            return
         self.stats.published += 1
-        if payload.get("pub_id") is not None and payload.get("ack_port"):
-            # reliable publication: confirm receipt to the publisher
-            self.stats.publish_acks_sent += 1
-            self.host.send(message.sender, payload["ack_port"],
-                           {"kind": "pub-ack", "pub_id": payload["pub_id"]})
+        reliable = payload.get("pub_id") is not None and \
+            payload.get("ack_port")
         span = None
         tracer = self.host.network.tracer
         if tracer is not None and tracer.enabled:
@@ -238,26 +481,185 @@ class Broker:
             retained.pop("trace", None)
             self._retained[topic] = retained
         network = self.host.network
+        pub_key: Optional[Tuple[str, str, int]] = None
+        if reliable:
+            pub_key = (message.sender, payload["ack_port"],
+                       payload["pub_id"])
         dead: List[int] = []
         deliveries = 0
-        for sub_id, (pattern, subscriber, port, _token) in \
-                self._subs.items():
-            if not topic_matches(pattern, topic):
+        acked_delivery_ids: List[int] = []
+        for sub_id, sub in self._subs.items():
+            if not topic_matches(sub.pattern, topic):
                 continue
-            if not network.has_host(subscriber):
+            if not network.has_host(sub.subscriber):
                 dead.append(sub_id)
                 continue
             self.stats.fanout_deliveries += 1
             deliveries += 1
             fanout = dict(event)
             fanout["sub_id"] = sub_id
-            self.host.send(subscriber, port, fanout)
+            if sub.ack:
+                delivery_id = next(self._delivery_ids)
+                fanout["delivery_id"] = delivery_id
+                self._deliveries[delivery_id] = _PendingDelivery(
+                    delivery_id=delivery_id, sub_id=sub_id,
+                    subscriber=sub.subscriber, port=sub.port,
+                    event=dict(fanout), publisher=message.sender,
+                    topic=topic, pub_key=pub_key,
+                )
+                self._pending_by_publisher[message.sender] = \
+                    self._pending_by_publisher.get(message.sender, 0) + 1
+                acked_delivery_ids.append(delivery_id)
+                network.scheduler.schedule(
+                    self.delivery_ack_timeout, self._check_delivery,
+                    delivery_id,
+                )
+            self.host.send(sub.subscriber, sub.port, fanout)
         for sub_id in dead:
             self._subs.pop(sub_id, None)
             self.stats.dead_subscriptions_dropped += 1
+        if reliable:
+            if acked_delivery_ids:
+                # end-to-end ack: defer the pub-ack until every acked
+                # subscriber has durably handled (or dead-lettered) it
+                self._pending_pubs[pub_key] = _PendingPublish(
+                    publisher=message.sender,
+                    ack_port=payload["ack_port"],
+                    pub_id=payload["pub_id"],
+                    remaining=set(acked_delivery_ids),
+                )
+            else:
+                self.stats.publish_acks_sent += 1
+                self.host.send(message.sender, payload["ack_port"],
+                               {"kind": "pub-ack",
+                                "pub_id": payload["pub_id"]})
         if span is not None:
             span.attributes["deliveries"] = deliveries
             tracer.finish(span)
+
+    # -- consumer acks, redelivery and dead-lettering ----------------------
+
+    def _release_delivery(self, delivery: _PendingDelivery) -> None:
+        """Drop a pending delivery and settle its bookkeeping."""
+        self._deliveries.pop(delivery.delivery_id, None)
+        count = self._pending_by_publisher.get(delivery.publisher, 0) - 1
+        if count > 0:
+            self._pending_by_publisher[delivery.publisher] = count
+        else:
+            self._pending_by_publisher.pop(delivery.publisher, None)
+        if delivery.pub_key is None:
+            return
+        pending_pub = self._pending_pubs.get(delivery.pub_key)
+        if pending_pub is None:
+            return
+        pending_pub.remaining.discard(delivery.delivery_id)
+        if not pending_pub.remaining:
+            self._pending_pubs.pop(delivery.pub_key, None)
+            self.stats.publish_acks_sent += 1
+            self.host.send(pending_pub.publisher, pending_pub.ack_port,
+                           {"kind": "pub-ack",
+                            "pub_id": pending_pub.pub_id})
+
+    def _delivery_ack(self, message: Message) -> None:
+        delivery = self._deliveries.get(
+            message.payload.get("delivery_id")
+        )
+        if delivery is None:
+            return  # late ack for a redelivered/reset delivery
+        self.stats.deliveries_acked += 1
+        self._release_delivery(delivery)
+
+    def _delivery_nack(self, message: Message) -> None:
+        payload = message.payload
+        delivery = self._deliveries.get(payload.get("delivery_id"))
+        if delivery is None:
+            return
+        if payload.get("poison"):
+            self.stats.poison_nacks += 1
+            delivery.poison_count += 1
+            if delivery.poison_count >= self.max_delivery_attempts:
+                self._dead_letter(delivery, reason="poison")
+                return
+            self._redeliver(delivery)
+        else:
+            # busy nack: consumer backpressure, not a poison payload —
+            # redeliver after the ack timeout, never dead-letter
+            self.stats.consumer_busy += 1
+
+    def _check_delivery(self, delivery_id: int) -> None:
+        delivery = self._deliveries.get(delivery_id)
+        if delivery is None:
+            return  # acknowledged in time (or broker restarted)
+        if delivery.attempts >= self.max_delivery_attempts:
+            self._dead_letter(delivery, reason="timeout")
+            return
+        self._redeliver(delivery)
+
+    def _redeliver(self, delivery: _PendingDelivery) -> None:
+        network = self.host.network
+        if not network.has_host(delivery.subscriber):
+            # the subscriber host is gone for good: nothing to deliver to
+            self._subs.pop(delivery.sub_id, None)
+            self.stats.dead_subscriptions_dropped += 1
+            self._release_delivery(delivery)
+            return
+        delivery.attempts += 1
+        self.stats.redeliveries += 1
+        emit(network, "delivery_redelivered", host=self.host.name,
+             broker=self.host.name, topic=delivery.topic,
+             subscriber=delivery.subscriber, attempt=delivery.attempts)
+        self.host.send(delivery.subscriber, delivery.port,
+                       dict(delivery.event))
+        network.scheduler.schedule(
+            self.delivery_ack_timeout, self._check_delivery,
+            delivery.delivery_id,
+        )
+
+    def _dead_letter(self, delivery: _PendingDelivery, reason: str) -> None:
+        """Move a poison/undeliverable event to the dead-letter queue.
+
+        The event is recorded in the bounded dead-letter store and also
+        fanned out (fire-and-forget) on ``deadletter/<original topic>``
+        so operators can subscribe a drain.  The delivery counts as
+        *handled* for the publisher's end-to-end pub-ack: the sample
+        was durably diverted, and retransmitting poison forever would
+        wedge the pipeline the DLQ exists to protect.
+        """
+        self.stats.dead_lettered += 1
+        entry = {
+            "topic": delivery.topic,
+            "payload": delivery.event.get("payload"),
+            "publisher": delivery.publisher,
+            "published_at": delivery.event.get("published_at", 0.0),
+            "attempts": delivery.attempts,
+            "reason": reason,
+            "dead_lettered_at": self.host.network.scheduler.now,
+        }
+        self.dead_letters.append(entry)
+        registry = self.host.network.metrics
+        if registry is not None:
+            registry.counter("pubsub.dead_lettered").inc()
+        emit(self.host.network, "dead_letter", host=self.host.name,
+             broker=self.host.name, topic=delivery.topic, reason=reason,
+             attempts=delivery.attempts)
+        self._release_delivery(delivery)
+        dlq_topic = f"{DEAD_LETTER_PREFIX}/{delivery.topic}"
+        dlq_event = {
+            "kind": "event",
+            "topic": dlq_topic,
+            "payload": entry,
+            "published_at": self.host.network.scheduler.now,
+            "publisher": self.host.name,
+        }
+        for sub_id, sub in self._subs.items():
+            if not topic_matches(sub.pattern, dlq_topic):
+                continue
+            if not self.host.network.has_host(sub.subscriber):
+                continue
+            self.stats.fanout_deliveries += 1
+            fanout = dict(dlq_event)
+            fanout["sub_id"] = sub_id
+            self.host.send(sub.subscriber, sub.port, fanout)
 
 
 def broker_uri(broker: Broker) -> str:

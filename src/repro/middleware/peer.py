@@ -20,6 +20,20 @@ Two opt-in hardening mechanisms make a peer survive broker outages:
   crash-restarted broker (its subscription table lost) is repopulated
   within one keepalive period.  :meth:`resubscribe_all` does the same
   on demand.
+
+Two more mechanisms complete the durable data plane (PR 6):
+
+* **Acked subscriptions** (``subscribe(..., ack=True)``): deliveries
+  carry a ``delivery_id`` and the peer acknowledges each one after the
+  callback returns.  A callback raising
+  :class:`~repro.errors.BackpressureError` sends a *busy* nack (the
+  broker redelivers later); any other exception sends a *poison* nack
+  (counted toward the broker's dead-letter threshold).
+* **Publish rejection** (``pub-reject``): a saturated broker answers a
+  reliable publication with the pub/sub analogue of HTTP 429 +
+  Retry-After.  The peer parks the publication in its offline buffer,
+  pauses publishing for the advised interval, then flushes — load is
+  delayed, not lost, and the broker is not hammered while shedding.
 """
 
 from __future__ import annotations
@@ -28,7 +42,7 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import BackpressureError, ConfigurationError
 from repro.middleware.broker import BROKER_PORT, Event
 from repro.middleware.topics import validate_filter, validate_topic
 from repro.network.transport import Host, Message
@@ -46,11 +60,12 @@ class Subscription:
     """Handle to one active subscription; cancel with :meth:`unsubscribe`."""
 
     def __init__(self, peer: "MiddlewarePeer", token: int, pattern: str,
-                 callback: EventCallback):
+                 callback: EventCallback, ack: bool = False):
         self.peer = peer
         self.token = token
         self.pattern = pattern
         self.callback = callback
+        self.ack = ack
         self.sub_id: Optional[int] = None  # assigned by broker ack
         self.events_received = 0
         self.active = True
@@ -84,7 +99,12 @@ class MiddlewarePeer:
         self.publications_buffered = 0
         self.publications_dropped = 0
         self.publications_flushed = 0
+        self.publications_rejected = 0
+        self.deliveries_acked = 0
+        self.deliveries_nacked = 0
         self.resubscribes_sent = 0
+        self.dropped_by_topic: Dict[str, int] = {}
+        self._paused_until = float("-inf")
         self._port = f"pubsub-peer-{next(self._port_ids)}"
         self._token_ids = itertools.count(1)
         self._by_token: Dict[int, Subscription] = {}
@@ -111,6 +131,11 @@ class MiddlewarePeer:
     def buffered(self) -> int:
         """Publications currently parked in the offline buffer."""
         return len(self._buffer)
+
+    @property
+    def paused(self) -> bool:
+        """True while honouring a broker pub-reject's Retry-After."""
+        return self.host.network.scheduler.now < self._paused_until
 
     def close(self) -> None:
         """Stop the periodic keepalive/probe tasks (teardown)."""
@@ -151,7 +176,7 @@ class MiddlewarePeer:
         if self.publish_buffer is None:
             self.host.send(self.broker_host, BROKER_PORT, envelope)
             return
-        if self._broker_suspect:
+        if self._broker_suspect or self.paused:
             self._enqueue(envelope)
             return
         self._send_reliable(envelope)
@@ -176,11 +201,23 @@ class MiddlewarePeer:
 
     def _enqueue(self, envelope: dict) -> None:
         if len(self._buffer) >= self.publish_buffer:
-            self._buffer.popleft()
+            dropped = self._buffer.popleft()
+            topic = str(dropped.get("topic"))
             self.publications_dropped += 1
+            self.dropped_by_topic[topic] = \
+                self.dropped_by_topic.get(topic, 0) + 1
+            # counters live in the network-wide registry so the drops
+            # show up in every /metrics scrape — including the broker's,
+            # which the fleet collector and loss SLOs read
+            registry = self.host.network.metrics
+            if registry is not None:
+                registry.counter("pubsub.publications_dropped").inc()
+                registry.counter(
+                    f"pubsub.publications_dropped.{topic}"
+                ).inc()
             emit(self.host.network, "publication_dropped",
                  host=self.host.name, peer=self.host.name,
-                 topic=envelope.get("topic"))
+                 topic=dropped.get("topic"))
         self._buffer.append(envelope)
         self.publications_buffered += 1
 
@@ -212,8 +249,10 @@ class MiddlewarePeer:
             if self._probe_task is not None:
                 self._probe_task.stop()
                 self._probe_task = None
+        if self.paused:
+            return  # honour the broker's Retry-After before flushing
         flushed = 0
-        while self._buffer and not self._broker_suspect:
+        while self._buffer and not self._broker_suspect and not self.paused:
             envelope = self._buffer.popleft()
             self.publications_flushed += 1
             flushed += 1
@@ -223,19 +262,57 @@ class MiddlewarePeer:
                  peer=self.host.name, broker=self.broker_host,
                  flushed=flushed)
 
+    def _on_pub_reject(self, payload: dict) -> None:
+        """Broker said 429: park the publication and back off."""
+        envelope = self._pending_pubs.pop(payload.get("pub_id"), None)
+        self.publications_rejected += 1
+        if envelope is not None:
+            self._enqueue(envelope)
+        retry_after = float(payload.get("retry_after", self.ack_timeout))
+        now = self.host.network.scheduler.now
+        resume_at = now + retry_after
+        if resume_at > self._paused_until:
+            self._paused_until = resume_at
+            self.host.network.scheduler.schedule(
+                retry_after, self._resume_publishing
+            )
+        emit(self.host.network, "publication_rejected",
+             host=self.host.name, peer=self.host.name,
+             broker=self.broker_host, retry_after=retry_after)
+
+    def _resume_publishing(self) -> None:
+        if self.paused or self._broker_suspect:
+            return  # a later reject extended the pause, or broker is down
+        flushed = 0
+        while self._buffer and not self.paused and not self._broker_suspect:
+            envelope = self._buffer.popleft()
+            self.publications_flushed += 1
+            flushed += 1
+            self._send_reliable(envelope)
+        if flushed:
+            emit(self.host.network, "buffer_flush", host=self.host.name,
+                 peer=self.host.name, broker=self.broker_host,
+                 flushed=flushed)
+
     # -- subscription -----------------------------------------------------
 
-    def subscribe(self, pattern: str, callback: EventCallback
-                  ) -> Subscription:
+    def subscribe(self, pattern: str, callback: EventCallback,
+                  ack: bool = False) -> Subscription:
         """Subscribe *callback* to events matching *pattern*.
 
         The subscription becomes live once the broker's ack arrives (a
         network round-trip later); events published before that are not
         delivered, matching real broker semantics.
+
+        With *ack*, every delivery is acknowledged back to the broker
+        after the callback returns (at-least-once); a callback raising
+        :class:`~repro.errors.BackpressureError` nacks *busy*, any
+        other exception nacks *poison* (see the broker's dead-letter
+        queue).
         """
         validate_filter(pattern)
         token = next(self._token_ids)
-        subscription = Subscription(self, token, pattern, callback)
+        subscription = Subscription(self, token, pattern, callback, ack=ack)
         self._by_token[token] = subscription
         self._send_subscribe(subscription)
         return subscription
@@ -249,6 +326,7 @@ class MiddlewarePeer:
                 "pattern": subscription.pattern,
                 "port": self._port,
                 "token": subscription.token,
+                "ack": subscription.ack,
             },
         )
 
@@ -300,6 +378,9 @@ class MiddlewarePeer:
                 self.publications_acked += 1
             self._broker_alive()
             return
+        if kind == "pub-reject":
+            self._on_pub_reject(payload)
+            return
         if kind == "pong":
             self._broker_alive()
             return
@@ -339,12 +420,45 @@ class MiddlewarePeer:
             if span is not None:
                 tracer.push(span)
                 try:
-                    sub.callback(event)
+                    self._dispatch(sub, event, payload)
                 finally:
                     tracer.pop()
                     tracer.finish(span)
             else:
-                sub.callback(event)
+                self._dispatch(sub, event, payload)
+
+    def _dispatch(self, sub: Subscription, event: Event,
+                  payload: dict) -> None:
+        """Run the callback; settle the delivery if the broker tracks it.
+
+        Retained replays arrive without a ``delivery_id`` even on acked
+        subscriptions and stay fire-and-forget.  Deliveries on plain
+        subscriptions keep the historical behaviour (exceptions
+        propagate to the scheduler).
+        """
+        delivery_id = payload.get("delivery_id")
+        if delivery_id is None:
+            sub.callback(event)
+            return
+        try:
+            sub.callback(event)
+        except BackpressureError:
+            self.deliveries_nacked += 1
+            self.host.send(self.broker_host, BROKER_PORT, {
+                "verb": "delivery_nack", "delivery_id": delivery_id,
+                "poison": False,
+            })
+        except Exception:
+            self.deliveries_nacked += 1
+            self.host.send(self.broker_host, BROKER_PORT, {
+                "verb": "delivery_nack", "delivery_id": delivery_id,
+                "poison": True,
+            })
+        else:
+            self.deliveries_acked += 1
+            self.host.send(self.broker_host, BROKER_PORT, {
+                "verb": "delivery_ack", "delivery_id": delivery_id,
+            })
 
 
 def connect(host: Host, broker_host: str) -> MiddlewarePeer:

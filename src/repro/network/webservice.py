@@ -349,8 +349,9 @@ class HttpClient:
         With *check* (default) a non-2xx response raises
         :class:`ServiceError`; otherwise the raw :class:`Response` is
         returned for the caller to inspect.  With a retry policy,
-        timeouts and 5xx answers are retried with backoff before the
-        last error is surfaced.
+        timeouts and 5xx answers are retried with backoff, and 429
+        answers are retried after the server's advised ``retry_after``,
+        before the last error is surfaced.
         """
         policy = self.policy
         retry = policy.retry if policy is not None else None
@@ -371,6 +372,19 @@ class HttpClient:
                     self._retry_event(uri, attempt, "timeout",
                                       exhausted=True)
                 raise
+            if response.status == 429 and attempt < attempts:
+                # server-side backpressure: honour the advised
+                # Retry-After instead of the client's own backoff (which
+                # could come back before the server has drained)
+                retry_after = retry.backoff(attempt)
+                if isinstance(response.body, dict):
+                    retry_after = float(
+                        response.body.get("retry_after", retry_after)
+                    )
+                policy.retries += 1
+                self._retry_event(uri, attempt, "http 429 backpressure")
+                self._sleep(retry_after)
+                continue
             if response.status >= 500 and attempt < attempts:
                 policy.retries += 1
                 self._retry_event(uri, attempt, f"http {response.status}")

@@ -139,6 +139,12 @@ def default_slos(scrape_interval: float) -> List[SLO]:
       DB must be younger than ``staleness-bound`` seconds.
     * ``replication-lag`` — un-replicated log entries on the master
       (zero for single-master deployments).
+    * ``data-plane-saturation`` — the broker's pending-delivery backlog
+      as a fraction of its overload high watermark; sustained values
+      near 1.0 mean the broker is (about to start) shedding load.
+    * ``publication-loss`` — device-proxy publications dropped from the
+      offline buffer vs published, the "sustained data loss" signal the
+      per-topic drop counters feed.
     """
     i = scrape_interval
     return [
@@ -176,6 +182,21 @@ def default_slos(scrape_interval: float) -> List[SLO]:
             fast_window=2.5 * i, slow_window=8 * i,
             burn_threshold=6.0, for_duration=i,
             target_kinds=("master",)),
+        SLO(name="data-plane-saturation",
+            description="broker delivery backlog under 90% of watermark",
+            kind=THRESHOLD, objective=0.99,
+            metric="component.data_plane_saturation", bound=0.9,
+            fast_window=2.5 * i, slow_window=8 * i,
+            burn_threshold=6.0, for_duration=i,
+            target_kinds=("broker",)),
+        SLO(name="publication-loss",
+            description="device publications dropped vs published",
+            kind=RATIO, objective=0.95,
+            good_metric="component.measurements_published",
+            bad_metric="component.publications_dropped",
+            fast_window=3 * i, slow_window=10 * i,
+            burn_threshold=4.0, for_duration=i,
+            target_kinds=("device",)),
     ]
 
 

@@ -27,6 +27,7 @@ from repro.storage.localdb import LocalDatabase
 
 _ONTOLOGY_VERSION = 1
 _ARCHIVE_VERSION = 1
+_MDB_STATE_VERSION = 1
 
 
 def _write_json(path: str, payload: Dict) -> None:
@@ -173,3 +174,95 @@ def load_measurements(path: str,
                 source="archive",
             ))
     return database
+
+
+# --------------------------------------------------------------------------
+# measurement-DB state snapshots (durable data plane)
+
+
+@dataclass
+class MeasurementState:
+    """A loaded measurement-DB snapshot: store plus ingest bookkeeping.
+
+    The companion of the write-ahead log (see
+    :mod:`repro.storage.durability`): *database* holds every series at
+    snapshot time, *freshness* the per-device newest-sample timestamps,
+    *dedup_keys* the idempotent-ingest window (so redeliveries of
+    samples already in the snapshot stay deduplicated after recovery),
+    and *entity_for_device* the device -> entity ownership needed to
+    rebuild :class:`~repro.common.cdf.Measurement` rows.
+    """
+
+    database: LocalDatabase
+    freshness: Dict[str, float] = field(default_factory=dict)
+    dedup_keys: list = field(default_factory=list)
+    entity_for_device: Dict[str, str] = field(default_factory=dict)
+
+
+def save_measurement_state(database: LocalDatabase, path: str,
+                           freshness: Optional[Dict[str, float]] = None,
+                           dedup_keys=None,
+                           entity_for_device: Optional[Dict[str, str]]
+                           = None) -> None:
+    """Atomically snapshot a measurement store plus ingest bookkeeping.
+
+    Unlike :func:`save_measurements` (the offline-analysis archive),
+    this snapshot is a *recovery* artifact: it also persists the
+    freshness table and the dedup window, so a restarted measurement DB
+    resumes with exact idempotent-ingest state instead of re-counting
+    redelivered samples.
+    """
+    series = []
+    for device_id in database.devices():
+        for quantity in database.quantities(device_id):
+            pairs = database.series(device_id, quantity).to_pairs()
+            series.append({
+                "device_id": device_id,
+                "quantity": quantity,
+                "samples": [[t, v] for t, v in pairs],
+            })
+    _write_json(path, {
+        "format": "repro-mdb-state",
+        "version": _MDB_STATE_VERSION,
+        "series": series,
+        "freshness": {device: float(t)
+                      for device, t in (freshness or {}).items()},
+        "dedup_keys": [list(key) for key in (dedup_keys or [])],
+        "entity_for_device": dict(entity_for_device or {}),
+    })
+
+
+def load_measurement_state(path: str) -> MeasurementState:
+    """Load a recovery snapshot written by :func:`save_measurement_state`."""
+    from repro.common.cdf import Measurement
+
+    payload = _read_json(path)
+    if payload.get("format") != "repro-mdb-state":
+        raise SerializationError(f"{path!r} is not a measurement-DB "
+                                 f"state snapshot")
+    if payload.get("version") != _MDB_STATE_VERSION:
+        raise SerializationError(
+            f"unsupported measurement-DB state version "
+            f"{payload.get('version')!r}"
+        )
+    entity_for_device = dict(payload.get("entity_for_device", {}))
+    database = LocalDatabase(retention=None)
+    for record in payload.get("series", []):
+        device_id = record["device_id"]
+        entity_id = entity_for_device.get(device_id, "bld-0000")
+        for t, value in record["samples"]:
+            database.insert(Measurement(
+                device_id=device_id,
+                entity_id=entity_id,
+                quantity=record["quantity"],
+                value=float(value),
+                timestamp=float(t),
+                source="snapshot",
+            ))
+    return MeasurementState(
+        database=database,
+        freshness={device: float(t)
+                   for device, t in payload.get("freshness", {}).items()},
+        dedup_keys=[tuple(key) for key in payload.get("dedup_keys", [])],
+        entity_for_device=entity_for_device,
+    )

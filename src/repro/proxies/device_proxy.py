@@ -96,6 +96,7 @@ class DeviceProxy(Proxy):
         #: cleared when the proxy process is down (fault injection):
         #: a dead gateway also stops listening on the radio side
         self.online = True
+        self._seq: Dict[str, int] = {}  # device -> last published seq
         self._devices: Dict[str, _AttachedDevice] = {}
         self._by_address: Dict[str, str] = {}  # native address -> device id
         self._pending: List[_PendingActuation] = []
@@ -151,6 +152,13 @@ class DeviceProxy(Proxy):
         if device_id is None:
             self.frames_rejected += 1
             return
+        # per-device publication sequence number: together with
+        # (device_id, timestamp) it keys the measurement DB's idempotent
+        # ingest, so broker redeliveries and offline-buffer re-flushes of
+        # the same sample never double-count while two genuinely distinct
+        # samples with equal timestamps stay distinct
+        seq = self._seq.get(device_id, 0) + 1
+        self._seq[device_id] = seq
         device = self._devices[device_id].device
         measurement = Measurement(
             device_id=device_id,
@@ -159,7 +167,7 @@ class DeviceProxy(Proxy):
             value=reading.value,
             timestamp=reading.timestamp,
             source=self.name,
-            metadata={"protocol": self.adapter.name},
+            metadata={"protocol": self.adapter.name, "seq": seq},
         )
         self.database.insert(measurement)           # middle layer
         self._publish(measurement)                  # top layer, pub/sub
@@ -247,6 +255,9 @@ class DeviceProxy(Proxy):
             "publications_buffered": self.peer.publications_buffered,
             "publications_dropped": self.peer.publications_dropped,
             "publications_flushed": self.peer.publications_flushed,
+            "publications_rejected": self.peer.publications_rejected,
+            "publications_dropped_by_topic":
+                dict(self.peer.dropped_by_topic),
         })
         return info
 

@@ -147,6 +147,52 @@ class FaultInjector:
         self.restore(self.deployment.broker.name)
         self.deployment.broker.reset()
 
+    def kill_measurement_db(self) -> str:
+        """Take the global measurement DB offline; returns its host name.
+
+        Publications keep flowing to the broker; with acked
+        subscriptions they sit as pending deliveries (redelivered once
+        the DB is back), otherwise they are simply lost.
+        """
+        host_name = self.deployment.measurement_db.host.name
+        self.take_offline(host_name)
+        return host_name
+
+    def restore_measurement_db(self) -> None:
+        """End a measurement-DB network outage (state intact)."""
+        self.restore(self.deployment.measurement_db.host.name)
+
+    def restart_measurement_db(self, recover: bool = True) -> int:
+        """Crash-restart the measurement DB; recover state where possible.
+
+        The crash wipes the in-memory store, freshness table, dedup
+        window and ingest queue.  With ``recover=True`` (the default)
+        the restarted DB reloads its last snapshot and replays the WAL
+        tail (see :meth:`~repro.storage.measurementdb.
+        MeasurementDatabase.recover`) — returns the number of samples
+        restored.  Pass ``recover=False`` to simulate losing the disk
+        too.  Either way the DB re-subscribes on the broker and, when a
+        registration heartbeat is configured, re-registers and resumes
+        heartbeating.
+        """
+        deployment = self.deployment
+        mdb = deployment.measurement_db
+        self.restore(mdb.host.name)
+        mdb.reset()
+        restored = mdb.recover() if recover else 0
+        # the restarted process re-announces itself exactly like a
+        # fresh boot: broker subscription, master registration, lease
+        # renewal loop
+        mdb.peer.resubscribe_all()
+        heartbeat = deployment.config.heartbeat_period
+        lease = heartbeat * deployment.config.lease_factor \
+            if heartbeat else None
+        mdb.register_with(deployment.master_uris, lease=lease)
+        if heartbeat:
+            mdb.start_heartbeat(deployment.master_uris, heartbeat,
+                                lease=lease)
+        return restored
+
     def kill_bim_proxy(self, entity_id: str) -> str:
         """Take one building's BIM proxy offline; returns its host name."""
         try:
@@ -198,7 +244,16 @@ class FaultInjector:
         """
         deployment = self.deployment
         uris = deployment.master_uris
-        deployment.measurement_db.register_with(uris)
+        heartbeat = deployment.config.heartbeat_period
+        lease = heartbeat * deployment.config.lease_factor \
+            if heartbeat else None
+        mdb = deployment.measurement_db
+        mdb.register_with(uris, lease=lease)
+        if heartbeat:
+            # idempotent: start_heartbeat no-ops while the renewal loop
+            # is already running, and restarts it when an mdb
+            # crash-restart left it stopped
+            mdb.start_heartbeat(uris, heartbeat, lease=lease)
         deployment.gis_proxy.register_with(uris)
         for proxy in deployment.bim_proxies.values():
             proxy.register_with(uris)

@@ -155,3 +155,40 @@ def replication_counters(deployment: "DeployedDistrict"
     if deployment.replication is None:
         return {}
     return deployment.replication.counters()
+
+
+def data_plane_counters(deployment: "DeployedDistrict") -> Dict[str, int]:
+    """One flat snapshot of the durable-data-plane counters.
+
+    Collects the delivery-ack/redelivery/dead-letter and overload
+    counters from the broker together with the measurement DB's
+    idempotent-ingest and WAL/recovery counters, plus the peer-side
+    rejection/drop totals — the numbers the R3 benchmark reports and
+    the data-plane runbook reads.  All zero on a deployment without
+    ``mdb_durability`` / ``broker_overload`` configured.
+    """
+    broker = deployment.broker
+    mdb = deployment.measurement_db
+    device_proxies = list(deployment.device_proxies.values())
+    peers = [mdb.peer] + [proxy.peer for proxy in device_proxies]
+    mdb_metrics = mdb.metrics()
+    counters = {
+        "deliveries_acked": broker.stats.deliveries_acked,
+        "redeliveries": broker.stats.redeliveries,
+        "consumer_busy": broker.stats.consumer_busy,
+        "poison_nacks": broker.stats.poison_nacks,
+        "dead_lettered": broker.stats.dead_lettered,
+        "publications_shed": broker.stats.publications_shed,
+        "publisher_rejections": broker.stats.publisher_rejections,
+        "pending_deliveries": broker.pending_delivery_count(),
+        "ingest_duplicates": mdb.ingest_duplicates,
+        "backpressure_signals": mdb_metrics.get("backpressure_signals", 0),
+        "poison_rejected": mdb_metrics.get("poison_rejected", 0),
+        "recoveries": mdb_metrics.get("recoveries", 0),
+        "recovered_samples": mdb_metrics.get("recovered_samples", 0),
+        "wal_fsynced_bytes": mdb_metrics.get("wal_fsynced_bytes", 0),
+        "publications_rejected": sum(p.publications_rejected
+                                     for p in peers),
+        "publications_dropped": sum(p.publications_dropped for p in peers),
+    }
+    return counters

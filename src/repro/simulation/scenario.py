@@ -30,7 +30,7 @@ from repro.devices.base import SimulatedDevice
 from repro.devices.energy import DeviceEnergyModel, budget_for_protocol
 from repro.devices.firmware import DeviceFirmware, RadioLink
 from repro.errors import ConfigurationError
-from repro.middleware.broker import Broker
+from repro.middleware.broker import Broker, BrokerOverloadConfig
 from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
@@ -38,6 +38,7 @@ from repro.observability.collector import FleetMonitor, FleetMonitorConfig
 from repro.protocols.base import make_adapter
 from repro.proxies.database_proxy import BimProxy, GisProxy, SimProxy
 from repro.proxies.device_proxy import DeviceProxy
+from repro.storage.durability import DurabilityConfig
 from repro.storage.measurementdb import MeasurementDatabase
 
 
@@ -95,6 +96,15 @@ class ScenarioConfig:
     #: scrapes every node of this district through the transport layer.
     #: None (the default) deploys nothing: zero scrape traffic.
     fleet_monitor: Optional[FleetMonitorConfig] = None
+    #: durable data plane for the measurement DB (WAL + snapshots +
+    #: consumer acks + idempotent ingest, see
+    #: :class:`~repro.storage.durability.DurabilityConfig`).  None keeps
+    #: the legacy volatile best-effort store.
+    mdb_durability: Optional[DurabilityConfig] = None
+    #: broker backpressure (watermarks + per-publisher fairness, see
+    #: :class:`~repro.middleware.broker.BrokerOverloadConfig`).  None
+    #: disables shedding entirely.
+    broker_overload: Optional[BrokerOverloadConfig] = None
 
 
 @dataclass
@@ -230,7 +240,8 @@ def deploy(config: Optional[ScenarioConfig] = None,
         from repro.observability import install
 
         install(network)
-    broker = Broker(network.add_host("broker"))
+    broker = Broker(network.add_host("broker"),
+                    overload=config.broker_overload)
     master = MasterNode(network.add_host("master"))
     replication = _replicate_if_configured(master, config)
     return deploy_into(master, broker, config, dataset,
@@ -290,6 +301,7 @@ def deploy_into(master: MasterNode, broker: Broker,
     measurement_db = MeasurementDatabase(
         network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id,
         peer_keepalive=config.peer_keepalive,
+        durability=config.mdb_durability,
     )
     mdb_masters = FailoverSet(master_uris)
     measurement_db.register_with(mdb_masters, lease=lease)
@@ -433,7 +445,8 @@ def deploy_federation(configs) -> Federation:
         from repro.observability import install
 
         install(network)
-    broker = Broker(network.add_host("broker"))
+    broker = Broker(network.add_host("broker"),
+                    overload=base.broker_overload)
     master = MasterNode(network.add_host("master"))
     federation = Federation(scheduler=scheduler, network=network,
                             master=master, broker=broker)

@@ -6,17 +6,42 @@ service subscribes to the whole district's measurement topics on the
 middleware and ingests every published sample; a Web Service interface
 serves range queries and per-device freshness so clients (and the
 benchmarks) can ask one place for historical data.
+
+Passing a :class:`~repro.storage.durability.DurabilityConfig` opts the
+store into the durable data plane:
+
+* **crash safety** — every accepted sample is appended (and fsync'd) to
+  a write-ahead log before the delivery is acknowledged; a periodic
+  snapshot (:func:`repro.persistence.save_measurement_state`) bounds
+  replay time and truncates the WAL.  :meth:`recover` restores snapshot
+  + WAL tail after a crash-restart (see
+  :meth:`repro.simulation.faults.FaultInjector.restart_measurement_db`);
+* **idempotent ingest** — samples are deduplicated on
+  ``(device_id, timestamp, quantity, seq)`` over a bounded window, so
+  broker redeliveries and offline-buffer re-flushes never double-count;
+* **bounded ingest queue** — beyond ``queue_capacity`` the consumer
+  raises :class:`~repro.errors.BackpressureError`, which the middleware
+  peer turns into a *busy* nack (the broker redelivers later); malformed
+  payloads raise :class:`~repro.errors.PoisonPayloadError` so repeated
+  failures land in the broker's dead-letter queue instead of wedging
+  ingestion.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.common.cdf import Measurement
-from repro.errors import QueryError, SeriesNotFoundError
+from repro.errors import (
+    BackpressureError,
+    PoisonPayloadError,
+    QueryError,
+    SeriesNotFoundError,
+)
 from repro.middleware.broker import Event
 from repro.middleware.peer import MiddlewarePeer
 from repro.middleware.topics import district_filter
@@ -32,23 +57,55 @@ from repro.network.webservice import (
     error,
     ok,
 )
+from repro.persistence import load_measurement_state, save_measurement_state
+from repro.storage.durability import DurabilityConfig, WriteAheadLog
 from repro.storage.localdb import LocalDatabase
 from repro.storage.query import RangeQuery
+
+#: dedup key of one sample: (device_id, timestamp, quantity, seq)
+DedupKey = Tuple[str, float, str, Optional[int]]
 
 
 class MeasurementDatabase:
     """District-wide measurement store fed by the pub/sub middleware."""
 
     def __init__(self, host: Host, broker_host: str, district_id: str,
-                 peer_keepalive: Optional[float] = None):
+                 peer_keepalive: Optional[float] = None,
+                 durability: Optional[DurabilityConfig] = None):
         self.host = host
         self.district_id = district_id
+        self.durability = durability
         self.store = LocalDatabase(retention=None)
         self.ingested = 0
         self.rejected = 0
+        self.ingest_duplicates = 0
+        self.backpressure_signals = 0
+        self.poison_rejected = 0
+        self.snapshots_written = 0
+        self.recoveries = 0
+        self.recovered_samples = 0
+        self.wal_records_replayed = 0
         self.heartbeats_sent = 0
         self.heartbeats_failed = 0
         self._freshness: Dict[str, float] = {}  # device -> last sample time
+        # a restarted store must not report the downtime as device
+        # staleness: freshness_lag_max() stays 0 until the first live
+        # sample confirms the pipeline is flowing again
+        self._stale_until_sample = False
+        self._entity_for_device: Dict[str, str] = {}
+        self._dedup_keys: Set[DedupKey] = set()
+        self._dedup_order: Deque[DedupKey] = deque()
+        self._queue: Deque[Measurement] = deque()
+        self._drain_scheduled = False
+        self.wal: Optional[WriteAheadLog] = None
+        self._snapshot_task = None
+        if durability is not None:
+            if durability.wal_path is not None:
+                self.wal = WriteAheadLog(durability.wal_path)
+            if durability.snapshot_path is not None:
+                self._snapshot_task = host.network.scheduler.every(
+                    durability.snapshot_period, self.write_snapshot
+                )
         # rolling window of recent publish->delivery latencies; a rolling
         # percentile (unlike a cumulative histogram) recovers once an
         # outage's flushed backlog ages out of the window
@@ -57,7 +114,11 @@ class MeasurementDatabase:
         self._heartbeat_task = None
         self.peer = MiddlewarePeer(host, broker_host,
                                    keepalive=peer_keepalive)
-        self.peer.subscribe(district_filter(district_id), self._on_event)
+        self.peer.subscribe(
+            district_filter(district_id), self._on_event,
+            ack=durability.ack_deliveries if durability is not None
+            else False,
+        )
         self.service = WebService(host)
         self.service.add_route(GET, "/measurements", self._query_route)
         self.service.add_route(GET, "/devices", self._devices_route)
@@ -136,8 +197,72 @@ class MeasurementDatabase:
 
     # -- middleware ingestion ---------------------------------------------
 
+    @staticmethod
+    def _dedup_key(measurement: Measurement) -> DedupKey:
+        seq = None
+        if isinstance(measurement.metadata, dict):
+            seq = measurement.metadata.get("seq")
+        return (measurement.device_id, float(measurement.timestamp),
+                measurement.quantity, seq)
+
+    def _remember(self, key: DedupKey) -> None:
+        """Add *key* to the bounded idempotent-ingest window."""
+        window = self.durability.dedup_window
+        self._dedup_keys.add(key)
+        self._dedup_order.append(key)
+        while len(self._dedup_order) > window:
+            evicted = self._dedup_order.popleft()
+            self._dedup_keys.discard(evicted)
+
     def _on_event(self, event: Event) -> None:
         payload = event.payload
+        if self.durability is None:
+            self._on_event_legacy(payload, event)
+            return
+        if not isinstance(payload, dict) or \
+                payload.get("record") != "measurement":
+            self.rejected += 1
+            self.poison_rejected += 1
+            raise PoisonPayloadError("not a measurement record")
+        try:
+            measurement = Measurement.from_dict(payload)
+        except Exception as exc:
+            self.rejected += 1
+            self.poison_rejected += 1
+            raise PoisonPayloadError(
+                f"measurement failed translation: {exc}"
+            ) from exc
+        key = self._dedup_key(measurement)
+        if key in self._dedup_keys:
+            # redelivery / duplicate offline-buffer flush: already
+            # durably ingested, so acknowledge without double-counting
+            self.ingest_duplicates += 1
+            registry = self.host.network.metrics
+            if registry is not None:
+                registry.counter("mdb.ingest_duplicates").inc()
+            return
+        capacity = self.durability.queue_capacity
+        if capacity is not None and len(self._queue) >= capacity:
+            self.backpressure_signals += 1
+            registry = self.host.network.metrics
+            if registry is not None:
+                registry.counter("mdb.backpressure_signals").inc()
+            raise BackpressureError("measurement-DB ingest queue is full")
+        # the point of no return: once the WAL append succeeds the
+        # sample is durable, the key joins the dedup window, and the
+        # delivery can be acknowledged (ack-after-fsync)
+        if self.wal is not None:
+            self.wal.append(measurement.to_dict())
+        self._remember(key)
+        self._record_latency(event)
+        if self.durability.ingest_delay <= 0:
+            self._ingest_sample(measurement)
+            return
+        self._queue.append(measurement)
+        self._schedule_drain()
+
+    def _on_event_legacy(self, payload, event: Event) -> None:
+        """Historical best-effort ingest (no durability configured)."""
         if not isinstance(payload, dict) or \
                 payload.get("record") != "measurement":
             self.rejected += 1
@@ -147,17 +272,153 @@ class MeasurementDatabase:
         except Exception:
             self.rejected += 1
             return
-        self.store.insert(measurement)
-        self.ingested += 1
+        self._record_latency(event)
+        self._ingest_sample(measurement)
+
+    def _record_latency(self, event: Event) -> None:
         latency = event.delivered_at - event.published_at
         if latency >= 0:
             self._delivery_latencies.append(latency)
             registry = self.host.network.metrics
             if registry is not None:
                 registry.histogram("mdb.delivery_latency").observe(latency)
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or not self._queue:
+            return
+        self._drain_scheduled = True
+        self.host.network.scheduler.schedule(
+            self.durability.ingest_delay, self._drain_one
+        )
+
+    def _drain_one(self) -> None:
+        self._drain_scheduled = False
+        if not self._queue:
+            return
+        measurement = self._queue.popleft()
+        self._ingest_sample(measurement)
+        self._schedule_drain()
+
+    def _ingest_sample(self, measurement: Measurement) -> None:
+        self.store.insert(measurement)
+        self.ingested += 1
+        self._entity_for_device[measurement.device_id] = \
+            measurement.entity_id
+        self._stale_until_sample = False
         previous = self._freshness.get(measurement.device_id, float("-inf"))
         if measurement.timestamp > previous:
             self._freshness[measurement.device_id] = measurement.timestamp
+
+    # -- crash, recovery and snapshots -------------------------------------
+
+    def reset(self) -> None:
+        """Simulate a crash-restart: all in-memory state is lost.
+
+        The WAL and snapshot files survive on disk; :meth:`recover`
+        restores from them.  Until the first live sample arrives the
+        staleness indicators report "no data yet" rather than a spike
+        covering the downtime (which would false-fire the staleness
+        SLO for an outage the devices are not guilty of).
+        """
+        self.store = LocalDatabase(retention=None)
+        self.ingested = 0
+        self.rejected = 0
+        self.ingest_duplicates = 0
+        self.backpressure_signals = 0
+        self.poison_rejected = 0
+        self._freshness.clear()
+        self._entity_for_device.clear()
+        self._dedup_keys.clear()
+        self._dedup_order.clear()
+        self._queue.clear()
+        self._drain_scheduled = False
+        self._delivery_latencies.clear()
+        self._stale_until_sample = True
+        if self.wal is not None:
+            self.wal.close()  # the process died; the file remains
+
+    def recover(self) -> int:
+        """Restore state from the snapshot and the WAL tail.
+
+        Returns the number of samples restored.  Recovery is
+        idempotent: WAL records already contained in the snapshot (a
+        crash between "snapshot written" and "WAL truncated") are
+        absorbed by the restored dedup window.
+        """
+        if self.durability is None:
+            return 0
+        restored = 0
+        snapshot_path = self.durability.snapshot_path
+        if snapshot_path is not None:
+            if os.path.exists(snapshot_path):
+                state = load_measurement_state(snapshot_path)
+                self.store = state.database
+                self._freshness.update(state.freshness)
+                self._entity_for_device.update(state.entity_for_device)
+                for key in state.dedup_keys:
+                    self._remember(tuple(key))
+                restored += sum(
+                    len(self.store.series(device, quantity))
+                    for device in self.store.devices()
+                    for quantity in self.store.quantities(device)
+                )
+        if self.wal is not None:
+            for record in self.wal.replay():
+                try:
+                    measurement = Measurement.from_dict(record)
+                except Exception:
+                    continue  # a poison record can never have been acked
+                self.wal_records_replayed += 1
+                key = self._dedup_key(measurement)
+                if key in self._dedup_keys:
+                    continue
+                self._remember(key)
+                self.store.insert(measurement)
+                self._entity_for_device[measurement.device_id] = \
+                    measurement.entity_id
+                previous = self._freshness.get(measurement.device_id,
+                                               float("-inf"))
+                if measurement.timestamp > previous:
+                    self._freshness[measurement.device_id] = \
+                        measurement.timestamp
+                restored += 1
+        self.recoveries += 1
+        self.recovered_samples += restored
+        registry = self.host.network.metrics
+        if registry is not None:
+            registry.counter("mdb.recoveries").inc()
+            registry.counter("mdb.recovered_samples").inc(restored)
+        # recovered freshness describes the world before the crash;
+        # stay "stale until first sample" so the lag metric reports the
+        # pipeline's health, not the outage's length
+        return restored
+
+    def write_snapshot(self) -> None:
+        """Persist the full store + ingest bookkeeping, truncate the WAL."""
+        if self.durability is None or \
+                self.durability.snapshot_path is None:
+            return
+        save_measurement_state(
+            self.store, self.durability.snapshot_path,
+            freshness=self._freshness,
+            dedup_keys=list(self._dedup_order),
+            entity_for_device=self._entity_for_device,
+        )
+        self.snapshots_written += 1
+        if self.wal is not None:
+            # everything in the WAL is now in the snapshot; a crash
+            # right here merely replays nothing
+            self.wal.reset()
+
+    def close(self) -> None:
+        """Stop periodic tasks and release the WAL handle (teardown)."""
+        self.stop_heartbeat()
+        if self._snapshot_task is not None:
+            self._snapshot_task.stop()
+            self._snapshot_task = None
+        if self.wal is not None:
+            self.wal.close()
+        self.peer.close()
 
     # -- direct (in-process) query API ------------------------------------
 
@@ -182,8 +443,12 @@ class MeasurementDatabase:
 
         The district-level staleness indicator: a silent device (or a
         lost middleware path) shows up here as an ever-growing lag.
+        Right after a restart the store reports 0 until the first live
+        sample arrives — recovered timestamps describe the pre-crash
+        world and would otherwise spike the staleness SLO for the
+        duration of the outage.
         """
-        if not self._freshness:
+        if self._stale_until_sample or not self._freshness:
             return 0.0
         now = self.host.network.scheduler.now
         return max(now - last for last in self._freshness.values())
@@ -217,13 +482,16 @@ class MeasurementDatabase:
             "district_id": self.district_id,
             "ingested": self.ingested,
             "rejected": self.rejected,
+            "durable": self.durability is not None,
+            "stale_until_sample": self._stale_until_sample,
+            "ingest_queue_depth": len(self._queue),
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeats_failed": self.heartbeats_failed,
         })
 
     def metrics(self) -> Dict:
         """Numeric counters for the ``/metrics`` endpoint."""
-        return {
+        payload = {
             "ingested": self.ingested,
             "rejected": self.rejected,
             "devices": len(self._freshness),
@@ -234,6 +502,33 @@ class MeasurementDatabase:
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeats_failed": self.heartbeats_failed,
         }
+        if self.durability is not None:
+            queue_capacity = self.durability.queue_capacity
+            payload.update({
+                "ingest_duplicates": self.ingest_duplicates,
+                "dedup_window_size": len(self._dedup_order),
+                "ingest_queue_depth": len(self._queue),
+                "backpressure_signals": self.backpressure_signals,
+                "poison_rejected": self.poison_rejected,
+                "snapshots_written": self.snapshots_written,
+                "recoveries": self.recoveries,
+                "recovered_samples": self.recovered_samples,
+                "wal_records_replayed": self.wal_records_replayed,
+                "stale_until_sample": int(self._stale_until_sample),
+                "data_plane_saturation":
+                    len(self._queue) / float(queue_capacity)
+                    if queue_capacity else 0.0,
+            })
+            if self.wal is not None:
+                payload.update({
+                    "wal_appends": self.wal.appends,
+                    "wal_fsyncs": self.wal.fsyncs,
+                    "wal_fsynced_bytes": self.wal.fsynced_bytes,
+                    "wal_size_bytes": self.wal.size_bytes(),
+                    "wal_torn_records_skipped":
+                        self.wal.torn_records_skipped,
+                })
+        return payload
 
     def _metrics_route(self, request: Request) -> Response:
         registry = self.host.network.metrics
