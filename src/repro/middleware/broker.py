@@ -21,15 +21,24 @@ Three opt-in mechanisms make the measurement path durable end-to-end:
   measurement DB (consumers deduplicate, see
   :class:`~repro.storage.measurementdb.MeasurementDatabase`).
 * **End-to-end publish acks** — when a reliable publication matches
-  acked subscribers, the ``pub-ack`` back to the publisher is deferred
-  until every acked subscriber has acknowledged (or the event was
-  dead-lettered), so "acked" means "durably handled", not "received".
+  acked subscribers, the broker immediately answers ``pub-receipt``
+  ("I have custody, consumers are settling") and defers the final
+  ``pub-ack`` until every acked subscriber has acknowledged (or the
+  event was poison-dead-lettered), so "acked" means "durably
+  handled", not "received".  The receipt lets publishers distinguish
+  slow consumer settling from a dead broker (see
+  :class:`~repro.middleware.peer.MiddlewarePeer`'s settle timeout).
 * **Dead-letter queue** — a delivery negatively acknowledged as
   *poison* (payload fails translation/validation) more than
   ``max_delivery_attempts`` times moves to a bounded dead-letter store
   (inspect via ``GET /deadletter``, drain via ``POST
   /deadletter/drain``) instead of wedging the consumer.  *Busy* nacks
-  (consumer backpressure) only delay redelivery and never dead-letter.
+  (consumer backpressure) reset the attempt budget: backpressure only
+  delays redelivery and never dead-letters.  A consumer that stops
+  responding entirely exhausts the budget and is dead-lettered with
+  reason ``timeout`` — but, unlike poison, a timeout dead-letter
+  withholds the end-to-end pub-ack so the publisher retransmits and
+  the sample is delayed, not silently diverted.
 
 :class:`BrokerOverloadConfig` adds backpressure: when the pending
 delivery backlog crosses the high watermark (hysteresis down to the low
@@ -98,6 +107,8 @@ class BrokerStats:
     poison_nacks: int = 0
     dead_lettered: int = 0
     dead_letters_drained: int = 0
+    dead_letters_evicted: int = 0
+    pub_acks_withheld: int = 0
     publications_shed: int = 0
     publisher_rejections: int = 0
 
@@ -156,6 +167,9 @@ class _PendingDelivery:
     poison_count: int = 0
     #: key of the publisher's pending pub-ack, None for unreliable
     pub_key: Optional[Tuple[str, str, int]] = None
+    #: bumped on every redelivery; a pending ``_check_delivery`` timer
+    #: from an earlier send is stale and must not redeliver again
+    generation: int = 0
 
 
 @dataclass
@@ -166,6 +180,9 @@ class _PendingPublish:
     ack_port: str
     pub_id: int
     remaining: Set[int] = field(default_factory=set)
+    #: a delivery timed out undeliverable: withhold the pub-ack so the
+    #: publisher retransmits instead of believing the sample durable
+    failed: bool = False
 
 
 class Broker:
@@ -272,6 +289,8 @@ class Broker:
             "poison_nacks": self.stats.poison_nacks,
             "dead_lettered": self.stats.dead_lettered,
             "dead_letters_queued": len(self.dead_letters),
+            "dead_letters_evicted": self.stats.dead_letters_evicted,
+            "pub_acks_withheld": self.stats.pub_acks_withheld,
             "publications_shed": self.stats.publications_shed,
             "publisher_rejections": self.stats.publisher_rejections,
             "data_plane_saturation": self.data_plane_saturation(),
@@ -512,7 +531,7 @@ class Broker:
                 acked_delivery_ids.append(delivery_id)
                 network.scheduler.schedule(
                     self.delivery_ack_timeout, self._check_delivery,
-                    delivery_id,
+                    delivery_id, 0,
                 )
             self.host.send(sub.subscriber, sub.port, fanout)
         for sub_id in dead:
@@ -528,6 +547,12 @@ class Broker:
                     pub_id=payload["pub_id"],
                     remaining=set(acked_delivery_ids),
                 )
+                # immediate receipt: the broker has custody, consumers
+                # are settling — stops the publisher's ack timeout from
+                # reading slow consumer settling as a dead broker
+                self.host.send(message.sender, payload["ack_port"],
+                               {"kind": "pub-receipt",
+                                "pub_id": payload["pub_id"]})
             else:
                 self.stats.publish_acks_sent += 1
                 self.host.send(message.sender, payload["ack_port"],
@@ -539,8 +564,15 @@ class Broker:
 
     # -- consumer acks, redelivery and dead-lettering ----------------------
 
-    def _release_delivery(self, delivery: _PendingDelivery) -> None:
-        """Drop a pending delivery and settle its bookkeeping."""
+    def _release_delivery(self, delivery: _PendingDelivery,
+                          handled: bool = True) -> None:
+        """Drop a pending delivery and settle its bookkeeping.
+
+        *handled* is False when the delivery was abandoned without the
+        consumer durably taking it (a timeout dead-letter): the
+        publisher's end-to-end pub-ack is then withheld, so its own
+        retry re-publishes the sample instead of trusting a false ack.
+        """
         self._deliveries.pop(delivery.delivery_id, None)
         count = self._pending_by_publisher.get(delivery.publisher, 0) - 1
         if count > 0:
@@ -552,9 +584,18 @@ class Broker:
         pending_pub = self._pending_pubs.get(delivery.pub_key)
         if pending_pub is None:
             return
+        if not handled:
+            pending_pub.failed = True
         pending_pub.remaining.discard(delivery.delivery_id)
         if not pending_pub.remaining:
             self._pending_pubs.pop(delivery.pub_key, None)
+            if pending_pub.failed:
+                self.stats.pub_acks_withheld += 1
+                emit(self.host.network, "pub_ack_withheld",
+                     host=self.host.name, broker=self.host.name,
+                     publisher=pending_pub.publisher,
+                     pub_id=pending_pub.pub_id)
+                return
             self.stats.publish_acks_sent += 1
             self.host.send(pending_pub.publisher, pending_pub.ack_port,
                            {"kind": "pub-ack",
@@ -583,13 +624,20 @@ class Broker:
             self._redeliver(delivery)
         else:
             # busy nack: consumer backpressure, not a poison payload —
-            # redeliver after the ack timeout, never dead-letter
+            # redeliver after the ack timeout, never dead-letter.  The
+            # consumer is demonstrably alive, so the attempt budget
+            # resets: only consecutive *unanswered* deliveries may
+            # exhaust it (sustained backpressure must never divert
+            # acknowledged samples to the DLQ)
             self.stats.consumer_busy += 1
+            delivery.attempts = 0
 
-    def _check_delivery(self, delivery_id: int) -> None:
+    def _check_delivery(self, delivery_id: int, generation: int) -> None:
         delivery = self._deliveries.get(delivery_id)
         if delivery is None:
             return  # acknowledged in time (or broker restarted)
+        if delivery.generation != generation:
+            return  # stale timer: the delivery was re-sent since
         if delivery.attempts >= self.max_delivery_attempts:
             self._dead_letter(delivery, reason="timeout")
             return
@@ -604,6 +652,7 @@ class Broker:
             self._release_delivery(delivery)
             return
         delivery.attempts += 1
+        delivery.generation += 1  # invalidates any outstanding timer
         self.stats.redeliveries += 1
         emit(network, "delivery_redelivered", host=self.host.name,
              broker=self.host.name, topic=delivery.topic,
@@ -612,7 +661,7 @@ class Broker:
                        dict(delivery.event))
         network.scheduler.schedule(
             self.delivery_ack_timeout, self._check_delivery,
-            delivery.delivery_id,
+            delivery.delivery_id, delivery.generation,
         )
 
     def _dead_letter(self, delivery: _PendingDelivery, reason: str) -> None:
@@ -620,10 +669,13 @@ class Broker:
 
         The event is recorded in the bounded dead-letter store and also
         fanned out (fire-and-forget) on ``deadletter/<original topic>``
-        so operators can subscribe a drain.  The delivery counts as
-        *handled* for the publisher's end-to-end pub-ack: the sample
-        was durably diverted, and retransmitting poison forever would
-        wedge the pipeline the DLQ exists to protect.
+        so operators can subscribe a drain.  A *poison* dead-letter
+        counts as handled for the publisher's end-to-end pub-ack (the
+        sample was durably diverted, and retransmitting poison forever
+        would wedge the pipeline the DLQ exists to protect); a
+        *timeout* dead-letter — the consumer simply never answered —
+        withholds the pub-ack so the publisher retransmits once the
+        consumer is back.
         """
         self.stats.dead_lettered += 1
         entry = {
@@ -635,14 +687,26 @@ class Broker:
             "reason": reason,
             "dead_lettered_at": self.host.network.scheduler.now,
         }
-        self.dead_letters.append(entry)
         registry = self.host.network.metrics
+        if self.dead_letters.maxlen is not None and \
+                len(self.dead_letters) >= self.dead_letters.maxlen:
+            # the bounded store is full: the append below evicts the
+            # oldest entry, which is real (dead-lettered, hence
+            # publisher-acked for poison) data leaving the system —
+            # never silently
+            self.stats.dead_letters_evicted += 1
+            if registry is not None:
+                registry.counter("pubsub.dead_letters_evicted").inc()
+            emit(self.host.network, "dead_letter_evicted",
+                 host=self.host.name, broker=self.host.name,
+                 topic=self.dead_letters[0].get("topic"))
+        self.dead_letters.append(entry)
         if registry is not None:
             registry.counter("pubsub.dead_lettered").inc()
         emit(self.host.network, "dead_letter", host=self.host.name,
              broker=self.host.name, topic=delivery.topic, reason=reason,
              attempts=delivery.attempts)
-        self._release_delivery(delivery)
+        self._release_delivery(delivery, handled=reason != "timeout")
         dlq_topic = f"{DEAD_LETTER_PREFIX}/{delivery.topic}"
         dlq_event = {
             "kind": "event",

@@ -34,13 +34,23 @@ Two more mechanisms complete the durable data plane (PR 6):
   Retry-After.  The peer parks the publication in its offline buffer,
   pauses publishing for the advised interval, then flushes — load is
   delayed, not lost, and the broker is not hammered while shedding.
+* **Publish receipts** (``pub-receipt``): when the broker defers the
+  end-to-end pub-ack until its acked consumers settle, it answers an
+  immediate receipt.  A publication with a receipt is given
+  ``settle_timeout`` (default ``8 × ack_timeout``) instead of
+  ``ack_timeout`` before being re-buffered, so legitimately slow
+  consumer settling (ingest queues, busy-nack redelivery) does not
+  falsely mark a healthy broker suspect and duplicate the
+  publication.  A publication whose final ack never arrives within
+  the settle budget is still re-published (at-least-once; consumer
+  dedup absorbs it).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Set
 
 from repro.errors import BackpressureError, ConfigurationError
 from repro.middleware.broker import BROKER_PORT, Event
@@ -85,17 +95,28 @@ class MiddlewarePeer:
     def __init__(self, host: Host, broker_host: str,
                  publish_buffer: Optional[int] = None,
                  ack_timeout: float = 2.0,
-                 keepalive: Optional[float] = None):
+                 keepalive: Optional[float] = None,
+                 settle_timeout: Optional[float] = None):
         if publish_buffer is not None and publish_buffer < 1:
             raise ConfigurationError("publish buffer must hold >= 1 event")
         if ack_timeout <= 0:
             raise ConfigurationError("ack timeout must be positive")
+        if settle_timeout is None:
+            # must exceed the consumers' worst-case settle time (ingest
+            # queues draining, busy-nack redelivery rounds at the
+            # broker's delivery_ack_timeout) or healthy deferred acks
+            # are read as loss and re-published
+            settle_timeout = 8.0 * ack_timeout
+        if settle_timeout <= 0:
+            raise ConfigurationError("settle timeout must be positive")
         self.host = host
         self.broker_host = broker_host
         self.events_published = 0
         self.publish_buffer = publish_buffer
         self.ack_timeout = ack_timeout
+        self.settle_timeout = settle_timeout
         self.publications_acked = 0
+        self.publication_receipts = 0
         self.publications_buffered = 0
         self.publications_dropped = 0
         self.publications_flushed = 0
@@ -111,6 +132,9 @@ class MiddlewarePeer:
         self._by_sub_id: Dict[int, Subscription] = {}
         self._pub_ids = itertools.count(1)
         self._pending_pubs: Dict[int, dict] = {}
+        #: pub_ids the broker sent a pub-receipt for (custody taken,
+        #: consumers settling) whose settle budget has not been spent
+        self._receipts: Set[int] = set()
         self._buffer: Deque[dict] = deque()
         self._broker_suspect = False
         self._probe_task = None
@@ -193,9 +217,20 @@ class MiddlewarePeer:
         )
 
     def _pub_timeout(self, pub_id: int) -> None:
-        envelope = self._pending_pubs.pop(pub_id, None)
+        envelope = self._pending_pubs.get(pub_id)
         if envelope is None:
+            self._receipts.discard(pub_id)
             return  # acked in time
+        if pub_id in self._receipts:
+            # the broker holds the publication and its consumers are
+            # settling (deferred end-to-end ack): allow the settle
+            # budget before treating the publication as lost
+            self._receipts.discard(pub_id)
+            self.host.network.scheduler.schedule(
+                self.settle_timeout, self._pub_timeout, pub_id
+            )
+            return
+        self._pending_pubs.pop(pub_id, None)
         self._enqueue(envelope)
         self._mark_suspect()
 
@@ -265,6 +300,7 @@ class MiddlewarePeer:
     def _on_pub_reject(self, payload: dict) -> None:
         """Broker said 429: park the publication and back off."""
         envelope = self._pending_pubs.pop(payload.get("pub_id"), None)
+        self._receipts.discard(payload.get("pub_id"))
         self.publications_rejected += 1
         if envelope is not None:
             self._enqueue(envelope)
@@ -376,6 +412,16 @@ class MiddlewarePeer:
             if self._pending_pubs.pop(payload.get("pub_id"), None) \
                     is not None:
                 self.publications_acked += 1
+            self._receipts.discard(payload.get("pub_id"))
+            self._broker_alive()
+            return
+        if kind == "pub-receipt":
+            # broker took custody but its consumers are still settling:
+            # extend this publication's patience to the settle budget
+            # (see _pub_timeout) — and the broker is evidently alive
+            if payload.get("pub_id") in self._pending_pubs:
+                self._receipts.add(payload["pub_id"])
+                self.publication_receipts += 1
             self._broker_alive()
             return
         if kind == "pub-reject":

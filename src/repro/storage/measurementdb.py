@@ -398,6 +398,13 @@ class MeasurementDatabase:
         if self.durability is None or \
                 self.durability.snapshot_path is None:
             return
+        # acknowledged samples may still sit in the ingest queue (with
+        # ingest_delay > 0); their WAL records are about to be
+        # truncated and their dedup keys persisted, so fold them into
+        # the store first — otherwise a crash after this snapshot
+        # would lose them while suppressing any redelivered copy
+        while self._queue:
+            self._ingest_sample(self._queue.popleft())
         save_measurement_state(
             self.store, self.durability.snapshot_path,
             freshness=self._freshness,
