@@ -1,0 +1,205 @@
+"""Line-protocol batch frames for the high-throughput ingest path.
+
+Device proxies batch measurement samples into *frames* — one pub/sub
+envelope carrying many samples — instead of publishing one envelope per
+sample.  Each sample inside a frame is encoded as a single text line in
+an InfluxDB-line-protocol-inspired grammar::
+
+    <quantity>,device=<id>,entity=<id>[,source=<s>][,protocol=<p>] \
+value=<float>[,seq=<int>] <timestamp>
+
+i.e. a *measurement name* (the CDF quantity), a comma-separated tag
+set, a field set, and the sample timestamp in simulated seconds.  Tag
+values escape ``\\``, `` ``, ``,`` and ``=`` with a backslash so device
+ids containing delimiters round-trip.
+
+The frame itself is a plain dict (the pub/sub payload)::
+
+    {"record": "measurement_batch", "count": N, "lines": [<line>, ...]}
+
+The full wire contract — flush thresholds, topic layout, idempotency
+keys, how frames interact with the WAL — is documented in
+``docs/storage.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.common.cdf import Measurement
+from repro.errors import SerializationError
+
+#: payload tag marking a batch frame envelope
+BATCH_RECORD = "measurement_batch"
+
+_ESCAPE = str.maketrans({
+    "\\": "\\\\",
+    ",": "\\,",
+    " ": "\\ ",
+    "=": "\\=",
+})
+
+
+def _escape(text: str) -> str:
+    return str(text).translate(_ESCAPE)
+
+
+def _split_escaped(text: str, separator: str) -> List[str]:
+    """Split on unescaped *separator*, keeping escape sequences intact.
+
+    The grammar nests (space → comma → equals), so splitting must NOT
+    consume escapes — only :func:`_unescape` on terminal values does.
+    """
+    if "\\" not in text:
+        # fast path: no escapes present (the overwhelmingly common
+        # case — ids with spaces/commas are rare), plain split is
+        # an order of magnitude faster than the char walk below
+        return text.split(separator)
+    parts: List[str] = []
+    current: List[str] = []
+    escaped = False
+    for char in text:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == separator:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if escaped:
+        raise SerializationError(f"dangling escape in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _unescape(text: str) -> str:
+    """Resolve backslash escapes in one terminal value."""
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    escaped = False
+    for char in text:
+        if escaped:
+            out.append(char)
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        else:
+            out.append(char)
+    if escaped:
+        raise SerializationError(f"dangling escape in {text!r}")
+    return "".join(out)
+
+
+def encode_line(measurement: Measurement) -> str:
+    """Encode one measurement as a line-protocol line.
+
+    Only the metadata keys the ingest contract depends on travel in the
+    line: ``seq`` (the idempotency key component, as a field) and
+    ``protocol`` (as a tag).  Other metadata stays proxy-local.
+    """
+    tags = [
+        f"device={_escape(measurement.device_id)}",
+        f"entity={_escape(measurement.entity_id)}",
+    ]
+    if measurement.source:
+        tags.append(f"source={_escape(measurement.source)}")
+    protocol = measurement.metadata.get("protocol") \
+        if isinstance(measurement.metadata, dict) else None
+    if protocol:
+        tags.append(f"protocol={_escape(protocol)}")
+    fields = [f"value={float(measurement.value)!r}"]
+    seq = measurement.metadata.get("seq") \
+        if isinstance(measurement.metadata, dict) else None
+    if seq is not None:
+        fields.append(f"seq={int(seq)}")
+    return (f"{_escape(measurement.quantity)},{','.join(tags)} "
+            f"{','.join(fields)} {float(measurement.timestamp)!r}")
+
+
+def decode_line(line: str) -> Measurement:
+    """Decode one line-protocol line back into a :class:`Measurement`."""
+    if not isinstance(line, str) or not line.strip():
+        raise SerializationError(f"empty line-protocol line {line!r}")
+    sections = _split_escaped(line.strip(), " ")
+    if len(sections) != 3:
+        raise SerializationError(
+            f"line-protocol line needs 3 space-separated sections, "
+            f"got {len(sections)}: {line!r}"
+        )
+    head, field_text, stamp_text = sections
+    head_parts = _split_escaped(head, ",")
+    quantity = _unescape(head_parts[0])
+    tags: Dict[str, str] = {}
+    for part in head_parts[1:]:
+        pieces = _split_escaped(part, "=")
+        if len(pieces) != 2:
+            raise SerializationError(f"malformed tag {part!r} in {line!r}")
+        tags[pieces[0]] = _unescape(pieces[1])
+    fields: Dict[str, str] = {}
+    for part in _split_escaped(field_text, ","):
+        key, _, value = part.partition("=")
+        fields[key] = value
+    if "device" not in tags or "entity" not in tags:
+        raise SerializationError(f"line missing device/entity tag: {line!r}")
+    if "value" not in fields:
+        raise SerializationError(f"line missing value field: {line!r}")
+    try:
+        value = float(fields["value"])
+        timestamp = float(stamp_text)
+    except ValueError as exc:
+        raise SerializationError(f"bad numeric in line {line!r}") from exc
+    metadata: Dict[str, Any] = {}
+    if "protocol" in tags:
+        metadata["protocol"] = tags["protocol"]
+    if "seq" in fields:
+        try:
+            metadata["seq"] = int(fields["seq"])
+        except ValueError as exc:
+            raise SerializationError(f"bad seq in line {line!r}") from exc
+    return Measurement(
+        device_id=tags["device"],
+        entity_id=tags["entity"],
+        quantity=quantity,
+        value=value,
+        timestamp=timestamp,
+        source=tags.get("source", ""),
+        metadata=metadata,
+    )
+
+
+def encode_frame(measurements: Sequence[Measurement]) -> Dict[str, Any]:
+    """Encode measurements as one batch-frame pub/sub payload."""
+    lines = [encode_line(m) for m in measurements]
+    return {"record": BATCH_RECORD, "count": len(lines), "lines": lines}
+
+
+def decode_frame(payload: Any) -> List[Measurement]:
+    """Decode a batch-frame payload into its measurements.
+
+    Raises :class:`~repro.errors.SerializationError` on any malformed
+    frame or line — the caller turns that into a poison nack so a bad
+    frame dead-letters instead of wedging ingestion.
+    """
+    if not isinstance(payload, dict) or \
+            payload.get("record") != BATCH_RECORD:
+        raise SerializationError("payload is not a measurement batch")
+    lines = payload.get("lines")
+    if not isinstance(lines, list):
+        raise SerializationError("batch frame has no line list")
+    declared = payload.get("count")
+    if declared is not None and declared != len(lines):
+        raise SerializationError(
+            f"batch frame count {declared!r} != {len(lines)} lines"
+        )
+    return [decode_line(line) for line in lines]
+
+
+def is_batch(payload: Any) -> bool:
+    """True when a pub/sub payload is a batch frame envelope."""
+    return isinstance(payload, dict) and \
+        payload.get("record") == BATCH_RECORD

@@ -27,7 +27,12 @@ from repro.storage.localdb import LocalDatabase
 
 _ONTOLOGY_VERSION = 1
 _ARCHIVE_VERSION = 1
+#: v1: row-per-series LocalDatabase dump; v2: columnar BlockStore dump
+#: ("engine": "blocks") carrying sealed blocks + rollup state verbatim.
+#: Writers pick the version matching the live engine; the loader
+#: accepts both.
 _MDB_STATE_VERSION = 1
+_MDB_STATE_VERSION_BLOCKS = 2
 
 
 def _write_json(path: str, payload: Dict) -> None:
@@ -193,13 +198,13 @@ class MeasurementState:
     rebuild :class:`~repro.common.cdf.Measurement` rows.
     """
 
-    database: LocalDatabase
+    database: object  # LocalDatabase or repro.storage.blocks.BlockStore
     freshness: Dict[str, float] = field(default_factory=dict)
     dedup_keys: list = field(default_factory=list)
     entity_for_device: Dict[str, str] = field(default_factory=dict)
 
 
-def save_measurement_state(database: LocalDatabase, path: str,
+def save_measurement_state(database, path: str,
                            freshness: Optional[Dict[str, float]] = None,
                            dedup_keys=None,
                            entity_for_device: Optional[Dict[str, str]]
@@ -210,8 +215,28 @@ def save_measurement_state(database: LocalDatabase, path: str,
     this snapshot is a *recovery* artifact: it also persists the
     freshness table and the dedup window, so a restarted measurement DB
     resumes with exact idempotent-ingest state instead of re-counting
-    redelivered samples.
+    redelivered samples.  A :class:`~repro.storage.blocks.BlockStore`
+    snapshots as format version 2, carrying its sealed blocks and
+    rollup state verbatim (recovery must not recompute rollups from
+    raw data it may no longer retain).
     """
+    from repro.storage.blocks import BlockStore
+
+    common = {
+        "freshness": {device: float(t)
+                      for device, t in (freshness or {}).items()},
+        "dedup_keys": [list(key) for key in (dedup_keys or [])],
+        "entity_for_device": dict(entity_for_device or {}),
+    }
+    if isinstance(database, BlockStore):
+        _write_json(path, {
+            "format": "repro-mdb-state",
+            "version": _MDB_STATE_VERSION_BLOCKS,
+            "engine": "blocks",
+            "tsdb": database.to_dict(),
+            **common,
+        })
+        return
     series = []
     for device_id in database.devices():
         for quantity in database.quantities(device_id):
@@ -225,27 +250,39 @@ def save_measurement_state(database: LocalDatabase, path: str,
         "format": "repro-mdb-state",
         "version": _MDB_STATE_VERSION,
         "series": series,
-        "freshness": {device: float(t)
-                      for device, t in (freshness or {}).items()},
-        "dedup_keys": [list(key) for key in (dedup_keys or [])],
-        "entity_for_device": dict(entity_for_device or {}),
+        **common,
     })
 
 
 def load_measurement_state(path: str) -> MeasurementState:
     """Load a recovery snapshot written by :func:`save_measurement_state`."""
     from repro.common.cdf import Measurement
+    from repro.storage.blocks import BlockStore
 
     payload = _read_json(path)
     if payload.get("format") != "repro-mdb-state":
         raise SerializationError(f"{path!r} is not a measurement-DB "
                                  f"state snapshot")
-    if payload.get("version") != _MDB_STATE_VERSION:
+    version = payload.get("version")
+    if version not in (_MDB_STATE_VERSION, _MDB_STATE_VERSION_BLOCKS):
         raise SerializationError(
-            f"unsupported measurement-DB state version "
-            f"{payload.get('version')!r}"
+            f"unsupported measurement-DB state version {version!r}"
         )
     entity_for_device = dict(payload.get("entity_for_device", {}))
+    if version == _MDB_STATE_VERSION_BLOCKS:
+        if payload.get("engine") != "blocks":
+            raise SerializationError(
+                f"unknown storage engine {payload.get('engine')!r} in "
+                f"{path!r}"
+            )
+        return MeasurementState(
+            database=BlockStore.from_dict(payload["tsdb"]),
+            freshness={device: float(t) for device, t
+                       in payload.get("freshness", {}).items()},
+            dedup_keys=[tuple(key)
+                        for key in payload.get("dedup_keys", [])],
+            entity_for_device=entity_for_device,
+        )
     database = LocalDatabase(retention=None)
     for record in payload.get("series", []):
         device_id = record["device_id"]

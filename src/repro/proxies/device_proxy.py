@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.common import serialization
 from repro.common.cdf import ActuationResult, Measurement
+from repro.common.lineproto import encode_frame
 from repro.common.serialization import JSON_FORMAT
 from repro.devices.base import SimulatedDevice
 from repro.devices.firmware import RadioLink
@@ -35,7 +36,7 @@ from repro.errors import (
     SeriesNotFoundError,
 )
 from repro.middleware.peer import MiddlewarePeer
-from repro.middleware.topics import actuation_topic, measurement_topic
+from repro.middleware.topics import actuation_topic, join, measurement_topic
 from repro.network.transport import Host
 from repro.network.webservice import (
     GET,
@@ -49,6 +50,27 @@ from repro.protocols.base import ProtocolAdapter, RawReading
 from repro.proxies.base import Proxy
 from repro.storage.localdb import LocalDatabase
 from repro.storage.query import RangeQuery
+
+
+@dataclass
+class BatchConfig:
+    """Flush thresholds for line-protocol batch publication.
+
+    A proxy with batching enabled accumulates samples into an open
+    frame and publishes the frame as ONE pub/sub envelope when either
+    bound is hit: *max_samples* samples collected (size flush) or
+    *max_age* simulated seconds since the frame's first sample (age
+    flush — bounds the extra delivery latency batching introduces).
+    """
+
+    max_samples: int = 50
+    max_age: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ConfigurationError("batch max_samples must be >= 1")
+        if self.max_age <= 0:
+            raise ConfigurationError("batch max_age must be positive")
 
 
 @dataclass
@@ -80,6 +102,7 @@ class DeviceProxy(Proxy):
         actuation_timeout: float = 5.0,
         publish_buffer: Optional[int] = None,
         peer_keepalive: Optional[float] = None,
+        batching: Optional[BatchConfig] = None,
     ):
         super().__init__(host)
         self.adapter = adapter
@@ -96,6 +119,17 @@ class DeviceProxy(Proxy):
         #: cleared when the proxy process is down (fault injection):
         #: a dead gateway also stops listening on the radio side
         self.online = True
+        self.batching = batching
+        self.batch_frames_published = 0
+        self.batch_samples_published = 0
+        self.batch_flushes_size = 0
+        self.batch_flushes_age = 0
+        self.batch_samples_dropped_offline = 0
+        self._batch: List[Measurement] = []
+        #: bumped on every flush so in-flight age timers for an already
+        #: flushed frame become no-ops (schedule() handles can't be
+        #: cancelled)
+        self._batch_gen = 0
         self._seq: Dict[str, int] = {}  # device -> last published seq
         self._devices: Dict[str, _AttachedDevice] = {}
         self._by_address: Dict[str, str] = {}  # native address -> device id
@@ -174,6 +208,9 @@ class DeviceProxy(Proxy):
         self._confirm_pending(device_id, measurement)
 
     def _publish(self, measurement: Measurement) -> None:
+        if self.batching is not None:
+            self._batch_sample(measurement)
+            return
         topic = measurement_topic(
             self.district_id, measurement.entity_id,
             measurement.device_id, measurement.quantity,
@@ -181,6 +218,56 @@ class DeviceProxy(Proxy):
         # retained, so late-joining monitors immediately see last values
         self.peer.publish(topic, measurement.to_dict(), retain=True)
         self.measurements_published += 1
+
+    # -- batched publication ---------------------------------------------------
+
+    @property
+    def batch_topic(self) -> str:
+        """Topic carrying this proxy's batch frames.
+
+        Lives under ``district/<id>/...`` so the measurement database's
+        existing district-wide subscription filter matches it without
+        any broker changes.
+        """
+        return join("district", self.district_id, "batch", self.name)
+
+    def _batch_sample(self, measurement: Measurement) -> None:
+        self._batch.append(measurement)
+        if len(self._batch) == 1:
+            # first sample opens the frame: arm the age bound
+            self.host.network.scheduler.schedule(
+                self.batching.max_age, self._age_flush, self._batch_gen
+            )
+        if len(self._batch) >= self.batching.max_samples:
+            self.batch_flushes_size += 1
+            self.flush_batch()
+
+    def _age_flush(self, generation: int) -> None:
+        if generation != self._batch_gen or not self._batch:
+            return  # frame already flushed by the size bound
+        self.batch_flushes_age += 1
+        self.flush_batch()
+
+    def flush_batch(self) -> None:
+        """Publish the open frame (if any) as one batch envelope.
+
+        Batch frames are NOT retained: retained last-value semantics
+        apply to per-sample topics only (see docs/storage.md).  A proxy
+        taken offline drops its open frame — the samples were never
+        acknowledged downstream, so this is ordinary sensor loss, not
+        acked-data loss.
+        """
+        batch, self._batch = self._batch, []
+        self._batch_gen += 1
+        if not batch:
+            return
+        if not self.online:
+            self.batch_samples_dropped_offline += len(batch)
+            return
+        self.peer.publish(self.batch_topic, encode_frame(batch))
+        self.batch_frames_published += 1
+        self.batch_samples_published += len(batch)
+        self.measurements_published += len(batch)
 
     # -- actuation ------------------------------------------------------------
 
@@ -252,6 +339,13 @@ class DeviceProxy(Proxy):
             "frames_rejected": self.frames_rejected,
             "frames_dropped_offline": self.frames_dropped_offline,
             "measurements_published": self.measurements_published,
+            "batch_frames_published": self.batch_frames_published,
+            "batch_samples_published": self.batch_samples_published,
+            "batch_flushes_size": self.batch_flushes_size,
+            "batch_flushes_age": self.batch_flushes_age,
+            "batch_samples_dropped_offline":
+                self.batch_samples_dropped_offline,
+            "batch_open_samples": len(self._batch),
             "publications_buffered": self.peer.publications_buffered,
             "publications_dropped": self.peer.publications_dropped,
             "publications_flushed": self.peer.publications_flushed,

@@ -37,7 +37,8 @@ from repro.network.transport import LatencyModel, Network
 from repro.observability.collector import FleetMonitor, FleetMonitorConfig
 from repro.protocols.base import make_adapter
 from repro.proxies.database_proxy import BimProxy, GisProxy, SimProxy
-from repro.proxies.device_proxy import DeviceProxy
+from repro.proxies.device_proxy import BatchConfig, DeviceProxy
+from repro.storage.blocks import TsdbConfig
 from repro.storage.durability import DurabilityConfig
 from repro.storage.measurementdb import MeasurementDatabase
 
@@ -105,6 +106,15 @@ class ScenarioConfig:
     #: :class:`~repro.middleware.broker.BrokerOverloadConfig`).  None
     #: disables shedding entirely.
     broker_overload: Optional[BrokerOverloadConfig] = None
+    #: columnar time-series engine for the measurement DB (sealed
+    #: blocks + rollups + compaction, see
+    #: :class:`~repro.storage.blocks.TsdbConfig`).  None keeps the
+    #: dict-backed :class:`~repro.storage.localdb.LocalDatabase`.
+    mdb_tsdb: Optional[TsdbConfig] = None
+    #: batch device-proxy publications into line-protocol frames (see
+    #: :class:`~repro.proxies.device_proxy.BatchConfig`).  None keeps
+    #: one envelope per sample.
+    proxy_batching: Optional[BatchConfig] = None
 
 
 @dataclass
@@ -302,6 +312,7 @@ def deploy_into(master: MasterNode, broker: Broker,
         network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id,
         peer_keepalive=config.peer_keepalive,
         durability=config.mdb_durability,
+        tsdb=config.mdb_tsdb,
     )
     mdb_masters = FailoverSet(master_uris)
     measurement_db.register_with(mdb_masters, lease=lease)
@@ -478,6 +489,7 @@ def _deploy_devices(deployment: DeployedDistrict) -> None:
             retention=config.retention,
             publish_buffer=config.publish_buffer,
             peer_keepalive=config.peer_keepalive,
+            batching=config.proxy_batching,
         )
         for spec in specs:
             device = build_device(spec, dataset)

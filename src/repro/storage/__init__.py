@@ -1,8 +1,9 @@
-"""Measurement storage: time series, proxy-local DB, global DB."""
+"""Measurement storage: time series, proxy-local DB, global DB, TSDB."""
 
+from repro.storage.blocks import BlockStore, SealedBlock, TsdbConfig
 from repro.storage.localdb import LocalDatabase
 from repro.storage.measurementdb import MeasurementDatabase
-from repro.storage.query import RangeQuery
+from repro.storage.query import RangeQuery, RollupQuery, choose_resolution
 from repro.storage.timeseries import (
     AGGREGATIONS,
     TimeSeries,
@@ -12,10 +13,15 @@ from repro.storage.timeseries import (
 
 __all__ = [
     "AGGREGATIONS",
+    "BlockStore",
     "LocalDatabase",
     "MeasurementDatabase",
     "RangeQuery",
+    "RollupQuery",
+    "SealedBlock",
     "TimeSeries",
+    "TsdbConfig",
     "aligned_sum",
+    "choose_resolution",
     "merge",
 ]

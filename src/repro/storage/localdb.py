@@ -45,6 +45,7 @@ class LocalDatabase:
             ) from None
 
     def has_series(self, device_id: str, quantity: str) -> bool:
+        """True when at least one sample exists for the series."""
         return (device_id, quantity) in self._series
 
     def devices(self) -> List[str]:

@@ -36,10 +36,12 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 import numpy as np
 
 from repro.common.cdf import Measurement
+from repro.common.lineproto import BATCH_RECORD, decode_frame, is_batch
 from repro.errors import (
     BackpressureError,
     PoisonPayloadError,
     QueryError,
+    SerializationError,
     SeriesNotFoundError,
 )
 from repro.middleware.broker import Event
@@ -58,9 +60,10 @@ from repro.network.webservice import (
     ok,
 )
 from repro.persistence import load_measurement_state, save_measurement_state
+from repro.storage.blocks import BlockStore, TsdbConfig
 from repro.storage.durability import DurabilityConfig, WriteAheadLog
 from repro.storage.localdb import LocalDatabase
-from repro.storage.query import RangeQuery
+from repro.storage.query import RangeQuery, RollupQuery
 
 #: dedup key of one sample: (device_id, timestamp, quantity, seq)
 DedupKey = Tuple[str, float, str, Optional[int]]
@@ -71,13 +74,17 @@ class MeasurementDatabase:
 
     def __init__(self, host: Host, broker_host: str, district_id: str,
                  peer_keepalive: Optional[float] = None,
-                 durability: Optional[DurabilityConfig] = None):
+                 durability: Optional[DurabilityConfig] = None,
+                 tsdb: Optional[TsdbConfig] = None):
         self.host = host
         self.district_id = district_id
         self.durability = durability
-        self.store = LocalDatabase(retention=None)
+        self.tsdb = tsdb
+        self.store = self._new_store()
         self.ingested = 0
         self.rejected = 0
+        self.batches_ingested = 0
+        self.batch_samples = 0
         self.ingest_duplicates = 0
         self.backpressure_signals = 0
         self.poison_rejected = 0
@@ -106,6 +113,11 @@ class MeasurementDatabase:
                 self._snapshot_task = host.network.scheduler.every(
                     durability.snapshot_period, self.write_snapshot
                 )
+        self._compaction_task = None
+        if tsdb is not None and tsdb.compaction_period is not None:
+            self._compaction_task = host.network.scheduler.every(
+                tsdb.compaction_period, self._compact
+            )
         # rolling window of recent publish->delivery latencies; a rolling
         # percentile (unlike a cumulative histogram) recovers once an
         # outage's flushed backlog ages out of the window
@@ -121,6 +133,7 @@ class MeasurementDatabase:
         )
         self.service = WebService(host)
         self.service.add_route(GET, "/measurements", self._query_route)
+        self.service.add_route(GET, "/query_range", self._query_range_route)
         self.service.add_route(GET, "/devices", self._devices_route)
         self.service.add_route(GET, "/freshness/{device_id}",
                                self._freshness_route)
@@ -129,7 +142,14 @@ class MeasurementDatabase:
 
     @property
     def uri(self) -> str:
+        """Base URI of this store's web-service interface."""
         return self.service.base_uri
+
+    def _new_store(self) -> Union[LocalDatabase, BlockStore]:
+        """A fresh storage engine per the configured profile."""
+        if self.tsdb is not None:
+            return BlockStore(self.tsdb)
+        return LocalDatabase(retention=None)
 
     def _registration_payload(self, lease: Optional[float]) -> Dict:
         payload = {
@@ -173,6 +193,7 @@ class MeasurementDatabase:
         )
 
     def stop_heartbeat(self) -> None:
+        """Stop the periodic master re-registration heartbeat."""
         if self._heartbeat_task is not None:
             self._heartbeat_task.stop()
             self._heartbeat_task = None
@@ -219,6 +240,9 @@ class MeasurementDatabase:
         if self.durability is None:
             self._on_event_legacy(payload, event)
             return
+        if is_batch(payload):
+            self._on_batch(payload, event)
+            return
         if not isinstance(payload, dict) or \
                 payload.get("record") != "measurement":
             self.rejected += 1
@@ -261,8 +285,81 @@ class MeasurementDatabase:
         self._queue.append(measurement)
         self._schedule_drain()
 
+    def _on_batch(self, payload: Dict, event: Event) -> None:
+        """Durable whole-frame ingest: one WAL fsync per frame.
+
+        The frame is the unit of delivery and redelivery; dedup stays
+        per-sample, so a redelivered frame whose samples were already
+        ingested acks without double-counting, and a frame that
+        partially overlaps the dedup window ingests only the fresh
+        samples.  The WAL record holds only the fresh lines — replay
+        cannot resurrect a duplicate.
+        """
+        try:
+            measurements = decode_frame(payload)
+        except SerializationError as exc:
+            self.rejected += 1
+            self.poison_rejected += 1
+            raise PoisonPayloadError(
+                f"batch frame failed decoding: {exc}"
+            ) from exc
+        registry = self.host.network.metrics
+        fresh: List[Tuple[str, Measurement, DedupKey]] = []
+        seen: Set[DedupKey] = set()
+        for line, measurement in zip(payload["lines"], measurements):
+            key = self._dedup_key(measurement)
+            if key in self._dedup_keys or key in seen:
+                self.ingest_duplicates += 1
+                if registry is not None:
+                    registry.counter("mdb.ingest_duplicates").inc()
+                continue
+            seen.add(key)
+            fresh.append((line, measurement, key))
+        if not fresh:
+            return  # fully redelivered frame: ack, nothing to store
+        capacity = self.durability.queue_capacity
+        if capacity is not None and len(self._queue) >= capacity:
+            # whole-frame backpressure BEFORE any durable effect: the
+            # broker redelivers the complete frame later and dedup
+            # absorbs any samples a competing path landed meanwhile
+            self.backpressure_signals += 1
+            if registry is not None:
+                registry.counter("mdb.backpressure_signals").inc()
+            raise BackpressureError("measurement-DB ingest queue is full")
+        if self.wal is not None:
+            self.wal.append({"record": BATCH_RECORD,
+                             "count": len(fresh),
+                             "lines": [line for line, _m, _k in fresh]})
+        for _line, _measurement, key in fresh:
+            self._remember(key)
+        self._record_latency(event)
+        self.batches_ingested += 1
+        self.batch_samples += len(fresh)
+        if registry is not None:
+            registry.counter("mdb.batches_ingested").inc()
+            registry.counter("mdb.batch_samples").inc(len(fresh))
+        if self.durability.ingest_delay <= 0:
+            for _line, measurement, _key in fresh:
+                self._ingest_sample(measurement)
+            return
+        for _line, measurement, _key in fresh:
+            self._queue.append(measurement)
+        self._schedule_drain()
+
     def _on_event_legacy(self, payload, event: Event) -> None:
         """Historical best-effort ingest (no durability configured)."""
+        if is_batch(payload):
+            try:
+                measurements = decode_frame(payload)
+            except SerializationError:
+                self.rejected += 1
+                return
+            self._record_latency(event)
+            self.batches_ingested += 1
+            self.batch_samples += len(measurements)
+            for measurement in measurements:
+                self._ingest_sample(measurement)
+            return
         if not isinstance(payload, dict) or \
                 payload.get("record") != "measurement":
             self.rejected += 1
@@ -320,9 +417,11 @@ class MeasurementDatabase:
         covering the downtime (which would false-fire the staleness
         SLO for an outage the devices are not guilty of).
         """
-        self.store = LocalDatabase(retention=None)
+        self.store = self._new_store()
         self.ingested = 0
         self.rejected = 0
+        self.batches_ingested = 0
+        self.batch_samples = 0
         self.ingest_duplicates = 0
         self.backpressure_signals = 0
         self.poison_rejected = 0
@@ -357,31 +456,24 @@ class MeasurementDatabase:
                 self._entity_for_device.update(state.entity_for_device)
                 for key in state.dedup_keys:
                     self._remember(tuple(key))
-                restored += sum(
-                    len(self.store.series(device, quantity))
-                    for device in self.store.devices()
-                    for quantity in self.store.quantities(device)
-                )
+                restored += self.store.sample_count()
         if self.wal is not None:
             for record in self.wal.replay():
+                if is_batch(record):
+                    try:
+                        measurements = decode_frame(record)
+                    except SerializationError:
+                        continue  # poison frames were never acked
+                    self.wal_records_replayed += 1
+                    for measurement in measurements:
+                        restored += self._restore_sample(measurement)
+                    continue
                 try:
                     measurement = Measurement.from_dict(record)
                 except Exception:
                     continue  # a poison record can never have been acked
                 self.wal_records_replayed += 1
-                key = self._dedup_key(measurement)
-                if key in self._dedup_keys:
-                    continue
-                self._remember(key)
-                self.store.insert(measurement)
-                self._entity_for_device[measurement.device_id] = \
-                    measurement.entity_id
-                previous = self._freshness.get(measurement.device_id,
-                                               float("-inf"))
-                if measurement.timestamp > previous:
-                    self._freshness[measurement.device_id] = \
-                        measurement.timestamp
-                restored += 1
+                restored += self._restore_sample(measurement)
         self.recoveries += 1
         self.recovered_samples += restored
         registry = self.host.network.metrics
@@ -392,6 +484,21 @@ class MeasurementDatabase:
         # stay "stale until first sample" so the lag metric reports the
         # pipeline's health, not the outage's length
         return restored
+
+    def _restore_sample(self, measurement: Measurement) -> int:
+        """Replay one WAL sample into the store; 1 if fresh, 0 if dupe."""
+        key = self._dedup_key(measurement)
+        if key in self._dedup_keys:
+            return 0
+        self._remember(key)
+        self.store.insert(measurement)
+        self._entity_for_device[measurement.device_id] = \
+            measurement.entity_id
+        previous = self._freshness.get(measurement.device_id,
+                                       float("-inf"))
+        if measurement.timestamp > previous:
+            self._freshness[measurement.device_id] = measurement.timestamp
+        return 1
 
     def write_snapshot(self) -> None:
         """Persist the full store + ingest bookkeeping, truncate the WAL."""
@@ -423,15 +530,88 @@ class MeasurementDatabase:
         if self._snapshot_task is not None:
             self._snapshot_task.stop()
             self._snapshot_task = None
+        if self._compaction_task is not None:
+            self._compaction_task.stop()
+            self._compaction_task = None
         if self.wal is not None:
             self.wal.close()
         self.peer.close()
+
+    # -- background compaction ---------------------------------------------
+
+    def _compact(self) -> None:
+        """One block-store compaction pass on the simulated clock."""
+        if not isinstance(self.store, BlockStore):
+            return
+        result = self.store.compact(self.host.network.scheduler.now)
+        registry = self.host.network.metrics
+        if registry is not None:
+            registry.counter("mdb.compactions").inc()
+            registry.counter("mdb.blocks_merged").inc(
+                result["blocks_merged"])
+            registry.counter("mdb.blocks_retired").inc(
+                result["blocks_retired"])
 
     # -- direct (in-process) query API ------------------------------------
 
     def query(self, query: RangeQuery) -> List:
         """Run a range query against the global store."""
         return self.store.query(query)
+
+    def query_range(self, query: RollupQuery) -> List[Tuple[float, float]]:
+        """Bucketed aggregates for a device or an entity target.
+
+        A device target queries its series directly (rollup-served when
+        the engine is a :class:`~repro.storage.blocks.BlockStore` and a
+        rollup resolution divides the step).  An entity target fans out
+        to every device observed under that entity and combines the
+        per-device buckets with district roll-up semantics: ``sum`` /
+        ``mean`` / ``count`` add across devices (entity power is the
+        sum of device powers), ``min``/``max`` take the envelope;
+        ``first``/``last`` are per-device notions and are rejected.
+        """
+        if self.store.has_series(query.target, query.quantity):
+            return self._device_range(query.target, query)
+        devices = sorted(
+            device
+            for device, entity in self._entity_for_device.items()
+            if entity == query.target
+            and self.store.has_series(device, query.quantity)
+        )
+        if not devices:
+            raise SeriesNotFoundError(
+                f"no samples for {query.target}/{query.quantity}"
+            )
+        if query.agg in ("first", "last"):
+            raise QueryError(
+                f"{query.agg!r} is a per-device aggregation; "
+                f"query a device id, not entity {query.target!r}"
+            )
+        combined: Dict[float, float] = {}
+        for device in devices:
+            for bucket, value in self._device_range(device, query):
+                if bucket not in combined:
+                    combined[bucket] = value
+                elif query.agg == "min":
+                    combined[bucket] = min(combined[bucket], value)
+                elif query.agg == "max":
+                    combined[bucket] = max(combined[bucket], value)
+                else:
+                    combined[bucket] += value
+        return sorted(combined.items())
+
+    def _device_range(self, device_id: str, query: RollupQuery
+                      ) -> List[Tuple[float, float]]:
+        if isinstance(self.store, BlockStore):
+            return self.store.query_range(
+                device_id, query.quantity, query.start, query.end,
+                query.step, query.agg, prefer=query.prefer,
+            )
+        return self.store.query(RangeQuery(
+            device_id=device_id, quantity=query.quantity,
+            start=query.start, end=query.end,
+            bucket=query.step, agg=query.agg,
+        ))
 
     def freshness(self, device_id: str) -> Optional[float]:
         """Timestamp of the newest ingested sample for *device_id*."""
@@ -472,6 +652,19 @@ class MeasurementDatabase:
             return error(404, str(exc))
         return ok({"samples": [[t, v] for t, v in samples]})
 
+    def _query_range_route(self, request: Request) -> Response:
+        try:
+            query = RollupQuery.from_params(request.params)
+            samples = self.query_range(query)
+        except QueryError as exc:
+            return error(400, str(exc))
+        except SeriesNotFoundError as exc:
+            return error(404, str(exc))
+        return ok({
+            "samples": [[t, v] for t, v in samples],
+            "source": getattr(self.store, "last_query_source", None),
+        })
+
     def _devices_route(self, request: Request) -> Response:
         return ok({"devices": self.store.devices()})
 
@@ -501,6 +694,8 @@ class MeasurementDatabase:
         payload = {
             "ingested": self.ingested,
             "rejected": self.rejected,
+            "batches_ingested": self.batches_ingested,
+            "batch_samples": self.batch_samples,
             "devices": len(self._freshness),
             "delivery_latency_p90": self.delivery_latency_p90(),
             "freshness_lag_max": self.freshness_lag_max(),
@@ -526,6 +721,9 @@ class MeasurementDatabase:
                     len(self._queue) / float(queue_capacity)
                     if queue_capacity else 0.0,
             })
+        if isinstance(self.store, BlockStore):
+            payload["tsdb"] = self.store.stats()
+        if self.durability is not None:
             if self.wal is not None:
                 payload.update({
                     "wal_appends": self.wal.appends,

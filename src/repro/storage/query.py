@@ -3,10 +3,35 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.errors import QueryError
 from repro.storage.timeseries import AGGREGATIONS
+
+#: relative tolerance for "resolution divides step" float checks
+_DIVIDES_RTOL = 1e-9
+
+
+def choose_resolution(step: float,
+                      resolutions: Sequence[float]) -> Optional[float]:
+    """Pick the coarsest rollup resolution that can serve a *step* query.
+
+    A resolution ``r`` can serve bucket width *step* when ``r <= step``
+    and ``r`` divides *step* evenly (so rollup buckets nest exactly
+    inside query buckets — both are floor-aligned to multiples of their
+    width).  Returns ``None`` when no configured resolution qualifies,
+    which sends the query down the raw-block scan path.
+    """
+    best: Optional[float] = None
+    for resolution in resolutions:
+        if resolution > step * (1 + _DIVIDES_RTOL):
+            continue
+        ratio = step / resolution
+        if abs(ratio - round(ratio)) > _DIVIDES_RTOL * ratio:
+            continue
+        if best is None or resolution > best:
+            best = resolution
+    return best
 
 
 @dataclass(frozen=True)
@@ -72,4 +97,75 @@ class RangeQuery:
             end=opt_float("end"),
             bucket=opt_float("bucket"),
             agg=params.get("agg", "mean"),
+        )
+
+
+@dataclass(frozen=True)
+class RollupQuery:
+    """A rollup-backed range query against the measurement database.
+
+    *target* is a device id (or an entity id — the measurement DB
+    resolves entities to their devices and combines per-device
+    buckets).  Unlike :class:`RangeQuery`, the window and *step* are
+    mandatory: this is the dashboard query shape the block store plans
+    rollups for.  ``prefer`` forces a serving path — ``"raw"`` for the
+    scan arm of benchmark comparisons, ``"rollup"`` to fail loudly when
+    no rollup resolution divides *step*.
+    """
+
+    target: str
+    quantity: str
+    start: float
+    end: float
+    step: float
+    agg: str = "mean"
+    prefer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise QueryError(
+                f"reversed query window [{self.start}, {self.end})"
+            )
+        if self.step <= 0:
+            raise QueryError("step width must be positive")
+        if self.agg not in AGGREGATIONS:
+            raise QueryError(f"unknown aggregation {self.agg!r}")
+        if self.prefer not in (None, "raw", "rollup"):
+            raise QueryError(f"unknown prefer mode {self.prefer!r}")
+
+    def to_params(self) -> Dict[str, str]:
+        """Encode as flat string params for a web-service request."""
+        params = {"target": self.target, "quantity": self.quantity,
+                  "start": repr(self.start), "end": repr(self.end),
+                  "step": repr(self.step), "agg": self.agg}
+        if self.prefer is not None:
+            params["prefer"] = self.prefer
+        return params
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "RollupQuery":
+        """Decode from web-service request params."""
+        def need_float(key: str) -> float:
+            raw = params.get(key)
+            if raw is None or raw == "":
+                raise QueryError(f"missing query parameter {key!r}")
+            try:
+                return float(raw)
+            except (TypeError, ValueError):
+                raise QueryError(f"bad numeric parameter {key}={raw!r}") \
+                    from None
+
+        try:
+            target = params["target"]
+            quantity = params["quantity"]
+        except KeyError as exc:
+            raise QueryError(f"missing query parameter {exc}") from None
+        return cls(
+            target=target,
+            quantity=quantity,
+            start=need_float("start"),
+            end=need_float("end"),
+            step=need_float("step"),
+            agg=params.get("agg", "mean"),
+            prefer=params.get("prefer") or None,
         )

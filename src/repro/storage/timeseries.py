@@ -145,11 +145,13 @@ class TimeSeries:
         return float(min(max(mean, np.min(values)), np.max(values)))
 
     def minimum(self) -> float:
+        """Smallest value in the series; raises on an empty series."""
         if not self._values:
             raise StorageError("series is empty")
         return float(np.min(self.values))
 
     def maximum(self) -> float:
+        """Largest value in the series; raises on an empty series."""
         if not self._values:
             raise StorageError("series is empty")
         return float(np.max(self.values))

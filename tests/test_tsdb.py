@@ -1,0 +1,560 @@
+"""Tests for the high-throughput measurement pipeline.
+
+Covers the line-protocol batch frame codec, device-proxy batch flush
+boundaries (size and age), frame-idempotent ingest under broker
+redelivery, the columnar block store (sealing, rollup-vs-raw
+agreement, compaction correctness, retention), rollup-backed
+``query_range`` at the measurement DB (device and entity targets, the
+HTTP route), and crash-restart recovery of sealed blocks + rollup
+state through the v2 snapshot format and batch WAL records.
+"""
+
+import pytest
+
+from repro.common.cdf import Measurement
+from repro.common.lineproto import (
+    decode_frame,
+    decode_line,
+    encode_frame,
+    encode_line,
+    is_batch,
+)
+from repro.errors import (
+    ConfigurationError,
+    QueryError,
+    SerializationError,
+    SeriesNotFoundError,
+)
+from repro.middleware.broker import Broker
+from repro.middleware.peer import MiddlewarePeer
+from repro.middleware.topics import join
+from repro.network.scheduler import Scheduler
+from repro.network.transport import LatencyModel, Network
+from repro.network.webservice import HttpClient
+from repro.persistence import load_measurement_state, save_measurement_state
+from repro.proxies.device_proxy import BatchConfig
+from repro.simulation.faults import FaultInjector
+from repro.simulation.scenario import ScenarioConfig, deploy
+from repro.storage.blocks import BlockStore, TsdbConfig
+from repro.storage.durability import DurabilityConfig
+from repro.storage.measurementdb import MeasurementDatabase
+from repro.storage.query import RollupQuery, choose_resolution
+from repro.storage.timeseries import AGGREGATIONS, TimeSeries
+
+DISTRICT = "dst-0001"
+
+
+@pytest.fixture
+def net():
+    return Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+
+
+def sample(t=1.0, seq=1, device="dev-0001", value=20.0,
+           quantity="temperature"):
+    return Measurement(
+        device_id=device, entity_id="bld-0001", quantity=quantity,
+        value=value, timestamp=t, source="test",
+        metadata={"seq": seq},
+    )
+
+
+def fill(store, n=100, device="dev-0001", dt=1.7, value_of=None):
+    for i in range(n):
+        value = value_of(i) if value_of else 20.0 + (i % 13) * 0.5
+        store.insert(sample(t=i * dt, seq=i + 1, device=device,
+                            value=value))
+
+
+def batch_mdb(net, tmp_path, **tsdb_overrides):
+    tsdb = TsdbConfig(block_size=16, compaction_target=64,
+                      **tsdb_overrides)
+    return MeasurementDatabase(
+        net.add_host("mdb"), "broker", DISTRICT,
+        durability=DurabilityConfig(
+            wal_path=str(tmp_path / "mdb.wal"),
+            snapshot_path=str(tmp_path / "mdb.snap"),
+        ),
+        tsdb=tsdb,
+    )
+
+
+class TestLineProtocol:
+    def test_line_round_trip(self):
+        m = sample(t=12.5, seq=7, value=21.25)
+        back = decode_line(encode_line(m))
+        assert back.device_id == m.device_id
+        assert back.entity_id == m.entity_id
+        assert back.quantity == m.quantity
+        assert back.value == m.value
+        assert back.timestamp == m.timestamp
+        assert back.source == m.source
+        assert back.metadata["seq"] == 7
+
+    def test_escaped_delimiters_round_trip(self):
+        m = Measurement(
+            device_id="dev a,b=c\\d", entity_id="bld 1",
+            quantity="temperature", value=1.0, timestamp=2.0,
+            source="s p", metadata={"seq": 3, "protocol": "modbus"},
+        )
+        back = decode_line(encode_line(m))
+        assert back.device_id == m.device_id
+        assert back.entity_id == m.entity_id
+        assert back.source == m.source
+        assert back.metadata == {"seq": 3, "protocol": "modbus"}
+
+    def test_frame_round_trip_preserves_order(self):
+        samples = [sample(t=float(i), seq=i + 1) for i in range(5)]
+        frame = encode_frame(samples)
+        assert is_batch(frame)
+        assert frame["count"] == 5
+        back = decode_frame(frame)
+        assert [m.timestamp for m in back] == [m.timestamp
+                                               for m in samples]
+
+    @pytest.mark.parametrize("line", [
+        "", "no-sections", "q,device=d value=1.0",      # wrong arity
+        "q,entity=e value=1.0 1.0",                     # missing device
+        "q,device=d,entity=e novalue=1.0 1.0",          # missing value
+        "q,device=d,entity=e value=abc 1.0",            # bad numeric
+        "q,device=d,entity=e value=1.0 nan-ts\\",       # dangling escape
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(SerializationError):
+            decode_line(line)
+
+    def test_malformed_frames_raise(self):
+        with pytest.raises(SerializationError):
+            decode_frame({"record": "other"})
+        with pytest.raises(SerializationError):
+            decode_frame({"record": "measurement_batch", "lines": "x"})
+        with pytest.raises(SerializationError):
+            decode_frame({"record": "measurement_batch", "count": 3,
+                          "lines": []})
+
+
+class TestBatchFlushBoundaries:
+    def _proxy_deployment(self, max_samples=5, max_age=10.0):
+        config = ScenarioConfig(
+            n_buildings=1, devices_per_building=2, net_jitter=0.0,
+            proxy_batching=BatchConfig(max_samples=max_samples,
+                                       max_age=max_age),
+        )
+        return deploy(config)
+
+    def test_size_bound_flushes_full_frames(self):
+        deployment = self._proxy_deployment(max_samples=3, max_age=1e6)
+        deployment.run(600.0)
+        proxies = list(deployment.device_proxies.values())
+        assert sum(p.batch_flushes_size for p in proxies) > 0
+        for proxy in proxies:
+            assert proxy.batch_frames_published == \
+                proxy.batch_flushes_size
+            # every sample that flushed went out inside a frame
+            assert proxy.batch_samples_published == \
+                proxy.measurements_published
+            assert proxy.metrics()["batch_open_samples"] < 3
+
+    def test_age_bound_flushes_partial_frames(self):
+        # a 10 s age bound with a huge size bound: every flush is an
+        # age flush
+        deployment = self._proxy_deployment(max_samples=10_000,
+                                            max_age=10.0)
+        deployment.run(300.0)
+        proxies = list(deployment.device_proxies.values())
+        assert sum(p.batch_flushes_age for p in proxies) > 0
+        assert sum(p.batch_flushes_size for p in proxies) == 0
+        assert sum(p.batch_samples_published for p in proxies) > 0
+
+    def test_batched_samples_reach_measurement_db(self):
+        deployment = self._proxy_deployment(max_samples=4, max_age=5.0)
+        deployment.run(120.0)
+        mdb = deployment.measurement_db
+        assert mdb.batches_ingested > 0
+        assert mdb.ingested == mdb.batch_samples > 0
+        assert mdb.store.devices()
+
+    def test_offline_proxy_drops_open_frame(self):
+        deployment = self._proxy_deployment(max_samples=10_000,
+                                            max_age=30.0)
+        proxy = None
+        for _ in range(60):        # run until a frame is open
+            deployment.run(5.0)
+            proxy = next((p for p in
+                          deployment.device_proxies.values()
+                          if p._batch), None)
+            if proxy is not None:
+                break
+        assert proxy is not None, "no proxy ever opened a frame"
+        proxy.online = False
+        deployment.run(60.0)       # the age timer fires while offline
+        assert proxy.batch_samples_dropped_offline > 0
+
+    def test_batch_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_samples=0)
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_age=0.0)
+
+
+class TestFrameIdempotency:
+    def test_redelivered_frame_not_double_counted(self, net, tmp_path):
+        Broker(net.add_host("broker"))
+        mdb = batch_mdb(net, tmp_path)
+        peer = MiddlewarePeer(net.add_host("pub"), "broker",
+                              publish_buffer=64)
+        topic = join("district", DISTRICT, "batch", "pub")
+        frame = encode_frame([sample(t=float(i), seq=i + 1)
+                              for i in range(10)])
+        peer.publish(topic, frame)
+        net.scheduler.run_for(1.0)
+        assert mdb.store.sample_count() == 10
+        peer.publish(topic, frame)     # verbatim retransmission
+        net.scheduler.run_for(1.0)
+        assert mdb.store.sample_count() == 10
+        assert mdb.ingest_duplicates == 10
+        assert mdb.batches_ingested == 1  # the replay stored nothing
+
+    def test_partially_duplicate_frame_ingests_fresh_tail(
+            self, net, tmp_path):
+        Broker(net.add_host("broker"))
+        mdb = batch_mdb(net, tmp_path)
+        peer = MiddlewarePeer(net.add_host("pub"), "broker",
+                              publish_buffer=64)
+        topic = join("district", DISTRICT, "batch", "pub")
+        samples = [sample(t=float(i), seq=i + 1) for i in range(8)]
+        peer.publish(topic, encode_frame(samples[:5]))
+        net.scheduler.run_for(1.0)
+        # a frame overlapping the already-ingested prefix
+        peer.publish(topic, encode_frame(samples[2:]))
+        net.scheduler.run_for(1.0)
+        assert mdb.store.sample_count() == 8
+        assert mdb.ingest_duplicates == 3
+        # only the fresh lines hit the WAL: replay cannot double-count
+        batch_records = [r for r in mdb.wal.records()
+                         if is_batch(r)]
+        assert [len(r["lines"]) for r in batch_records] == [5, 3]
+
+    def test_poison_frame_rejected_not_wedged(self, net, tmp_path):
+        Broker(net.add_host("broker"))
+        mdb = batch_mdb(net, tmp_path)
+        peer = MiddlewarePeer(net.add_host("pub"), "broker",
+                              publish_buffer=64)
+        topic = join("district", DISTRICT, "batch", "pub")
+        peer.publish(topic, {"record": "measurement_batch",
+                             "lines": ["not a valid line"]})
+        net.scheduler.run_for(30.0)   # poison nacks, then dead-letters
+        assert mdb.poison_rejected >= 1
+        assert mdb.store.sample_count() == 0
+        # the pipeline still works afterwards
+        peer.publish(topic, encode_frame([sample()]))
+        net.scheduler.run_for(1.0)
+        assert mdb.store.sample_count() == 1
+
+
+class TestBlockStore:
+    def test_sealing_and_counts(self):
+        store = BlockStore(TsdbConfig(block_size=16,
+                                      compaction_target=64))
+        fill(store, n=100)
+        stats = store.stats()
+        assert stats["sealed_blocks"] == 6
+        assert stats["active_samples"] == 4
+        assert store.sample_count() == 100
+        assert store.devices() == ["dev-0001"]
+        assert store.quantities("dev-0001") == ["temperature"]
+        assert store.has_series("dev-0001", "temperature")
+
+    def test_series_and_latest_match_timeseries_semantics(self):
+        store = BlockStore(TsdbConfig(block_size=8, compaction_target=32))
+        reference = TimeSeries()
+        fill(store, n=50)
+        for i in range(50):
+            reference.append(i * 1.7, 20.0 + (i % 13) * 0.5)
+        assert store.series("dev-0001", "temperature").to_pairs() == \
+            reference.to_pairs()
+        assert store.latest("dev-0001", "temperature") == \
+            reference.to_pairs()[-1]
+
+    def test_missing_series_raises(self):
+        store = BlockStore()
+        with pytest.raises(SeriesNotFoundError):
+            store.series("nope", "temperature")
+        with pytest.raises(SeriesNotFoundError):
+            store.query_range("nope", "temperature", 0, 10, 5.0)
+
+    def test_out_of_order_inserts_are_query_transparent(self):
+        store = BlockStore(TsdbConfig(block_size=8, compaction_target=32))
+        times = [float(t) for t in
+                 [5, 3, 8, 1, 13, 2, 21, 34, 55, 44, 89, 70]]
+        for i, t in enumerate(times):
+            store.insert(sample(t=t, seq=i + 1, value=t))
+        expected = sorted(times)
+        scanned = store.series("dev-0001", "temperature").to_pairs()
+        assert [t for t, _v in scanned] == expected
+
+    def test_rollup_vs_raw_agreement_all_aggs(self):
+        store = BlockStore(TsdbConfig(block_size=16,
+                                      compaction_target=64))
+        fill(store, n=500, value_of=lambda i: ((i * 37) % 101) / 7.0)
+        for agg in AGGREGATIONS:
+            rollup = store.query_range("dev-0001", "temperature",
+                                       0.0, 900.0, 60.0, agg)
+            assert store.last_query_source == "rollup:60"
+            raw = store.query_range("dev-0001", "temperature",
+                                    0.0, 900.0, 60.0, agg, prefer="raw")
+            assert store.last_query_source == "raw"
+            assert len(rollup) == len(raw)
+            for (t_r, v_r), (t_s, v_s) in zip(rollup, raw):
+                assert t_r == t_s
+                assert v_r == pytest.approx(v_s)
+
+    def test_coarse_step_served_from_coarsest_rollup(self):
+        store = BlockStore()
+        fill(store, n=300, dt=60.0)
+        store.query_range("dev-0001", "temperature", 0.0, 20_000.0,
+                          7200.0)
+        assert store.last_query_source == "rollup:3600"
+        store.query_range("dev-0001", "temperature", 0.0, 20_000.0,
+                          900.0)
+        assert store.last_query_source == "rollup:900"
+
+    def test_non_dividing_step_falls_back_to_raw(self):
+        store = BlockStore()
+        fill(store, n=50)
+        store.query_range("dev-0001", "temperature", 0.0, 100.0, 7.0)
+        assert store.last_query_source == "raw"
+        with pytest.raises(QueryError):
+            store.query_range("dev-0001", "temperature", 0.0, 100.0,
+                              7.0, prefer="rollup")
+
+    def test_choose_resolution(self):
+        resolutions = (60.0, 900.0, 3600.0)
+        assert choose_resolution(3600.0, resolutions) == 3600.0
+        assert choose_resolution(1800.0, resolutions) == 900.0
+        assert choose_resolution(120.0, resolutions) == 60.0
+        assert choose_resolution(7.0, resolutions) is None
+        assert choose_resolution(30.0, resolutions) is None
+
+    def test_compaction_preserves_query_answers(self):
+        store = BlockStore(TsdbConfig(block_size=8, compaction_target=64))
+        times = [float(((i * 17) % 997)) for i in range(400)]
+        for i, t in enumerate(times):
+            store.insert(sample(t=t, seq=i + 1, value=t / 3.0))
+        before_raw = store.query_range("dev-0001", "temperature",
+                                       0.0, 1000.0, 7.0)
+        before_rollup = store.query_range("dev-0001", "temperature",
+                                          0.0, 1000.0, 60.0)
+        sealed_before = store.stats()["sealed_blocks"]
+        result = store.compact()
+        assert store.stats()["sealed_blocks"] < sealed_before
+        assert result["blocks_merged"] > 0
+        assert store.query_range("dev-0001", "temperature",
+                                 0.0, 1000.0, 7.0) == before_raw
+        assert store.query_range("dev-0001", "temperature",
+                                 0.0, 1000.0, 60.0) == before_rollup
+        assert store.sample_count() == 400
+
+    def test_retention_drops_old_blocks_and_rollups(self):
+        store = BlockStore(TsdbConfig(block_size=8, compaction_target=32,
+                                      retention=100.0))
+        fill(store, n=500)
+        result = store.compact(now=1000.0)
+        assert result["blocks_retired"] > 0
+        assert result["rollup_buckets_pruned"] > 0
+        assert store.sample_count() < 500
+        # rollup and raw still agree on what survives
+        for agg in ("count", "mean", "min", "max"):
+            rollup = store.query_range("dev-0001", "temperature",
+                                       0.0, 2000.0, 60.0, agg)
+            raw = store.query_range("dev-0001", "temperature",
+                                    0.0, 2000.0, 60.0, agg,
+                                    prefer="raw")
+            assert rollup == pytest.approx(raw)
+
+    def test_snapshot_round_trip(self):
+        store = BlockStore(TsdbConfig(block_size=8, compaction_target=32))
+        fill(store, n=100)
+        clone = BlockStore.from_dict(store.to_dict())
+        assert clone.sample_count() == 100
+        assert clone.config.block_size == 8
+        assert clone.query_range("dev-0001", "temperature",
+                                 0.0, 200.0, 60.0) == \
+            store.query_range("dev-0001", "temperature",
+                              0.0, 200.0, 60.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TsdbConfig(block_size=1)
+        with pytest.raises(ConfigurationError):
+            TsdbConfig(block_size=64, compaction_target=32)
+        with pytest.raises(ConfigurationError):
+            TsdbConfig(retention=-1.0)
+        with pytest.raises(ConfigurationError):
+            TsdbConfig(rollup_resolutions=(60.0, 60.0))
+
+
+class TestMeasurementDbQueryRange:
+    def _fed_mdb(self, net, tmp_path):
+        Broker(net.add_host("broker"))
+        mdb = batch_mdb(net, tmp_path)
+        peer = MiddlewarePeer(net.add_host("pub"), "broker",
+                              publish_buffer=256)
+        topic = join("district", DISTRICT, "batch", "pub")
+        frames = []
+        for device in ("dev-0001", "dev-0002"):
+            frames.append(encode_frame([
+                sample(t=float(i * 10), seq=i + 1, device=device,
+                       value=10.0 if device == "dev-0001" else 1.0)
+                for i in range(30)
+            ]))
+        for frame in frames:
+            peer.publish(topic, frame)
+        net.scheduler.run_for(2.0)
+        return mdb
+
+    def test_device_target(self, net, tmp_path):
+        mdb = self._fed_mdb(net, tmp_path)
+        answer = mdb.query_range(RollupQuery(
+            target="dev-0001", quantity="temperature",
+            start=0.0, end=300.0, step=60.0, agg="sum",
+        ))
+        assert answer == [(t, 60.0) for t in
+                          [0.0, 60.0, 120.0, 180.0, 240.0]]
+
+    def test_entity_target_combines_devices(self, net, tmp_path):
+        mdb = self._fed_mdb(net, tmp_path)
+        answer = mdb.query_range(RollupQuery(
+            target="bld-0001", quantity="temperature",
+            start=0.0, end=300.0, step=60.0, agg="sum",
+        ))
+        # 6 samples/bucket/device: 6*10 + 6*1 = 66 per bucket
+        assert answer == [(t, 66.0) for t in
+                          [0.0, 60.0, 120.0, 180.0, 240.0]]
+        with pytest.raises(QueryError):
+            mdb.query_range(RollupQuery(
+                target="bld-0001", quantity="temperature",
+                start=0.0, end=300.0, step=60.0, agg="last",
+            ))
+
+    def test_unknown_target_raises(self, net, tmp_path):
+        mdb = self._fed_mdb(net, tmp_path)
+        with pytest.raises(SeriesNotFoundError):
+            mdb.query_range(RollupQuery(
+                target="nope", quantity="temperature",
+                start=0.0, end=300.0, step=60.0,
+            ))
+
+    def test_http_route(self, net, tmp_path):
+        mdb = self._fed_mdb(net, tmp_path)
+        client = HttpClient(net.add_host("user"))
+        query = RollupQuery(target="dev-0001", quantity="temperature",
+                            start=0.0, end=300.0, step=60.0)
+        response = client.get(mdb.uri + "query_range",
+                              params=query.to_params())
+        assert response.status == 200
+        assert len(response.body["samples"]) == 5
+        assert response.body["source"].startswith("rollup")
+        bad = client.get(mdb.uri + "query_range",
+                         params={"target": "dev-0001"}, check=False)
+        assert bad.status == 400
+        missing = client.get(
+            mdb.uri + "query_range",
+            params=RollupQuery(target="nope", quantity="temperature",
+                               start=0.0, end=1.0,
+                               step=1.0).to_params(),
+            check=False,
+        )
+        assert missing.status == 404
+
+    def test_query_validation(self):
+        with pytest.raises(QueryError):
+            RollupQuery(target="d", quantity="q", start=10.0, end=0.0,
+                        step=1.0)
+        with pytest.raises(QueryError):
+            RollupQuery(target="d", quantity="q", start=0.0, end=1.0,
+                        step=0.0)
+        with pytest.raises(QueryError):
+            RollupQuery(target="d", quantity="q", start=0.0, end=1.0,
+                        step=1.0, agg="median")
+        with pytest.raises(QueryError):
+            RollupQuery(target="d", quantity="q", start=0.0, end=1.0,
+                        step=1.0, prefer="disk")
+        params = RollupQuery(target="d", quantity="q", start=0.0,
+                             end=1.0, step=1.0,
+                             prefer="raw").to_params()
+        assert RollupQuery.from_params(params).prefer == "raw"
+
+
+class TestCrashRecovery:
+    def _deployment(self, tmp_path, snapshot_period=60.0):
+        return deploy(ScenarioConfig(
+            n_buildings=2, devices_per_building=2, net_jitter=0.0,
+            publish_buffer=64, peer_keepalive=30.0,
+            mdb_durability=DurabilityConfig(
+                wal_path=str(tmp_path / "mdb.wal"),
+                snapshot_path=str(tmp_path / "mdb.snap"),
+                snapshot_period=snapshot_period, ack_deliveries=True,
+            ),
+            mdb_tsdb=TsdbConfig(block_size=4, compaction_period=60.0,
+                                compaction_target=64),
+            proxy_batching=BatchConfig(max_samples=8, max_age=5.0),
+        ))
+
+    def test_sealed_blocks_survive_crash_restart(self, tmp_path):
+        deployment = self._deployment(tmp_path)
+        deployment.run(900.0)      # past snapshots; blocks have sealed
+        mdb = deployment.measurement_db
+        assert isinstance(mdb.store, BlockStore)
+        count = mdb.store.sample_count()
+        assert count > 0
+        assert mdb.store.stats()["sealed_blocks"] > 0
+        device = mdb.store.devices()[0]
+        quantity = mdb.store.quantities(device)[0]
+        query = RollupQuery(target=device, quantity=quantity,
+                            start=0.0, end=1000.0, step=60.0)
+        answer = mdb.query_range(query)
+        assert answer
+        faults = FaultInjector(deployment)
+        restored = faults.restart_measurement_db(recover=True)
+        assert restored == count
+        assert isinstance(mdb.store, BlockStore)
+        assert mdb.store.sample_count() == count
+        assert mdb.store.stats()["sealed_blocks"] > 0
+        assert mdb.query_range(query) == answer
+        deployment.run(300.0)      # the pipeline keeps flowing
+        assert mdb.store.sample_count() > count
+        assert mdb.ingest_duplicates == 0, "recovery double-counted"
+
+    def test_batch_wal_records_replayed(self, tmp_path):
+        # a snapshot period beyond the run: recovery is WAL-tail only
+        deployment = self._deployment(tmp_path, snapshot_period=10_000.0)
+        deployment.run(200.0)
+        mdb = deployment.measurement_db
+        count = mdb.store.sample_count()
+        assert count > 0
+        assert any(is_batch(r) for r in mdb.wal.records())
+        faults = FaultInjector(deployment)
+        restored = faults.restart_measurement_db(recover=True)
+        assert restored == count
+        assert mdb.wal_records_replayed > 0
+
+    def test_v2_snapshot_round_trip(self, tmp_path):
+        store = BlockStore(TsdbConfig(block_size=8,
+                                      compaction_target=32))
+        fill(store, n=60)
+        path = str(tmp_path / "v2.snap")
+        save_measurement_state(
+            store, path, freshness={"dev-0001": 99.0},
+            dedup_keys=[("dev-0001", 99.0, "temperature", 60)],
+            entity_for_device={"dev-0001": "bld-0001"},
+        )
+        state = load_measurement_state(path)
+        assert isinstance(state.database, BlockStore)
+        assert state.database.sample_count() == 60
+        assert state.freshness == {"dev-0001": 99.0}
+        assert state.dedup_keys == [("dev-0001", 99.0,
+                                     "temperature", 60)]
+        assert state.database.query_range(
+            "dev-0001", "temperature", 0.0, 200.0, 60.0
+        ) == store.query_range("dev-0001", "temperature",
+                               0.0, 200.0, 60.0)
