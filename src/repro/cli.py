@@ -60,6 +60,8 @@ EXPERIMENTS = (
      "bench_r2_master_ha.py"),
     ("R3", "durable data plane: loss, duplicates, flood goodput",
      "bench_r3_data_plane.py"),
+    ("R4", "broker HA: durable state + failover through kill/partition",
+     "bench_r4_broker_ha.py"),
     ("O1", "observability: attribution, churn events, overhead",
      "bench_o1_observability.py"),
     ("O2", "fleet SLO alerting: detection latency, false positives",

@@ -82,7 +82,8 @@ class DistrictClient:
 
     def __init__(self, host: Host,
                  master_uri: Union[str, Sequence[str], FailoverSet],
-                 broker_host: Optional[str] = None, timeout: float = 5.0,
+                 broker_host: Union[str, Sequence[str], None] = None,
+                 timeout: float = 5.0,
                  policy: Optional[ResiliencePolicy] = None,
                  resolve_cache_ttl: Optional[float] = None,
                  resolve_cache_max: int = 64):

@@ -1,15 +1,17 @@
-"""Replicated masters: log streaming, epoch-fenced failover, rejoin.
+"""Replication core: log streaming, epoch-fenced failover, rejoin.
 
 The paper makes the master the *unique entry point* of the district —
 which makes it the unique point of failure too.  This module keeps the
-entry point logically unique while physically replicating it:
+entry point logically unique while physically replicating it, and
+factors the machinery into a reusable :class:`ReplicatedNode` core so
+other hub nodes (the middleware broker, see
+:mod:`repro.middleware.replication`) get the same guarantees:
 
-* a **primary** master accepts registrations, appends each one to a
-  replication log and streams the entries (plus periodic full ontology
-  snapshots, the :meth:`~repro.core.master.MasterNode.snapshot` payload)
-  to 1–2 **standby** masters over the simulated network;
-* standbys apply the log to their own ontology and serve read-only
-  ``/resolve`` and ``/ontology`` — area queries survive the primary;
+* a **primary** accepts writes, appends each one to a replication log
+  and streams the entries (plus periodic full state snapshots) to 1–2
+  **standby** replicas over the simulated network;
+* standbys apply the log to their own state and serve read-only
+  queries — reads survive the primary;
 * when the primary misses heartbeats, a deterministic **seniority
   failover** promotes the most senior live standby: each member owns a
   static rank, and standby *r* waits ``failover_timeout + r *
@@ -35,16 +37,18 @@ wire).  Because the configuration enforces
 ``fencing_timeout + heartbeat_period <= failover_timeout``
 
 the old primary is read-only *before* the most senior standby's
-failover timer can fire, so at no point do two masters accept writes
-concurrently — a healed partition cannot split-brain the ontology.
+failover timer can fire, so at no point do two replicas accept writes
+concurrently — a healed partition cannot split-brain the state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.master import MasterNode
+if TYPE_CHECKING:  # import cycle: master -> persistence -> storage -> broker
+    from repro.core.master import MasterNode
+
 from repro.errors import (
     ConfigurationError,
     NotPrimaryError,
@@ -56,8 +60,10 @@ from repro.network.webservice import (
     HttpClient,
     Request,
     Response,
+    WebService,
     ok,
 )
+from repro.network.transport import Host
 from repro.observability.tracing import emit
 
 PRIMARY = "primary"
@@ -66,7 +72,7 @@ STANDBY = "standby"
 
 @dataclass
 class ReplicationConfig:
-    """Timing knobs of a replicated master group (simulated seconds)."""
+    """Timing knobs of a replication group (simulated seconds)."""
 
     #: primary -> standby heartbeat/stream period
     heartbeat_period: float = 2.0
@@ -101,18 +107,32 @@ class ReplicationConfig:
             raise ConfigurationError("snapshot period must be positive")
 
 
-class ReplicatedMaster:
-    """One member of a replicated master group.
+class ReplicationApplyError(Exception):
+    """A replicated entry could not be applied to local state.
 
-    Wraps a :class:`~repro.core.master.MasterNode`, adds the
-    ``/replicate`` and ``/repl/status`` routes to its Web Service, and
-    runs the member's periodic tick (heartbeats and fencing on the
-    primary, failure detection on standbys) on the DES scheduler.
+    Raised by :meth:`ReplicatedNode.node_apply` implementations; the
+    receiver answers with ``resync`` so the primary streams a snapshot
+    that replaces the divergent state.
     """
 
-    def __init__(self, master: MasterNode, rank: int,
-                 config: ReplicationConfig):
-        self.master = master
+
+class ReplicatedNode:
+    """One member of a replication group — the reusable core.
+
+    Owns role/epoch/fencing/sequence bookkeeping, the ``/replicate``
+    and ``/repl/status`` routes, the periodic tick (heartbeats and
+    fencing on the primary, failure detection on standbys) on the DES
+    scheduler, and the write-path gates.  Subclasses bind the machinery
+    to a concrete node by implementing the small hook surface below
+    (:meth:`node_snapshot`, :meth:`node_apply`, ...).
+    """
+
+    #: target-kind label used in emitted events and error messages
+    kind = "node"
+    #: prefix of the promotion/stepdown/fencing metric counters
+    metric_prefix = "replication."
+
+    def __init__(self, rank: int, config: ReplicationConfig):
         self.rank = rank
         self.config = config
         self.role = PRIMARY if rank == 0 else STANDBY
@@ -124,8 +144,7 @@ class ReplicatedMaster:
         self.applied_seq = 0
         #: newest sequence the primary has advertised to us
         self.primary_seq = 0
-        self.primary_name: Optional[str] = master.host.name if rank == 0 \
-            else None
+        self.primary_name: Optional[str] = self.name if rank == 0 else None
         self.counters: Dict[str, int] = {
             "writes_accepted": 0,
             "writes_rejected_not_primary": 0,
@@ -140,44 +159,79 @@ class ReplicatedMaster:
             "epoch_adoptions": 0,
             "resyncs": 0,
         }
-        self._group: Optional["MasterReplicationGroup"] = None
+        self._group: Optional["ReplicationGroup"] = None
         self._peers: Dict[str, str] = {}  # name -> base uri, rank order
         self._acked_seq: Dict[str, int] = {}
         #: set on epoch adoption: local state may diverge from the new
         #: primary's chain, so apply nothing until a snapshot replaces it
         self._needs_resync = False
-        self._client = HttpClient(master.host, timeout=config.fencing_timeout)
+        self._client = HttpClient(self.host, timeout=config.fencing_timeout)
         self._tick_task = None
         self._last_primary_contact = 0.0
         self._last_any_ack = 0.0
         self._last_snapshot_stream = 0.0
 
-    # -- identity ---------------------------------------------------------
+    # -- hook surface (bind the core to a concrete node) -------------------
 
     @property
-    def name(self) -> str:
-        return self.master.host.name
+    def host(self) -> Host:
+        """The member's network host."""
+        raise NotImplementedError
+
+    @property
+    def service(self) -> WebService:
+        """The member's Web Service (gains the replication routes)."""
+        raise NotImplementedError
 
     @property
     def uri(self) -> str:
-        return self.master.uri
+        return self.service.base_uri
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def bind_node(self) -> None:
+        """Point the wrapped node back at this agent (``.replication``)."""
+
+    def node_snapshot(self) -> Dict:
+        """Full replicable state, as a JSON-able dict."""
+        raise NotImplementedError
+
+    def node_restore(self, snapshot: Dict) -> None:
+        """Replace local state with *snapshot* (resync / catch-up)."""
+        raise NotImplementedError
+
+    def node_apply(self, payload: Dict) -> None:
+        """Apply one streamed log entry; raise
+        :class:`ReplicationApplyError` on divergence to force a resync."""
+        raise NotImplementedError
+
+    def on_promote(self) -> None:
+        """Extra node work on promotion (epoch bumps, timer arming...)."""
+
+    def on_epoch_adopted(self) -> None:
+        """Extra node work when a newer epoch is adopted."""
+
+    def write_local_snapshot(self) -> None:
+        """Persist a local durable snapshot, if the node has one."""
+
+    # -- identity ---------------------------------------------------------
 
     @property
     def _now(self) -> float:
-        return self.master.host.network.scheduler.now
+        return self.host.network.scheduler.now
 
     # -- wiring -----------------------------------------------------------
 
-    def attach(self, group: "MasterReplicationGroup") -> None:
-        """Join *group*: learn the peer set and claim the master's hooks."""
+    def attach(self, group: "ReplicationGroup") -> None:
+        """Join *group*: learn the peer set and claim the node's hooks."""
         self._group = group
         self._peers = {m.name: m.uri for m in group.members
                        if m is not self}
-        self.master.replication = self
-        self.master.service.add_route(POST, "/replicate",
-                                      self._replicate_route)
-        self.master.service.add_route(GET, "/repl/status",
-                                      self._status_route)
+        self.bind_node()
+        self.service.add_route(POST, "/replicate", self._replicate_route)
+        self.service.add_route(GET, "/repl/status", self._status_route)
 
     def start(self) -> None:
         """Arm the periodic tick (idempotent)."""
@@ -189,7 +243,7 @@ class ReplicatedMaster:
         self._last_snapshot_stream = now
         # tiny rank-staggered start keeps member tick ordering
         # deterministic without aligning every send on the same instant
-        self._tick_task = self.master.host.network.scheduler.every(
+        self._tick_task = self.host.network.scheduler.every(
             self.config.heartbeat_period, self._tick,
             initial_delay=self.rank * 1e-3,
         )
@@ -199,16 +253,17 @@ class ReplicatedMaster:
             self._tick_task.stop()
             self._tick_task = None
 
-    # -- write path (hooks called by MasterNode.register) -----------------
+    # -- write path (hooks called by the wrapped node) ---------------------
 
     def check_writable(self) -> None:
-        """Gate a registration: only an unfenced primary accepts writes."""
+        """Gate a write: only an unfenced primary accepts writes."""
         if self.role != PRIMARY:
             self.counters["writes_rejected_not_primary"] += 1
             hint = f"; primary is {self.primary_name}" \
                 if self.primary_name else ""
             raise NotPrimaryError(
-                f"master {self.name} is a standby and rejects writes{hint}"
+                f"{self.kind} {self.name} is a standby and rejects "
+                f"writes{hint}"
             )
         if self.fenced:
             self.counters["writes_rejected_fenced"] += 1
@@ -218,7 +273,7 @@ class ReplicatedMaster:
             )
 
     def record_write(self, payload: Dict) -> None:
-        """Append one accepted registration to the log and stream it."""
+        """Append one accepted write to the log and stream it."""
         self.log_seq += 1
         self.applied_seq = self.log_seq
         self.counters["writes_accepted"] += 1
@@ -247,10 +302,10 @@ class ReplicatedMaster:
         )
 
     def _send_snapshot(self, peer: str) -> None:
-        snapshot = dict(self.master.snapshot(), seq=self.log_seq)
+        snapshot = dict(self.node_snapshot(), seq=self.log_seq)
         self.counters["snapshots_sent"] += 1
-        emit(self.master.host.network, "repl_snapshot", host=self.name,
-             peer=peer, seq=self.log_seq, master=self.name)
+        emit(self.host.network, "repl_snapshot", host=self.name,
+             peer=peer, seq=self.log_seq, **{self.kind: self.name})
         self._send(peer, snapshot=snapshot)
 
     def _on_ack(self, peer: str, future) -> None:
@@ -272,8 +327,8 @@ class ReplicatedMaster:
         self._last_any_ack = now
         if self.fenced:
             self.fenced = False
-            emit(self.master.host.network, "repl_unfenced", host=self.name,
-                 master=self.name, epoch=self.epoch)
+            emit(self.host.network, "repl_unfenced", host=self.name,
+                 epoch=self.epoch, **{self.kind: self.name})
         if body.get("resync") and self.role == PRIMARY:
             self.counters["resyncs"] += 1
             self._send_snapshot(peer)
@@ -288,9 +343,9 @@ class ReplicatedMaster:
             # epoch fencing: a deposed primary's stream is rejected, and
             # the rejection carries our epoch so it steps down
             self.counters["stale_epoch_rejections"] += 1
-            emit(self.master.host.network, "repl_stale_rejected",
+            emit(self.host.network, "repl_stale_rejected",
                  host=self.name, sender=sender, sender_epoch=epoch,
-                 epoch=self.epoch, master=self.name)
+                 epoch=self.epoch, **{self.kind: self.name})
             return ok({"accepted": False, "epoch": self.epoch,
                        "applied": self.applied_seq})
         if epoch > self.epoch:
@@ -305,7 +360,7 @@ class ReplicatedMaster:
             # after an epoch change the snapshot replaces local state
             # even if our sequence was ahead: entries the old primary
             # never replicated are a divergent tail, discarded here
-            self.master.restore_snapshot(snapshot)
+            self.node_restore(snapshot)
             self.applied_seq = int(snapshot.get("seq", 0))
             self.counters["snapshots_applied"] += 1
             self._needs_resync = False
@@ -319,8 +374,8 @@ class ReplicatedMaster:
                     resync = True  # gap: ask the primary for a snapshot
                     break
                 try:
-                    self.master.apply_registration(entry["payload"])
-                except RegistrationError:
+                    self.node_apply(entry["payload"])
+                except ReplicationApplyError:
                     resync = True  # divergent state: snapshot resolves it
                     break
                 self.applied_seq = seq
@@ -338,21 +393,19 @@ class ReplicatedMaster:
     def _adopt_epoch(self, epoch: int, deposed_by: str = "") -> None:
         self.epoch = epoch
         self._needs_resync = True  # cleared by the new primary's snapshot
-        # the replication epoch is part of the resolve-cache validator:
-        # answers cached under the old epoch must stop being served now,
-        # before the new primary's snapshot rewrites local state
-        self.master.invalidate_resolve_cache()
+        self.on_epoch_adopted()
         self.counters["epoch_adoptions"] += 1
-        emit(self.master.host.network, "repl_epoch_adopted", host=self.name,
-             epoch=epoch, master=self.name)
+        emit(self.host.network, "repl_epoch_adopted", host=self.name,
+             epoch=epoch, **{self.kind: self.name})
         if self.role == PRIMARY:
             self.role = STANDBY
             self.fenced = False
             self.counters["stepdowns"] += 1
             self._last_primary_contact = self._now  # grace before retrying
-            emit(self.master.host.network, "repl_stepdown", host=self.name,
-                 epoch=epoch, deposed_by=deposed_by, master=self.name)
-            self._count_metric("replication.stepdowns")
+            emit(self.host.network, "repl_stepdown", host=self.name,
+                 epoch=epoch, deposed_by=deposed_by,
+                 **{self.kind: self.name})
+            self._count_metric(self.metric_prefix + "stepdowns")
 
     def _promote(self) -> None:
         self.epoch += 1
@@ -361,26 +414,22 @@ class ReplicatedMaster:
         self._needs_resync = False
         self.log_seq = self.applied_seq
         self.primary_name = self.name
-        # bump the ontology epoch too: token monotonicity across
-        # failover — no client revalidation against the new primary can
-        # 304-match an answer minted by the deposed one
-        self.master.bump_epoch()
-        self.master.invalidate_resolve_cache()
+        self.on_promote()
         now = self._now
         self._last_any_ack = now
         self._last_snapshot_stream = now
         self._acked_seq = {}
         self.counters["promotions"] += 1
-        emit(self.master.host.network, "repl_promotion", host=self.name,
-             epoch=self.epoch, master=self.name)
-        self._count_metric("replication.promotions")
+        emit(self.host.network, "repl_promotion", host=self.name,
+             epoch=self.epoch, **{self.kind: self.name})
+        self._count_metric(self.metric_prefix + "promotions")
         # announce with a full snapshot: peers adopt the new epoch (any
         # surviving old primary steps down) and catch up in one hop
         for peer in self._peers:
             self._send_snapshot(peer)
 
     def _count_metric(self, name: str) -> None:
-        registry = self.master.host.network.metrics
+        registry = self.host.network.metrics
         if registry is not None:
             registry.counter(name).inc()
 
@@ -392,7 +441,7 @@ class ReplicatedMaster:
             if now - self._last_snapshot_stream \
                     >= self.config.snapshot_period:
                 self._last_snapshot_stream = now
-                self.master.write_snapshot()
+                self.write_local_snapshot()
                 for peer in self._peers:
                     self._send_snapshot(peer)
             else:
@@ -402,9 +451,9 @@ class ReplicatedMaster:
                     now - self._last_any_ack > self.config.fencing_timeout:
                 self.fenced = True
                 self.counters["fencings"] += 1
-                emit(self.master.host.network, "repl_fenced", host=self.name,
-                     epoch=self.epoch, master=self.name)
-                self._count_metric("replication.fencings")
+                emit(self.host.network, "repl_fenced", host=self.name,
+                     epoch=self.epoch, **{self.kind: self.name})
+                self._count_metric(self.metric_prefix + "fencings")
         else:
             # distinct per-rank deadlines: no two members can promote
             # into the same epoch, even a deposed rank-0 primary
@@ -440,10 +489,70 @@ class ReplicatedMaster:
         }
 
 
-class MasterReplicationGroup:
-    """A wired set of replicated masters, in seniority (rank) order."""
+class ReplicatedMaster(ReplicatedNode):
+    """One member of a replicated master group.
 
-    def __init__(self, members: List[ReplicatedMaster]):
+    Wraps a :class:`~repro.core.master.MasterNode`, binding the
+    :class:`ReplicatedNode` core to the master's snapshot/registration
+    surface.
+    """
+
+    kind = "master"
+    metric_prefix = "replication."
+
+    def __init__(self, master: MasterNode, rank: int,
+                 config: ReplicationConfig):
+        self.master = master
+        super().__init__(rank, config)
+
+    @property
+    def host(self) -> Host:
+        return self.master.host
+
+    @property
+    def service(self) -> WebService:
+        return self.master.service
+
+    @property
+    def uri(self) -> str:
+        return self.master.uri
+
+    def bind_node(self) -> None:
+        self.master.replication = self
+
+    def node_snapshot(self) -> Dict:
+        return self.master.snapshot()
+
+    def node_restore(self, snapshot: Dict) -> None:
+        self.master.restore_snapshot(snapshot)
+
+    def node_apply(self, payload: Dict) -> None:
+        try:
+            self.master.apply_registration(payload)
+        except RegistrationError as exc:
+            raise ReplicationApplyError(str(exc)) from exc
+
+    def on_promote(self) -> None:
+        # bump the ontology epoch too: token monotonicity across
+        # failover — no client revalidation against the new primary can
+        # 304-match an answer minted by the deposed one
+        self.master.bump_epoch()
+        self.master.invalidate_resolve_cache()
+
+    def on_epoch_adopted(self) -> None:
+        # the replication epoch is part of the resolve-cache validator:
+        # answers cached under the old epoch must stop being served now,
+        # before the new primary's snapshot rewrites local state
+        self.master.invalidate_resolve_cache()
+
+    def write_local_snapshot(self) -> None:
+        self.master.write_snapshot()
+
+
+class ReplicationGroup:
+    """A wired set of replicas, in seniority (rank) order."""
+
+    def __init__(self, members: List[ReplicatedNode]):
         if len(members) < 2:
             raise ConfigurationError(
                 "a replication group needs a primary and >= 1 standby"
@@ -451,26 +560,24 @@ class MasterReplicationGroup:
         self.members = list(members)
 
     @property
-    def primary(self) -> ReplicatedMaster:
+    def primary(self) -> ReplicatedNode:
         """The current primary: highest epoch, seniority breaking ties."""
         primaries = [m for m in self.members if m.role == PRIMARY]
         if primaries:
             return max(primaries, key=lambda m: (m.epoch, -m.rank))
         return self.members[0]  # mid-failover: the original seniority
 
-    @property
-    def primary_master(self) -> MasterNode:
-        return self.primary.master
-
-    def masters(self) -> List[MasterNode]:
-        return [m.master for m in self.members]
-
     def uris(self) -> List[str]:
         """Every member's base URI, seniority first — the client's
         :class:`~repro.network.resilience.FailoverSet` order."""
         return [m.uri for m in self.members]
 
-    def member(self, name: str) -> ReplicatedMaster:
+    def hosts(self) -> List[str]:
+        """Every member's host name, seniority first (raw-transport
+        peers rotate over host names, not HTTP URIs)."""
+        return [m.name for m in self.members]
+
+    def member(self, name: str) -> ReplicatedNode:
         for member in self.members:
             if member.name == name:
                 return member
@@ -492,6 +599,17 @@ class MasterReplicationGroup:
             member.stop()
 
 
+class MasterReplicationGroup(ReplicationGroup):
+    """A wired set of replicated masters, in seniority (rank) order."""
+
+    @property
+    def primary_master(self) -> MasterNode:
+        return self.primary.master
+
+    def masters(self) -> List[MasterNode]:
+        return [m.master for m in self.members]
+
+
 def replicate_master(master: MasterNode, standbys: int = 1,
                      config: Optional[ReplicationConfig] = None
                      ) -> MasterReplicationGroup:
@@ -502,6 +620,8 @@ def replicate_master(master: MasterNode, standbys: int = 1,
     read-only queries, and a replication agent wired to every peer.
     Returns the group with streaming and failure detection running.
     """
+    from repro.core.master import MasterNode
+
     if master.replication is not None:
         raise ConfigurationError(
             f"master {master.host.name!r} is already replicated"

@@ -48,14 +48,34 @@ deliveries, reliable publications are answered with a ``pub-reject``
 honour it by pausing and buffering (see
 :class:`~repro.middleware.peer.MiddlewarePeer`).  Unreliable
 publications are shed outright while saturated.
+
+Broker high availability (opt-in, composable):
+
+* **Durable broker state** — pass a :class:`~repro.storage.durability.
+  BrokerDurabilityConfig` and every state mutation (retained event,
+  subscription, pending delivery, settle, dead-letter) is appended and
+  fsync'd to a write-ahead log *before* the ack or fanout it enables;
+  periodic snapshots (:func:`repro.persistence.save_broker_state`)
+  bound replay.  After a crash (:meth:`Broker.reset`),
+  :meth:`Broker.recover` restores retained topics, the subscription
+  registry, pending acked deliveries (redelivery timers re-armed) and
+  the dead-letter queue exactly.
+* **Replicated failover** — :func:`repro.middleware.replication.
+  replicate_broker` streams the same durable-state log to 1–2 standby
+  brokers with the epoch-fenced seniority election of
+  :mod:`repro.core.replication`.  A standby (or fenced deposed
+  primary) answers every data-plane frame with ``not-primary`` so
+  peers rotate to the promoted broker; the promoted standby re-arms
+  the replicated pending deliveries, so at-least-once delivery holds
+  across a broker kill.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, \
+    Tuple
 
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
@@ -69,6 +89,9 @@ from repro.network.webservice import (
     ok,
 )
 from repro.observability.tracing import TraceContext, emit
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.storage.durability import BrokerDurabilityConfig
 
 BROKER_PORT = "pubsub"
 
@@ -111,6 +134,11 @@ class BrokerStats:
     pub_acks_withheld: int = 0
     publications_shed: int = 0
     publisher_rejections: int = 0
+    # -- broker HA ---------------------------------------------------------
+    recoveries: int = 0
+    recovered_items: int = 0
+    unrecovered_restarts: int = 0
+    not_primary_refusals: int = 0
 
 
 @dataclass
@@ -192,7 +220,8 @@ class Broker:
                  overload: Optional[BrokerOverloadConfig] = None,
                  delivery_ack_timeout: float = 2.0,
                  max_delivery_attempts: int = 8,
-                 dead_letter_capacity: int = 1024):
+                 dead_letter_capacity: int = 1024,
+                 durability: Optional["BrokerDurabilityConfig"] = None):
         if delivery_ack_timeout <= 0:
             raise ConfigurationError("delivery ack timeout must be positive")
         if max_delivery_attempts < 1:
@@ -202,11 +231,12 @@ class Broker:
         self.overload = overload
         self.delivery_ack_timeout = delivery_ack_timeout
         self.max_delivery_attempts = max_delivery_attempts
+        self.dead_letter_capacity = dead_letter_capacity
         self._subs: Dict[int, _Sub] = {}
         # topic -> last retained event payload (publish with retain=True)
         self._retained: Dict[str, dict] = {}
-        self._ids = itertools.count(1)
-        self._delivery_ids = itertools.count(1)
+        self._next_sub_id = 1
+        self._next_delivery_id = 1
         #: delivery_id -> unacknowledged delivery
         self._deliveries: Dict[int, _PendingDelivery] = {}
         #: (publisher, ack_port, pub_id) -> deferred end-to-end pub-ack
@@ -216,6 +246,27 @@ class Broker:
         self._shedding = False
         self.dead_letters: Deque[dict] = deque(maxlen=dead_letter_capacity)
         self.shed_by_topic: Dict[str, int] = {}
+        #: set by a BrokerReplica on attach (see middleware.replication)
+        self.replication = None
+        # -- durable broker state (broker HA layer 1) ----------------------
+        self.durability = durability
+        self.wal = None
+        #: monotone id of the last logged state mutation; persisted in
+        #: snapshots so a WAL tail overlapping the snapshot replays
+        #: idempotently (records at or below the mark are skipped)
+        self._op_seq = 0
+        self.snapshots_written = 0
+        self.last_snapshot_time: Optional[float] = None
+        self._snapshot_task = None
+        if durability is not None:
+            if durability.wal_path:
+                from repro.storage.durability import WriteAheadLog
+
+                self.wal = WriteAheadLog(durability.wal_path)
+            if durability.snapshot_path:
+                self._snapshot_task = host.network.scheduler.every(
+                    durability.snapshot_period, self.write_snapshot
+                )
         host.bind(BROKER_PORT, self._on_message)
         # the broker's data plane stays raw pub/sub frames, but it serves
         # the same /health + /metrics endpoints as every other node so
@@ -256,21 +307,47 @@ class Broker:
 
     # -- health + metrics endpoints ---------------------------------------
 
+    def replication_status(self) -> Dict[str, Any]:
+        """Role/epoch/lag summary, also valid for unreplicated brokers.
+
+        The same uniform shape masters expose (see
+        :meth:`repro.core.master.MasterNode.replication_status`): an
+        unreplicated broker reports itself as a lone primary at epoch 0
+        with zero lag, so ``repro fleet`` and the collector render
+        brokers without special-casing.
+        """
+        if self.replication is not None:
+            status = self.replication.status()
+        else:
+            status = {"role": "primary", "epoch": 0, "fenced": False,
+                      "replication_lag": 0, "peers": 0}
+        status["last_snapshot_age"] = self.last_snapshot_age
+        return status
+
+    @property
+    def last_snapshot_age(self) -> Optional[float]:
+        """Seconds since the last persisted snapshot (None if never)."""
+        if self.last_snapshot_time is None:
+            return None
+        return self.host.network.scheduler.now - self.last_snapshot_time
+
     def health(self) -> Dict[str, Any]:
         """Liveness payload of the ``/health`` route."""
-        return {
+        payload = {
             "status": "ok",
-            "role": "broker",
+            "kind": "broker",
             "subscriptions": len(self._subs),
             "retained_topics": len(self._retained),
             "pending_deliveries": len(self._deliveries),
             "shedding": self._shedding,
             "dead_letters": len(self.dead_letters),
         }
+        payload.update(self.replication_status())
+        return payload
 
     def metrics(self) -> Dict[str, Any]:
         """Numeric counters for the ``/metrics`` endpoint."""
-        return {
+        counters = {
             "published": self.stats.published,
             "fanout_deliveries": self.stats.fanout_deliveries,
             "subscriptions": self.stats.subscriptions,
@@ -295,7 +372,15 @@ class Broker:
             "publisher_rejections": self.stats.publisher_rejections,
             "data_plane_saturation": self.data_plane_saturation(),
             "shed_by_topic": dict(self.shed_by_topic),
+            "recoveries": self.stats.recoveries,
+            "recovered_items": self.stats.recovered_items,
+            "unrecovered_restarts": self.stats.unrecovered_restarts,
+            "not_primary_refusals": self.stats.not_primary_refusals,
+            "snapshots_written": self.snapshots_written,
+            "wal_appends": self.wal.appends if self.wal is not None else 0,
         }
+        counters.update(self.replication_status())
+        return counters
 
     def _health_route(self, request: Request) -> Response:
         return ok(self.health())
@@ -315,6 +400,8 @@ class Broker:
 
     def _dead_letter_drain_route(self, request: Request) -> Response:
         drained = list(self.dead_letters)
+        if drained:
+            self._log({"op": "dlq_drain"})
         self.dead_letters.clear()
         self.stats.dead_letters_drained += len(drained)
         return ok({"drained": len(drained), "events": drained})
@@ -322,11 +409,14 @@ class Broker:
     def reset(self) -> None:
         """Simulate a broker crash-restart: all in-memory state is lost.
 
-        Subscribers recover via their keepalive re-subscription (see
-        :meth:`repro.middleware.peer.MiddlewarePeer.resubscribe_all`);
-        publishers re-send publications that never earned a pub-ack from
-        their offline buffers, and consumer-side dedup absorbs the
-        resulting redeliveries.
+        Without durability, subscribers recover via their keepalive
+        re-subscription (see :meth:`repro.middleware.peer.
+        MiddlewarePeer.resubscribe_all`); publishers re-send
+        publications that never earned a pub-ack from their offline
+        buffers, and consumer-side dedup absorbs the resulting
+        redeliveries.  With a :class:`~repro.storage.durability.
+        BrokerDurabilityConfig`, call :meth:`recover` afterwards to
+        restore the durable state from disk instead.
         """
         self._subs.clear()
         self._retained.clear()
@@ -335,12 +425,323 @@ class Broker:
         self._pending_by_publisher.clear()
         self._shedding = False
         self.dead_letters.clear()
+        self._next_sub_id = 1
+        self._next_delivery_id = 1
+        self._op_seq = 0
+        if self.wal is not None:
+            self.wal.close()  # the dying process loses its file handle
+
+    # -- durable broker state (WAL + snapshot + recover) -------------------
+
+    def _log(self, record: Dict) -> None:
+        """Durably record one state mutation, before it takes effect.
+
+        The record lands in the WAL (fsync'd — ack-after-fsync for
+        every retained/DLQ/delivery mutation) and, when this broker is
+        the primary of a replication group, streams to the standbys:
+        the durable-state log *is* the replication log.
+        """
+        self._op_seq += 1
+        record["seq"] = self._op_seq
+        if self.wal is not None:
+            self.wal.append(record)
+        if self.replication is not None:
+            self.replication.record_write(record)
+
+    def apply_op(self, record: Dict, live: bool = False) -> None:
+        """Apply one logged state mutation (WAL replay / standby apply).
+
+        *live* arms redelivery timers for restored pending deliveries;
+        standbys apply with ``live=False`` (only the primary redelivers)
+        and arm the timers at promotion
+        (:meth:`activate_pending_deliveries`).  Records already covered
+        by the loaded snapshot (``seq`` at or below the snapshot's
+        high-water mark) are skipped, so a crash between "snapshot
+        written" and "WAL truncated" replays idempotently.
+        """
+        seq = int(record.get("seq", 0))
+        if seq and seq <= self._op_seq:
+            return
+        self._op_seq = max(self._op_seq, seq)
+        op = record.get("op")
+        if op == "retain":
+            self._retained[record["topic"]] = dict(record["event"])
+        elif op == "sub":
+            sub_id = int(record["sub_id"])
+            self._subs[sub_id] = _Sub(
+                record["pattern"], record["subscriber"], record["port"],
+                record.get("token"), bool(record.get("ack", False)),
+            )
+            self._next_sub_id = max(self._next_sub_id, sub_id + 1)
+        elif op == "unsub":
+            self._subs.pop(int(record["sub_id"]), None)
+        elif op == "delivery":
+            delivery_id = int(record["delivery_id"])
+            if delivery_id in self._deliveries:
+                return
+            pub_key = tuple(record["pub_key"]) \
+                if record.get("pub_key") else None
+            delivery = _PendingDelivery(
+                delivery_id=delivery_id, sub_id=int(record["sub_id"]),
+                subscriber=record["subscriber"], port=record["port"],
+                event=dict(record["event"]), publisher=record["publisher"],
+                topic=record["topic"],
+                attempts=int(record.get("attempts", 1)),
+                pub_key=pub_key,
+            )
+            self._deliveries[delivery_id] = delivery
+            self._next_delivery_id = max(self._next_delivery_id,
+                                         delivery_id + 1)
+            self._pending_by_publisher[delivery.publisher] = \
+                self._pending_by_publisher.get(delivery.publisher, 0) + 1
+            if pub_key is not None:
+                pending_pub = self._pending_pubs.get(pub_key)
+                if pending_pub is None:
+                    pending_pub = _PendingPublish(
+                        publisher=pub_key[0], ack_port=pub_key[1],
+                        pub_id=pub_key[2],
+                    )
+                    self._pending_pubs[pub_key] = pending_pub
+                pending_pub.remaining.add(delivery_id)
+            if live:
+                self.host.network.scheduler.schedule(
+                    self.delivery_ack_timeout, self._check_delivery,
+                    delivery_id, delivery.generation,
+                )
+        elif op == "settle":
+            delivery = self._deliveries.get(int(record["delivery_id"]))
+            if delivery is not None:
+                # replayed settles never re-send pub-acks: the ack (if
+                # due) was sent right after this record was logged
+                self._settle_delivery(delivery,
+                                      handled=bool(record.get("handled",
+                                                              True)),
+                                      notify=False)
+        elif op == "dlq":
+            self.dead_letters.append(dict(record["entry"]))
+        elif op == "dlq_drain":
+            self.dead_letters.clear()
+        # unknown ops are ignored: a newer writer's records must not
+        # wedge recovery on an older reader
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """The broker's full durable state as a JSON-able dict.
+
+        Doubles as the replication snapshot payload
+        (:meth:`~repro.middleware.replication.BrokerReplica.
+        node_snapshot`) and the persisted snapshot body
+        (:func:`repro.persistence.save_broker_state`).
+        """
+        return {
+            "op_seq": self._op_seq,
+            "next_sub_id": self._next_sub_id,
+            "next_delivery_id": self._next_delivery_id,
+            "retained": {topic: dict(event)
+                         for topic, event in self._retained.items()},
+            "subs": [{
+                "sub_id": sub_id, "pattern": sub.pattern,
+                "subscriber": sub.subscriber, "port": sub.port,
+                "token": sub.token, "ack": sub.ack,
+            } for sub_id, sub in self._subs.items()],
+            "deliveries": [{
+                "delivery_id": d.delivery_id, "sub_id": d.sub_id,
+                "subscriber": d.subscriber, "port": d.port,
+                "event": dict(d.event), "publisher": d.publisher,
+                "topic": d.topic, "attempts": d.attempts,
+                "poison_count": d.poison_count,
+                "pub_key": list(d.pub_key) if d.pub_key else None,
+            } for d in self._deliveries.values()],
+            "failed_pubs": [list(key)
+                            for key, pub in self._pending_pubs.items()
+                            if pub.failed],
+            "dead_letters": [dict(entry) for entry in self.dead_letters],
+        }
+
+    def restore_state(self, state: Dict[str, Any],
+                      live: bool = False) -> None:
+        """Replace all broker state with *state* (snapshot restore).
+
+        *live* re-arms the redelivery timer of every restored pending
+        delivery; pass ``False`` on standbys (only the primary may
+        redeliver).
+        """
+        self._subs.clear()
+        self._retained.clear()
+        self._deliveries.clear()
+        self._pending_pubs.clear()
+        self._pending_by_publisher.clear()
+        self.dead_letters.clear()
+        self._op_seq = int(state.get("op_seq", 0))
+        self._next_sub_id = int(state.get("next_sub_id", 1))
+        self._next_delivery_id = int(state.get("next_delivery_id", 1))
+        for topic, event in state.get("retained", {}).items():
+            self._retained[topic] = dict(event)
+        for sub in state.get("subs", []):
+            self._subs[int(sub["sub_id"])] = _Sub(
+                sub["pattern"], sub["subscriber"], sub["port"],
+                sub.get("token"), bool(sub.get("ack", False)),
+            )
+        failed = {tuple(key) for key in state.get("failed_pubs", [])}
+        for record in state.get("deliveries", []):
+            pub_key = tuple(record["pub_key"]) \
+                if record.get("pub_key") else None
+            delivery = _PendingDelivery(
+                delivery_id=int(record["delivery_id"]),
+                sub_id=int(record["sub_id"]),
+                subscriber=record["subscriber"], port=record["port"],
+                event=dict(record["event"]),
+                publisher=record["publisher"], topic=record["topic"],
+                attempts=int(record.get("attempts", 1)),
+                poison_count=int(record.get("poison_count", 0)),
+                pub_key=pub_key,
+            )
+            self._deliveries[delivery.delivery_id] = delivery
+            self._pending_by_publisher[delivery.publisher] = \
+                self._pending_by_publisher.get(delivery.publisher, 0) + 1
+            if pub_key is not None:
+                pending_pub = self._pending_pubs.get(pub_key)
+                if pending_pub is None:
+                    pending_pub = _PendingPublish(
+                        publisher=pub_key[0], ack_port=pub_key[1],
+                        pub_id=pub_key[2], failed=pub_key in failed,
+                    )
+                    self._pending_pubs[pub_key] = pending_pub
+                pending_pub.remaining.add(delivery.delivery_id)
+        for entry in state.get("dead_letters", []):
+            self.dead_letters.append(dict(entry))
+        if live:
+            self.activate_pending_deliveries()
+
+    def activate_pending_deliveries(self) -> None:
+        """Arm a redelivery timer for every pending delivery.
+
+        Called after crash-restart recovery and at standby promotion:
+        the deliveries were sent by the previous incarnation, so a
+        consumer that already handled one simply acks it before the
+        timer fires; one that never saw it gets a timed redelivery.
+        Timers mutate nothing until they fire, which keeps the restored
+        state byte-identical to the pre-crash snapshot.
+        """
+        scheduler = self.host.network.scheduler
+        for delivery in self._deliveries.values():
+            scheduler.schedule(
+                self.delivery_ack_timeout, self._check_delivery,
+                delivery.delivery_id, delivery.generation,
+            )
+
+    def write_snapshot(self) -> None:
+        """Persist the durable state now and truncate the WAL."""
+        if self.durability is None or not self.durability.snapshot_path:
+            return
+        from repro import persistence
+
+        persistence.save_broker_state(self.state_snapshot(),
+                                      self.durability.snapshot_path)
+        if self.wal is not None:
+            self.wal.reset()
+        self.snapshots_written += 1
+        self.last_snapshot_time = self.host.network.scheduler.now
+        emit(self.host.network, "broker_snapshot", host=self.host.name,
+             broker=self.host.name, path=self.durability.snapshot_path)
+
+    def recover(self) -> Optional[int]:
+        """Crash-restart recovery: load the snapshot, replay the WAL tail.
+
+        Returns the number of durable items restored (retained topics +
+        subscriptions + pending deliveries + dead letters), or None when
+        the broker has no durability configured (nothing to recover
+        from).  Restored pending deliveries get their redelivery timers
+        re-armed, so unacknowledged pre-crash deliveries are redelivered
+        rather than dropped; consumer-side dedup absorbs duplicates.
+        """
+        if self.durability is None:
+            return None
+        import os
+
+        from repro import persistence
+
+        path = self.durability.snapshot_path
+        if path and os.path.exists(path):
+            self.restore_state(persistence.load_broker_state(path))
+        if self.wal is not None:
+            for record in self.wal.replay():
+                self.apply_op(record)
+        restored = len(self._retained) + len(self._subs) \
+            + len(self._deliveries) + len(self.dead_letters)
+        self.stats.recoveries += 1
+        self.stats.recovered_items += restored
+        self.activate_pending_deliveries()
+        emit(self.host.network, "broker_recovered", host=self.host.name,
+             broker=self.host.name, restored=restored)
+        return restored
+
+    def discard_durable_state(self) -> None:
+        """Wipe the on-disk artifacts (simulating losing the disk too)."""
+        import os
+
+        if self.wal is not None:
+            self.wal.reset()
+        if self.durability is not None and self.durability.snapshot_path \
+                and os.path.exists(self.durability.snapshot_path):
+            os.remove(self.durability.snapshot_path)
 
     # -- control-plane handling ------------------------------------------
+
+    def _writable(self) -> bool:
+        """True when this broker may accept data-plane frames.
+
+        A standby (or a fenced deposed primary) must not accept
+        publications, subscriptions or acks: doing so would fork the
+        replicated state.  Mirrors the master's
+        :meth:`~repro.core.replication.ReplicatedNode.check_writable`.
+        """
+        if self.replication is None:
+            return True
+        from repro.core.replication import PRIMARY
+
+        return self.replication.role == PRIMARY \
+            and not self.replication.fenced
+
+    def _refuse(self, message: Message) -> None:
+        """Answer a data-plane frame with ``not-primary``.
+
+        The reply carries the replication view's primary hint so the
+        peer rotates straight to the promoted broker.  Frames with no
+        reply channel (acks/nacks) are dropped; the primary's
+        redelivery timers absorb the loss.
+        """
+        self.stats.not_primary_refusals += 1
+        payload = message.payload
+        if payload.get("verb") in ("publish", "subscribe"):
+            from repro.errors import NotPrimaryError
+
+            # route writes through the replication gate so the
+            # writes_rejected_* counters mean the same thing they do
+            # for masters
+            try:
+                self.replication.check_writable()
+            except NotPrimaryError:
+                pass
+        port = payload.get("ack_port") or payload.get("port")
+        if not port:
+            return
+        reply = {
+            "kind": "not-primary",
+            "primary": self.replication.primary_name,
+            "epoch": self.replication.epoch,
+        }
+        if payload.get("pub_id") is not None:
+            reply["pub_id"] = payload["pub_id"]
+        if payload.get("token") is not None:
+            reply["token"] = payload["token"]
+        self.host.send(message.sender, port, reply)
 
     def _on_message(self, message: Message) -> None:
         payload = message.payload
         verb = payload.get("verb")
+        if not self._writable():
+            self._refuse(message)
+            return
         if verb == "subscribe":
             self._subscribe(message)
         elif verb == "unsubscribe":
@@ -381,7 +782,12 @@ class Broker:
                     break
         replay_retained = sub_id is None
         if sub_id is None:
-            sub_id = next(self._ids)
+            sub_id = self._next_sub_id
+            self._next_sub_id += 1
+            self._log({"op": "sub", "sub_id": sub_id, "pattern": pattern,
+                       "subscriber": message.sender,
+                       "port": payload["port"], "token": token,
+                       "ack": ack})
             self._subs[sub_id] = _Sub(pattern, message.sender,
                                       payload["port"], token, ack)
             self.stats.subscriptions += 1
@@ -404,7 +810,9 @@ class Broker:
                     self.host.send(message.sender, payload["port"], event)
 
     def _unsubscribe(self, message: Message) -> None:
-        self._subs.pop(message.payload.get("sub_id"), None)
+        sub_id = message.payload.get("sub_id")
+        if self._subs.pop(sub_id, None) is not None:
+            self._log({"op": "unsub", "sub_id": sub_id})
 
     # -- backpressure ------------------------------------------------------
 
@@ -498,6 +906,9 @@ class Broker:
             # root-less, like any untraced event)
             retained = dict(event)
             retained.pop("trace", None)
+            # ack-after-fsync: the retained mutation is on disk (and
+            # streamed to standbys) before any ack below can be sent
+            self._log({"op": "retain", "topic": topic, "event": retained})
             self._retained[topic] = retained
         network = self.host.network
         pub_key: Optional[Tuple[str, str, int]] = None
@@ -518,8 +929,16 @@ class Broker:
             fanout = dict(event)
             fanout["sub_id"] = sub_id
             if sub.ack:
-                delivery_id = next(self._delivery_ids)
+                delivery_id = self._next_delivery_id
+                self._next_delivery_id += 1
                 fanout["delivery_id"] = delivery_id
+                self._log({
+                    "op": "delivery", "delivery_id": delivery_id,
+                    "sub_id": sub_id, "subscriber": sub.subscriber,
+                    "port": sub.port, "event": dict(fanout),
+                    "publisher": message.sender, "topic": topic,
+                    "pub_key": list(pub_key) if pub_key else None,
+                })
                 self._deliveries[delivery_id] = _PendingDelivery(
                     delivery_id=delivery_id, sub_id=sub_id,
                     subscriber=sub.subscriber, port=sub.port,
@@ -573,6 +992,15 @@ class Broker:
         publisher's end-to-end pub-ack is then withheld, so its own
         retry re-publishes the sample instead of trusting a false ack.
         """
+        self._log({"op": "settle", "delivery_id": delivery.delivery_id,
+                   "handled": handled})
+        self._settle_delivery(delivery, handled, notify=True)
+
+    def _settle_delivery(self, delivery: _PendingDelivery, handled: bool,
+                         notify: bool) -> None:
+        """Settle bookkeeping; *notify* gates pub-ack sends (False on
+        WAL replay / standby apply — the ack was already sent, or is the
+        live primary's to send)."""
         self._deliveries.pop(delivery.delivery_id, None)
         count = self._pending_by_publisher.get(delivery.publisher, 0) - 1
         if count > 0:
@@ -590,11 +1018,14 @@ class Broker:
         if not pending_pub.remaining:
             self._pending_pubs.pop(delivery.pub_key, None)
             if pending_pub.failed:
-                self.stats.pub_acks_withheld += 1
-                emit(self.host.network, "pub_ack_withheld",
-                     host=self.host.name, broker=self.host.name,
-                     publisher=pending_pub.publisher,
-                     pub_id=pending_pub.pub_id)
+                if notify:
+                    self.stats.pub_acks_withheld += 1
+                    emit(self.host.network, "pub_ack_withheld",
+                         host=self.host.name, broker=self.host.name,
+                         publisher=pending_pub.publisher,
+                         pub_id=pending_pub.pub_id)
+                return
+            if not notify:
                 return
             self.stats.publish_acks_sent += 1
             self.host.send(pending_pub.publisher, pending_pub.ack_port,
@@ -700,6 +1131,7 @@ class Broker:
             emit(self.host.network, "dead_letter_evicted",
                  host=self.host.name, broker=self.host.name,
                  topic=self.dead_letters[0].get("topic"))
+        self._log({"op": "dlq", "entry": dict(entry)})
         self.dead_letters.append(entry)
         if registry is not None:
             registry.counter("pubsub.dead_lettered").inc()

@@ -44,13 +44,26 @@ Two more mechanisms complete the durable data plane (PR 6):
   publication.  A publication whose final ack never arrives within
   the settle budget is still re-published (at-least-once; consumer
   dedup absorbs it).
+
+With replicated brokers (PR 8), *broker_host* may be a **list** of
+broker hosts in seniority order — the pub/sub analogue of the REST
+clients' :class:`~repro.network.resilience.FailoverSet`.  The peer
+talks to one broker at a time (sticky cursor) and rotates when either
+a broker answers ``not-primary`` (a standby or fenced deposed primary;
+the reply's primary hint is followed when it names a member of the
+set) or the suspect-probe pings go unanswered twice in a row (a dead
+broker).  On rotation the peer re-issues every subscription against
+the new broker (which replays retained events for genuinely new
+subscriptions and dedupes known tokens) and flushes buffered
+publications; consumer-side dedup absorbs the re-publications.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, \
+    Set, Union
 
 from repro.errors import BackpressureError, ConfigurationError
 from repro.middleware.broker import BROKER_PORT, Event
@@ -92,7 +105,8 @@ class MiddlewarePeer:
 
     _port_ids = itertools.count(1)
 
-    def __init__(self, host: Host, broker_host: str,
+    def __init__(self, host: Host,
+                 broker_host: Union[str, Sequence[str]],
                  publish_buffer: Optional[int] = None,
                  ack_timeout: float = 2.0,
                  keepalive: Optional[float] = None,
@@ -110,7 +124,15 @@ class MiddlewarePeer:
         if settle_timeout <= 0:
             raise ConfigurationError("settle timeout must be positive")
         self.host = host
-        self.broker_host = broker_host
+        if isinstance(broker_host, str):
+            self._brokers: List[str] = [broker_host]
+        else:
+            self._brokers = list(broker_host)
+        if not self._brokers:
+            raise ConfigurationError("peer needs >= 1 broker host")
+        self._broker_index = 0
+        self.broker_failovers = 0
+        self._probes_unanswered = 0
         self.events_published = 0
         self.publish_buffer = publish_buffer
         self.ack_timeout = ack_timeout
@@ -145,6 +167,69 @@ class MiddlewarePeer:
                 keepalive, self._keepalive
             )
         host.bind(self._port, self._on_message)
+
+    @property
+    def broker_host(self) -> str:
+        """The broker this peer currently talks to (rotation cursor)."""
+        return self._brokers[self._broker_index]
+
+    @property
+    def broker_hosts(self) -> List[str]:
+        """The full broker rotation, seniority order."""
+        return list(self._brokers)
+
+    def rotate_broker(self, target: Optional[str] = None) -> str:
+        """Advance the broker rotation (or jump to *target* if known).
+
+        Re-issues every active subscription against the new broker so
+        acked-delivery dispatch and retained replay continue there.
+        Returns the new current broker; a no-op for single-broker peers
+        or when *target* is already current.
+        """
+        if len(self._brokers) <= 1:
+            return self.broker_host
+        previous = self.broker_host
+        if target in self._brokers:
+            index = self._brokers.index(target)
+            if index == self._broker_index:
+                return previous
+            self._broker_index = index
+        else:
+            self._broker_index = \
+                (self._broker_index + 1) % len(self._brokers)
+        self.broker_failovers += 1
+        self._probes_unanswered = 0
+        emit(self.host.network, "broker_failover", host=self.host.name,
+             peer=self.host.name, previous=previous,
+             broker=self.broker_host)
+        self.resubscribe_all()
+        return self.broker_host
+
+    def _on_not_primary(self, payload: dict) -> None:
+        """A standby/fenced broker refused a frame: follow its hint.
+
+        Any pending publication it refused is re-buffered, the rotation
+        moves (to the hinted primary when it is in the set), and the
+        buffer is flushed at the new broker — the refusal proves *some*
+        broker is alive, and a flush landing on another non-primary
+        just loops back here until the rotation settles on the
+        promoted member.
+        """
+        pub_id = payload.get("pub_id")
+        if pub_id is not None:
+            envelope = self._pending_pubs.pop(pub_id, None)
+            self._receipts.discard(pub_id)
+            if envelope is not None:
+                self._enqueue(envelope)
+        before = self.broker_host
+        self.rotate_broker(payload.get("primary"))
+        if self.broker_host == before:
+            # nowhere else to go (single-entry rotation): pace retries
+            # at the probe period instead of hot-looping
+            # flush -> refusal -> flush against the refusing broker
+            self._mark_suspect()
+            return
+        self._broker_alive()
 
     @property
     def broker_suspect(self) -> bool:
@@ -270,6 +355,12 @@ class MiddlewarePeer:
     def _probe(self) -> None:
         if not self._broker_suspect:
             return
+        # still suspect means the previous probe's pong never came:
+        # after two silent probes try the next broker in the rotation
+        # (a dead broker cannot even say not-primary)
+        self._probes_unanswered += 1
+        if self._probes_unanswered >= 3 and len(self._brokers) > 1:
+            self.rotate_broker()
         self.host.send(self.broker_host, BROKER_PORT, {
             "verb": "ping",
             "port": self._port,
@@ -278,6 +369,7 @@ class MiddlewarePeer:
 
     def _broker_alive(self) -> None:
         """An ack or pong arrived: flush everything parked."""
+        self._probes_unanswered = 0
         recovered = self._broker_suspect
         if self._broker_suspect:
             self._broker_suspect = False
@@ -351,7 +443,23 @@ class MiddlewarePeer:
         subscription = Subscription(self, token, pattern, callback, ack=ack)
         self._by_token[token] = subscription
         self._send_subscribe(subscription)
+        if len(self._brokers) > 1:
+            # a lost sub-ack is a subscriber-only peer's first (and
+            # possibly only) sign the broker is down: arm the suspect
+            # probe so the rotation can steer this subscription to a
+            # live broker (pointless without a rotation — and skipping
+            # it keeps single-broker schedulers free of timer noise)
+            self.host.network.scheduler.schedule(
+                self.ack_timeout, self._sub_ack_check, subscription.token
+            )
         return subscription
+
+    def _sub_ack_check(self, token: int) -> None:
+        subscription = self._by_token.get(token)
+        if subscription is None or not subscription.active \
+                or subscription.sub_id is not None:
+            return
+        self._mark_suspect()
 
     def _send_subscribe(self, subscription: Subscription) -> None:
         self.host.send(
@@ -430,7 +538,18 @@ class MiddlewarePeer:
         if kind == "pong":
             self._broker_alive()
             return
+        if kind == "not-primary":
+            self._on_not_primary(payload)
+            return
         if kind == "event":
+            if message.sender != self.broker_host \
+                    and message.sender in self._brokers:
+                # deliveries only ever come from the live primary: a
+                # promoted standby redelivering the replicated pending
+                # deliveries is this subscriber's cue to rotate (a
+                # subscriber-only peer has no publish timeouts to
+                # detect the failover otherwise)
+                self.rotate_broker(message.sender)
             # the broker fans out one copy per matching subscription and
             # tags it with the subscription id, so dispatch is exact even
             # when several local filters overlap
@@ -466,21 +585,23 @@ class MiddlewarePeer:
             if span is not None:
                 tracer.push(span)
                 try:
-                    self._dispatch(sub, event, payload)
+                    self._dispatch(sub, event, payload, message.sender)
                 finally:
                     tracer.pop()
                     tracer.finish(span)
             else:
-                self._dispatch(sub, event, payload)
+                self._dispatch(sub, event, payload, message.sender)
 
     def _dispatch(self, sub: Subscription, event: Event,
-                  payload: dict) -> None:
+                  payload: dict, origin: str) -> None:
         """Run the callback; settle the delivery if the broker tracks it.
 
         Retained replays arrive without a ``delivery_id`` even on acked
         subscriptions and stay fire-and-forget.  Deliveries on plain
         subscriptions keep the historical behaviour (exceptions
-        propagate to the scheduler).
+        propagate to the scheduler).  Acks answer *origin* — the broker
+        that actually delivered — which under failover may not be the
+        rotation cursor yet.
         """
         delivery_id = payload.get("delivery_id")
         if delivery_id is None:
@@ -490,27 +611,35 @@ class MiddlewarePeer:
             sub.callback(event)
         except BackpressureError:
             self.deliveries_nacked += 1
-            self.host.send(self.broker_host, BROKER_PORT, {
+            self.host.send(origin, BROKER_PORT, {
                 "verb": "delivery_nack", "delivery_id": delivery_id,
                 "poison": False,
             })
         except Exception:
             self.deliveries_nacked += 1
-            self.host.send(self.broker_host, BROKER_PORT, {
+            self.host.send(origin, BROKER_PORT, {
                 "verb": "delivery_nack", "delivery_id": delivery_id,
                 "poison": True,
             })
         else:
             self.deliveries_acked += 1
-            self.host.send(self.broker_host, BROKER_PORT, {
+            self.host.send(origin, BROKER_PORT, {
                 "verb": "delivery_ack", "delivery_id": delivery_id,
             })
 
 
-def connect(host: Host, broker_host: str) -> MiddlewarePeer:
-    """Create a middleware peer on *host* talking to *broker_host*."""
-    if not host.network.has_host(broker_host):
-        raise ConfigurationError(
-            f"broker host {broker_host!r} is not on the network"
-        )
+def connect(host: Host, broker_host: Union[str, Sequence[str]]
+            ) -> MiddlewarePeer:
+    """Create a middleware peer on *host* talking to *broker_host*.
+
+    *broker_host* may be a single host name or a list of replicated
+    broker hosts in seniority order (the peer's failover rotation).
+    """
+    hosts = [broker_host] if isinstance(broker_host, str) \
+        else list(broker_host)
+    for name in hosts:
+        if not host.network.has_host(name):
+            raise ConfigurationError(
+                f"broker host {name!r} is not on the network"
+            )
     return MiddlewarePeer(host, broker_host)

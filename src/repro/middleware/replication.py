@@ -1,0 +1,149 @@
+"""Replicated brokers: the middleware loses its single point of failure.
+
+After PR 3 the masters fail over and after PR 6 the measurement store
+survives crashes — the broker remained the one hub whose outage stalls
+the whole data plane.  This module binds the reusable replication core
+(:class:`repro.core.replication.ReplicatedNode`: epoch-fenced seniority
+election, self-fencing, snapshot catch-up) to the broker's durable
+state:
+
+* the primary broker's durable-state log (retained events,
+  subscriptions, pending acked deliveries, dead letters — see
+  :meth:`~repro.middleware.broker.Broker._log`) streams to 1–2 standby
+  brokers; a standby holds a live replica of the full middleware state
+  but delivers nothing (only the primary runs redelivery timers);
+* a standby, or a fenced deposed primary, answers every data-plane
+  frame with ``not-primary`` + a primary hint, so
+  :class:`~repro.middleware.peer.MiddlewarePeer`'s broker rotation
+  steers publishers and subscribers to the promoted broker;
+* at promotion the new primary re-arms every replicated pending
+  delivery and serves retained-event replay to re-subscribers —
+  at-least-once delivery holds across a broker kill, and epoch fencing
+  keeps a healed partition from split-braining deliveries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.replication import (
+    ReplicatedNode,
+    ReplicationConfig,
+    ReplicationGroup,
+)
+from repro.errors import ConfigurationError
+from repro.middleware.broker import Broker
+from repro.network.transport import Host
+from repro.network.webservice import WebService
+
+
+class BrokerReplica(ReplicatedNode):
+    """One member of a replicated broker group.
+
+    Wraps a :class:`~repro.middleware.broker.Broker`, binding the
+    replication core to the broker's durable-state surface
+    (:meth:`~repro.middleware.broker.Broker.state_snapshot` /
+    :meth:`~repro.middleware.broker.Broker.apply_op`).
+    """
+
+    kind = "broker"
+    metric_prefix = "broker_replication."
+
+    def __init__(self, broker: Broker, rank: int,
+                 config: ReplicationConfig):
+        self.broker = broker
+        super().__init__(rank, config)
+
+    @property
+    def host(self) -> Host:
+        return self.broker.host
+
+    @property
+    def service(self) -> WebService:
+        return self.broker.service
+
+    def bind_node(self) -> None:
+        self.broker.replication = self
+
+    def node_snapshot(self) -> Dict:
+        return self.broker.state_snapshot()
+
+    def node_restore(self, snapshot: Dict) -> None:
+        # live=False: a restoring member is (or is becoming) a standby;
+        # only a promotion arms redelivery timers
+        self.broker.restore_state(snapshot, live=False)
+        # the resync replaced local state wholesale, so any on-disk
+        # artifacts of the previous epoch are stale: persist the new
+        # state (write_snapshot also truncates the WAL) or, with only a
+        # WAL configured, truncate the divergent log outright
+        if self.broker.durability is not None:
+            if self.broker.durability.snapshot_path:
+                self.broker.write_snapshot()
+            elif self.broker.wal is not None:
+                self.broker.wal.reset()
+
+    def node_apply(self, payload: Dict) -> None:
+        self.broker.apply_op(payload, live=False)
+
+    def on_promote(self) -> None:
+        # the replicated pending deliveries were sent by the deposed
+        # primary; re-arm their timers so unacked ones are redelivered
+        # by this broker (consumers that already handled them just ack)
+        self.broker.activate_pending_deliveries()
+
+    def write_local_snapshot(self) -> None:
+        self.broker.write_snapshot()
+
+
+class BrokerReplicationGroup(ReplicationGroup):
+    """A wired set of replicated brokers, in seniority (rank) order."""
+
+    @property
+    def primary_broker(self) -> Broker:
+        return self.primary.broker
+
+    def brokers(self) -> List[Broker]:
+        return [m.broker for m in self.members]
+
+
+def replicate_broker(broker: Broker, standbys: int = 1,
+                     config: Optional[ReplicationConfig] = None,
+                     durability: Optional[Callable[[int], object]] = None
+                     ) -> BrokerReplicationGroup:
+    """Stand up *standbys* replica brokers behind an existing primary.
+
+    Each standby gets its own host (``<primary>-r1``, ``<primary>-r2``,
+    ...) on the primary's network with the primary's overload/delivery
+    knobs, and a replication agent wired to every peer.  *durability*
+    optionally maps a standby's rank to its own
+    :class:`~repro.storage.durability.BrokerDurabilityConfig` (distinct
+    WAL/snapshot paths per replica).  Returns the group with streaming
+    and failure detection running; feed ``group.hosts()`` to peers as
+    their broker rotation.
+    """
+    if broker.replication is not None:
+        raise ConfigurationError(
+            f"broker {broker.host.name!r} is already replicated"
+        )
+    if standbys < 1:
+        raise ConfigurationError("replication needs >= 1 standby")
+    config = config or ReplicationConfig()
+    network = broker.host.network
+    members = [BrokerReplica(broker, 0, config)]
+    for index in range(1, standbys + 1):
+        host = network.add_host(f"{broker.host.name}-r{index}")
+        standby = Broker(
+            host, overload=broker.overload,
+            delivery_ack_timeout=broker.delivery_ack_timeout,
+            max_delivery_attempts=broker.max_delivery_attempts,
+            dead_letter_capacity=broker.dead_letter_capacity,
+            durability=durability(index) if durability is not None
+            else None,
+        )
+        members.append(BrokerReplica(standby, index, config))
+    group = BrokerReplicationGroup(members)
+    for member in members:
+        member.attach(group)
+    for member in members:
+        member.start()
+    return group

@@ -139,6 +139,8 @@ def default_slos(scrape_interval: float) -> List[SLO]:
       DB must be younger than ``staleness-bound`` seconds.
     * ``replication-lag`` — un-replicated log entries on the master
       (zero for single-master deployments).
+    * ``broker-replication-lag`` — un-replicated durable-state entries
+      on the broker (zero for single-broker deployments).
     * ``data-plane-saturation`` — the broker's pending-delivery backlog
       as a fraction of its overload high watermark; sustained values
       near 1.0 mean the broker is (about to start) shedding load.
@@ -182,6 +184,13 @@ def default_slos(scrape_interval: float) -> List[SLO]:
             fast_window=2.5 * i, slow_window=8 * i,
             burn_threshold=6.0, for_duration=i,
             target_kinds=("master",)),
+        SLO(name="broker-replication-lag",
+            description="broker replication lag under 64 entries",
+            kind=THRESHOLD, objective=0.99,
+            metric="component.replication_lag", bound=64.0,
+            fast_window=2.5 * i, slow_window=8 * i,
+            burn_threshold=6.0, for_duration=i,
+            target_kinds=("broker",)),
         SLO(name="data-plane-saturation",
             description="broker delivery backlog under 90% of watermark",
             kind=THRESHOLD, objective=0.99,

@@ -33,6 +33,7 @@ _ARCHIVE_VERSION = 1
 #: accepts both.
 _MDB_STATE_VERSION = 1
 _MDB_STATE_VERSION_BLOCKS = 2
+_BROKER_STATE_VERSION = 1
 
 
 def _write_json(path: str, payload: Dict) -> None:
@@ -303,3 +304,35 @@ def load_measurement_state(path: str) -> MeasurementState:
         dedup_keys=[tuple(key) for key in payload.get("dedup_keys", [])],
         entity_for_device=entity_for_device,
     )
+
+# --------------------------------------------------------------------------
+# broker state snapshots (broker HA)
+
+
+def save_broker_state(state: Dict, path: str) -> None:
+    """Atomically snapshot the middleware broker's durable state.
+
+    *state* is :meth:`repro.middleware.broker.Broker.state_snapshot` —
+    retained events, subscription registry, pending acked deliveries,
+    deferred pub-acks, the dead-letter queue and the id/op high-water
+    marks.  Written with the same tmp + ``os.replace`` recipe as every
+    other snapshot, so a crash mid-write leaves the previous snapshot
+    intact.
+    """
+    _write_json(path, {
+        "format": "repro-broker-state",
+        "version": _BROKER_STATE_VERSION,
+        "state": state,
+    })
+
+
+def load_broker_state(path: str) -> Dict:
+    """Load a broker-state snapshot written by :func:`save_broker_state`."""
+    payload = _read_json(path)
+    if payload.get("format") != "repro-broker-state":
+        raise SerializationError(f"{path!r} is not a broker-state snapshot")
+    if payload.get("version") != _BROKER_STATE_VERSION:
+        raise SerializationError(
+            f"unsupported broker-state version {payload.get('version')!r}"
+        )
+    return dict(payload.get("state", {}))

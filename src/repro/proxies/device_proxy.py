@@ -21,7 +21,7 @@ command, lost frame) causes a timeout result instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.common import serialization
 from repro.common.cdf import ActuationResult, Measurement
@@ -96,7 +96,7 @@ class DeviceProxy(Proxy):
         self,
         host: Host,
         adapter: ProtocolAdapter,
-        broker_host: str,
+        broker_host: Union[str, Sequence[str]],
         district_id: str,
         retention: Optional[float] = 7 * 86400.0,
         actuation_timeout: float = 5.0,

@@ -135,17 +135,68 @@ class FaultInjector:
     def restore_broker(self) -> None:
         self.restore(self.deployment.broker.name)
 
-    def restart_broker(self) -> None:
-        """Crash-restart the broker: back online with empty memory.
+    def kill_primary_broker(self) -> str:
+        """Kill the *current* primary broker; returns its host name.
+
+        On a replicated deployment the acting primary (which may be a
+        promoted standby) goes dark: the surviving standby stops hearing
+        replication heartbeats and promotes itself after its seniority
+        timeout, and peers rotate to it.  Falls back to the one broker
+        when unreplicated.
+        """
+        deployment = self.deployment
+        if deployment.broker_replication is not None:
+            broker = deployment.broker_replication.primary_broker
+        else:
+            broker = deployment.broker
+        self.take_offline(broker.name)
+        return broker.name
+
+    def partition_broker(self, with_hosts: Iterable[str] = ()) -> str:
+        """Partition the current primary broker away from the district.
+
+        Like :meth:`partition_master` but for the middleware: the
+        isolated primary keeps running (and self-fences once no standby
+        acks arrive) while the majority side elects a new primary.  Any
+        *with_hosts* stay on the isolated side of the cut.  Returns the
+        isolated broker's host name.
+        """
+        deployment = self.deployment
+        if deployment.broker_replication is not None:
+            broker = deployment.broker_replication.primary_broker
+        else:
+            broker = deployment.broker
+        self.partition([broker.name, *with_hosts])
+        return broker.name
+
+    def restart_broker(self, recover: bool = True) -> Optional[int]:
+        """Crash-restart the broker; recover durable state where possible.
 
         Unlike :meth:`restore_broker` (a network outage ending), a
-        restart loses the broker's subscription table and retained
-        store.  Peers with a keepalive configured repair their own
-        subscriptions on the next keepalive tick
-        (:meth:`~repro.middleware.peer.MiddlewarePeer.resubscribe_all`).
+        restart wipes the broker's in-memory subscription table,
+        retained store, pending deliveries and dead-letter queue.  With
+        ``recover=True`` (the default) a broker configured with a
+        :class:`~repro.storage.durability.BrokerDurabilityConfig`
+        reloads its last snapshot and replays the WAL tail (see
+        :meth:`~repro.middleware.broker.Broker.recover`) — returns the
+        number of state items restored, or None when the broker has no
+        durable state to recover from.  Pass ``recover=False`` to
+        simulate losing the disk too.  After an unrecovered restart,
+        peers with a keepalive configured repair their own subscriptions
+        on the next keepalive tick (:meth:`~repro.middleware.peer.
+        MiddlewarePeer.resubscribe_all`).
         """
-        self.restore(self.deployment.broker.name)
-        self.deployment.broker.reset()
+        broker = self.deployment.broker
+        self.restore(broker.name)
+        broker.reset()
+        restored = None
+        if recover:
+            restored = broker.recover()
+        else:
+            broker.discard_durable_state()
+        if restored is None:
+            broker.stats.unrecovered_restarts += 1
+        return restored
 
     def kill_measurement_db(self) -> str:
         """Take the global measurement DB offline; returns its host name.

@@ -157,6 +157,28 @@ def replication_counters(deployment: "DeployedDistrict"
     return deployment.replication.counters()
 
 
+def broker_replication_counters(deployment: "DeployedDistrict"
+                                ) -> Dict[str, int]:
+    """Aggregated broker-replication counters of a deployment.
+
+    Empty for single-broker deployments; otherwise the group-wide sums
+    from :meth:`~repro.core.replication.ReplicationGroup.counters` over
+    the broker replicas, plus the brokers' own recovery/refusal totals
+    — the numbers the R4 benchmark reports.
+    """
+    if deployment.broker_replication is None:
+        return {}
+    counters = dict(deployment.broker_replication.counters())
+    brokers = deployment.broker_replication.brokers()
+    counters["broker_recoveries"] = sum(
+        b.stats.recoveries for b in brokers)
+    counters["broker_unrecovered_restarts"] = sum(
+        b.stats.unrecovered_restarts for b in brokers)
+    counters["broker_not_primary_refusals"] = sum(
+        b.stats.not_primary_refusals for b in brokers)
+    return counters
+
+
 def data_plane_counters(deployment: "DeployedDistrict") -> Dict[str, int]:
     """One flat snapshot of the durable-data-plane counters.
 

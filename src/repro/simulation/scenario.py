@@ -31,6 +31,10 @@ from repro.devices.energy import DeviceEnergyModel, budget_for_protocol
 from repro.devices.firmware import DeviceFirmware, RadioLink
 from repro.errors import ConfigurationError
 from repro.middleware.broker import Broker, BrokerOverloadConfig
+from repro.middleware.replication import (
+    BrokerReplicationGroup,
+    replicate_broker,
+)
 from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import Scheduler
 from repro.network.transport import LatencyModel, Network
@@ -39,7 +43,10 @@ from repro.protocols.base import make_adapter
 from repro.proxies.database_proxy import BimProxy, GisProxy, SimProxy
 from repro.proxies.device_proxy import BatchConfig, DeviceProxy
 from repro.storage.blocks import TsdbConfig
-from repro.storage.durability import DurabilityConfig
+from repro.storage.durability import (
+    BrokerDurabilityConfig,
+    DurabilityConfig,
+)
 from repro.storage.measurementdb import MeasurementDatabase
 
 
@@ -115,6 +122,20 @@ class ScenarioConfig:
     #: :class:`~repro.proxies.device_proxy.BatchConfig`).  None keeps
     #: one envelope per sample.
     proxy_batching: Optional[BatchConfig] = None
+    #: number of standby broker replicas (see
+    #: :mod:`repro.middleware.replication`).  0 keeps the single broker;
+    #: 1–2 deploy a replicated broker group, and every peer (device
+    #: proxies, measurement DB, clients) automatically rotates across
+    #: the whole broker set on failover.
+    broker_standbys: int = 0
+    #: broker replication timing knobs; None uses
+    #: :class:`ReplicationConfig` defaults (only meaningful with
+    #: ``broker_standbys > 0``)
+    broker_replication: Optional[ReplicationConfig] = None
+    #: durable broker state for the (primary) broker (WAL + snapshots,
+    #: see :class:`~repro.storage.durability.BrokerDurabilityConfig`).
+    #: None keeps the legacy volatile broker.
+    broker_durability: Optional[BrokerDurabilityConfig] = None
 
 
 @dataclass
@@ -139,6 +160,8 @@ class DeployedDistrict:
         field(default_factory=dict)
     #: the replicated master group, None for a single-master deployment
     replication: Optional[MasterReplicationGroup] = None
+    #: the replicated broker group, None for a single-broker deployment
+    broker_replication: Optional[BrokerReplicationGroup] = None
     #: the deployed fleet monitor, None unless configured
     fleet: Optional[FleetMonitor] = None
 
@@ -152,6 +175,13 @@ class DeployedDistrict:
         if self.replication is not None:
             return self.replication.uris()
         return [self.master.uri]
+
+    @property
+    def broker_hosts(self) -> List[str]:
+        """Every broker host, seniority first (one when unreplicated)."""
+        if self.broker_replication is not None:
+            return self.broker_replication.hosts()
+        return [self.broker.name]
 
     @property
     def tracer(self):
@@ -190,7 +220,7 @@ class DeployedDistrict:
         host = self.network.add_host(name)
         return DistrictClient(
             host, self.master_uris,
-            broker_host=self.broker.name if with_broker else None,
+            broker_host=self.broker_hosts if with_broker else None,
             policy=policy,
             resolve_cache_ttl=resolve_cache_ttl,
         )
@@ -251,11 +281,14 @@ def deploy(config: Optional[ScenarioConfig] = None,
 
         install(network)
     broker = Broker(network.add_host("broker"),
-                    overload=config.broker_overload)
+                    overload=config.broker_overload,
+                    durability=config.broker_durability)
     master = MasterNode(network.add_host("master"))
     replication = _replicate_if_configured(master, config)
+    broker_replication = _replicate_broker_if_configured(broker, config)
     return deploy_into(master, broker, config, dataset,
-                       replication=replication)
+                       replication=replication,
+                       broker_replication=broker_replication)
 
 
 def _replicate_if_configured(master: MasterNode, config: ScenarioConfig
@@ -270,11 +303,21 @@ def _replicate_if_configured(master: MasterNode, config: ScenarioConfig
                             config.replication)
 
 
+def _replicate_broker_if_configured(broker: Broker, config: ScenarioConfig
+                                    ) -> Optional[BrokerReplicationGroup]:
+    """Stand up the configured broker HA (see ``broker_standbys``)."""
+    if not config.broker_standbys:
+        return None
+    return replicate_broker(broker, config.broker_standbys,
+                            config.broker_replication)
+
+
 def deploy_into(master: MasterNode, broker: Broker,
                 config: ScenarioConfig,
                 dataset: Optional[DistrictDataset] = None,
                 district_index: int = 1,
-                replication: Optional[MasterReplicationGroup] = None
+                replication: Optional[MasterReplicationGroup] = None,
+                broker_replication: Optional[BrokerReplicationGroup] = None
                 ) -> DeployedDistrict:
     """Deploy one district onto existing master/broker infrastructure.
 
@@ -308,8 +351,10 @@ def deploy_into(master: MasterNode, broker: Broker,
         for member in targets:
             member.start_lease_sweeper(heartbeat)
 
+    broker_hosts = broker_replication.hosts() \
+        if broker_replication is not None else [broker.name]
     measurement_db = MeasurementDatabase(
-        network.add_host(f"{prefix}mdb"), broker.name, dataset.district_id,
+        network.add_host(f"{prefix}mdb"), broker_hosts, dataset.district_id,
         peer_keepalive=config.peer_keepalive,
         durability=config.mdb_durability,
         tsdb=config.mdb_tsdb,
@@ -336,6 +381,7 @@ def deploy_into(master: MasterNode, broker: Broker,
         measurement_db=measurement_db,
         gis_proxy=gis_proxy,
         replication=replication,
+        broker_replication=broker_replication,
     )
 
     for building in dataset.buildings:
@@ -386,7 +432,11 @@ def _deploy_fleet_monitor(deployment: DeployedDistrict) -> FleetMonitor:
         if deployment.replication is not None else [deployment.master]
     for member in masters:
         monitor.watch(member.host.name, member.uri, "master")
-    monitor.watch(deployment.broker.name, deployment.broker.uri, "broker")
+    brokers = deployment.broker_replication.brokers() \
+        if deployment.broker_replication is not None \
+        else [deployment.broker]
+    for member in brokers:
+        monitor.watch(member.name, member.uri, "broker")
     monitor.watch(deployment.measurement_db.host.name,
                   deployment.measurement_db.uri, "measurement")
     monitor.watch(deployment.gis_proxy.name, deployment.gis_proxy.uri,
@@ -410,6 +460,15 @@ class Federation:
     master: MasterNode
     broker: Broker
     districts: Dict[str, DeployedDistrict] = field(default_factory=dict)
+    #: the shared replicated broker group, None when unreplicated
+    broker_replication: Optional[BrokerReplicationGroup] = None
+
+    @property
+    def broker_hosts(self) -> List[str]:
+        """Every shared broker host, seniority first."""
+        if self.broker_replication is not None:
+            return self.broker_replication.hosts()
+        return [self.broker.name]
 
     def run(self, duration: float) -> None:
         """Advance the whole federation by *duration* simulated seconds."""
@@ -430,7 +489,7 @@ class Federation:
         host = self.network.add_host(name)
         return DistrictClient(
             host, self.master.uri,
-            broker_host=self.broker.name if with_broker else None,
+            broker_host=self.broker_hosts if with_broker else None,
             policy=policy,
         )
 
@@ -457,16 +516,20 @@ def deploy_federation(configs) -> Federation:
 
         install(network)
     broker = Broker(network.add_host("broker"),
-                    overload=base.broker_overload)
+                    overload=base.broker_overload,
+                    durability=base.broker_durability)
     master = MasterNode(network.add_host("master"))
+    broker_replication = _replicate_broker_if_configured(broker, base)
     federation = Federation(scheduler=scheduler, network=network,
-                            master=master, broker=broker)
+                            master=master, broker=broker,
+                            broker_replication=broker_replication)
     for index, config in enumerate(configs, start=1):
         if not config.host_prefix:
             config = ScenarioConfig(**{**config.__dict__,
                                        "host_prefix": f"d{index}-"})
         deployment = deploy_into(master, broker, config,
-                                 district_index=index)
+                                 district_index=index,
+                                 broker_replication=broker_replication)
         federation.districts[deployment.district_id] = deployment
     return federation
 
@@ -484,7 +547,7 @@ def _deploy_devices(deployment: DeployedDistrict) -> None:
         proxy = DeviceProxy(
             host,
             adapter=make_adapter(protocol),
-            broker_host=deployment.broker.name,
+            broker_host=deployment.broker_hosts,
             district_id=dataset.district_id,
             retention=config.retention,
             publish_buffer=config.publish_buffer,

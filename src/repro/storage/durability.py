@@ -71,6 +71,31 @@ class DurabilityConfig:
             raise ConfigurationError("snapshot period must be positive")
 
 
+@dataclass
+class BrokerDurabilityConfig:
+    """Knobs of the middleware broker's durable-state path.
+
+    Passing one to :class:`~repro.middleware.broker.Broker` makes the
+    broker's retained events, subscription registry, pending acked
+    deliveries and dead-letter queue crash-safe: every mutation is
+    appended (and fsync'd) to the WAL *before* the pub-ack or fanout it
+    enables, and a crash-restart :meth:`~repro.middleware.broker.
+    Broker.recover` restores the middleware exactly from the last
+    snapshot plus the WAL tail.
+    """
+
+    #: append-only log of broker-state mutations; None disables it
+    wal_path: Optional[str] = None
+    #: periodic full-state snapshot file; None disables snapshots
+    snapshot_path: Optional[str] = None
+    #: period of persisted snapshots, simulated seconds
+    snapshot_period: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.snapshot_period <= 0:
+            raise ConfigurationError("snapshot period must be positive")
+
+
 class WriteAheadLog:
     """Append-only JSONL log with fsync accounting and torn-tail repair.
 

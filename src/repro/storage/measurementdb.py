@@ -72,7 +72,9 @@ DedupKey = Tuple[str, float, str, Optional[int]]
 class MeasurementDatabase:
     """District-wide measurement store fed by the pub/sub middleware."""
 
-    def __init__(self, host: Host, broker_host: str, district_id: str,
+    def __init__(self, host: Host,
+                 broker_host: Union[str, Sequence[str]],
+                 district_id: str,
                  peer_keepalive: Optional[float] = None,
                  durability: Optional[DurabilityConfig] = None,
                  tsdb: Optional[TsdbConfig] = None):

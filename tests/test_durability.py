@@ -480,7 +480,7 @@ class TestBackpressure:
         # swallow deliveries without ever acking, so they stay pending
         # at the broker and the backlog climbs past the watermark
         sub_peer._dispatch = \
-            lambda sub, event, payload: consumed.append(event)
+            lambda sub, event, payload, origin: consumed.append(event)
         sub_peer.subscribe("district/#", consumed.append, ack=True)
         publisher = MiddlewarePeer(net.add_host("pub"), "broker",
                                    publish_buffer=64)
