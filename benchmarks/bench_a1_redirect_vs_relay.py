@@ -82,11 +82,13 @@ def test_redirect_vs_relay(clients, benchmark, report):
             assert len(response.body["entities"]) == N_BUILDINGS
 
     master_before = net.stats.per_host_received.get("master", 0)
-    run_redirect()
+    with report.measure(EXPERIMENT, net):
+        run_redirect()
     master_redirect = (net.stats.per_host_received.get("master", 0)
                        - master_before)
     master_before = net.stats.per_host_received.get("master", 0)
-    benchmark.pedantic(run_relay, rounds=1, iterations=1)
+    with report.measure(EXPERIMENT, net):
+        benchmark.pedantic(run_relay, rounds=1, iterations=1)
     master_relay = (net.stats.per_host_received.get("master", 0)
                     - master_before)
 

@@ -173,6 +173,12 @@ def _ingest_phase(tmp_path, samples):
         "stored_delta": mdb.store.sample_count() - stored_before,
         "duplicates_absorbed": mdb.ingest_duplicates,
     }
+    result["messages"] = (
+        baseline.network.stats.messages_delivered
+        + batched.network.stats.messages_delivered
+    )
+    result["sim_seconds"] = (baseline.scheduler.now
+                             + batched.scheduler.now)
     return result, batched
 
 
@@ -226,6 +232,12 @@ def test_ingest_tsdb(tmp_path, benchmark, report):
     replay = ingest["replay"]
     report.header(EXPERIMENT,
                   "batched ingest + columnar TSDB vs per-publish path")
+    report.record(EXPERIMENT,
+                  wall_seconds=base["wall_s"] + batched["wall_s"],
+                  sim_seconds=ingest["sim_seconds"],
+                  messages_total=ingest["messages"],
+                  ingest_speedup=ingest["speedup"],
+                  rollup_p99_ms=queries["rollup_p99_ms"])
     report.add(
         EXPERIMENT,
         f"{'ingest':<8s} n={N_SAMPLES} "

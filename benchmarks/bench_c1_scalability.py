@@ -70,7 +70,8 @@ def test_scalability(n_buildings, benchmark, report):
         return client.build_area_model(single, with_data=True,
                                        data_bucket=300.0)
 
-    benchmark.pedantic(fixed_size_workflow, rounds=3, iterations=1)
+    with report.measure(EXPERIMENT, district.network):
+        benchmark.pedantic(fixed_size_workflow, rounds=3, iterations=1)
 
     resolve = metrics.summary("resolve")
     one = metrics.summary("single-building integrate")

@@ -82,7 +82,8 @@ def build_mixed_deployment(protocols, devices_per_protocol=4):
                          ids=lambda p: f"{len(p)}proto")
 def test_heterogeneous_mix(protocols, benchmark, report):
     net, proxies, truths = build_mixed_deployment(protocols)
-    net.scheduler.run_until(301.0)
+    with report.measure(EXPERIMENT, net):
+        net.scheduler.run_until(301.0)
 
     # correctness: every device's value matches ground truth
     worst_error = 0.0

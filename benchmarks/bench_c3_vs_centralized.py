@@ -161,4 +161,5 @@ def test_vs_centralized(distributed, centralized, dataset, benchmark,
         return client.build_area_model(query, with_data=True,
                                        data_bucket=900.0)
 
-    benchmark.pedantic(distributed_query, rounds=3, iterations=1)
+    with report.measure(EXPERIMENT, distributed.network):
+        benchmark.pedantic(distributed_query, rounds=3, iterations=1)

@@ -41,6 +41,7 @@ def test_bim_translation(storeys, spaces, benchmark, report):
     components = len(model.components)
     per_component_us = benchmark.stats.stats.mean * 1e6 / components
     report.header(EXPERIMENT, "translation to the common data format")
+    report.record(EXPERIMENT, wall_seconds=benchmark.stats.stats.total)
     report.add(EXPERIMENT,
                f"BIM translate  {len(store):4d} records -> "
                f"{components:4d} components: "

@@ -52,6 +52,9 @@ def test_profiling_accuracy(setup, benchmark, report):
 
     district_profile = benchmark(full_rollup)
     assert district_profile
+    report.record(EXPERIMENT, wall_seconds=benchmark.stats.stats.total,
+                  sim_seconds=district.scheduler.now,
+                  messages_total=district.network.stats.messages_delivered)
 
     report.header(EXPERIMENT,
                   "profiling: measured roll-ups vs ground truth "

@@ -62,7 +62,8 @@ def test_actuation_round_trip(district, benchmark, report):
             outcomes.append(result.accepted)
         return outcomes
 
-    outcomes = benchmark.pedantic(actuate_all, rounds=1, iterations=1)
+    with report.measure(EXPERIMENT, district.network):
+        outcomes = benchmark.pedantic(actuate_all, rounds=1, iterations=1)
     assert all(outcomes)
     summary = metrics.summary("round-trip")
     report.header(EXPERIMENT, "remote actuation through Device-proxies")

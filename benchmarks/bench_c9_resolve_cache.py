@@ -71,11 +71,13 @@ def test_repeat_resolve_speedup(n_buildings, benchmark, report):
     metrics = MetricsRecorder()
 
     cold = district.client(f"c9-cold-{n_buildings}", with_broker=False)
-    cold_area = run_workload(district, cold, metrics, "cold")
+    with report.measure(EXPERIMENT, district.network):
+        cold_area = run_workload(district, cold, metrics, "cold")
 
     warm = district.client(f"c9-warm-{n_buildings}", with_broker=False,
                            resolve_cache_ttl=CACHE_TTL)
-    warm_area = run_workload(district, warm, metrics, "warm")
+    with report.measure(EXPERIMENT, district.network):
+        warm_area = run_workload(district, warm, metrics, "warm")
 
     # the fast path must not change answers
     assert {e.entity_id for e in warm_area.entities} == \

@@ -48,7 +48,8 @@ def test_fig1a_infrastructure(district, benchmark, report):
             return client.build_area_model(query, with_data=True,
                                            data_bucket=900.0)
 
-    model = benchmark.pedantic(workflow, rounds=3, iterations=1)
+    with report.measure(EXPERIMENT, district.network):
+        model = benchmark.pedantic(workflow, rounds=3, iterations=1)
 
     # every box and arrow of the schema carried traffic
     assert district.master.registrations >= 20 + 2 + 1 + 1

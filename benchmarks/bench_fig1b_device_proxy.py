@@ -113,7 +113,8 @@ def test_web_service_layer(benchmark, report):
         with metrics.simulated("WS GET /latest", net.scheduler):
             return client.get("svc://proxy/latest/dev-0001/power")
 
-    response = benchmark.pedantic(ws_request, rounds=20, iterations=1)
+    with report.measure(EXPERIMENT, net):
+        response = benchmark.pedantic(ws_request, rounds=20, iterations=1)
     assert response.ok
     for summary in metrics.summaries():
         report.add(EXPERIMENT, "  " + summary.row())

@@ -52,7 +52,8 @@ def test_o1_trace_attribution(observed, benchmark, report):
         return client.build_area_model(query, with_data=True,
                                        data_bucket=900.0)
 
-    model = benchmark.pedantic(workflow, rounds=3, iterations=1)
+    with report.measure(EXPERIMENT, observed.network):
+        model = benchmark.pedantic(workflow, rounds=3, iterations=1)
     assert len(model.buildings) == 10
 
     root = tracer.spans(name="build_area_model")[0]
@@ -201,6 +202,7 @@ def test_o1_tracing_overhead(benchmark, report):
 
     report.header(EXPERIMENT, "observability: trace attribution, churn "
                               "events, tracing overhead")
+    report.record(EXPERIMENT, tracing_overhead_pct=overhead * 100.0)
     report.add(EXPERIMENT,
                f"tracing wall overhead: {overhead * 100.0:+.2f}% "
                f"(best of 3 repetitions x {samples} interleaved "

@@ -101,9 +101,15 @@ def _churn_run(monitored: bool):
 
 @pytest.mark.slow
 def test_fleet_slo_detection(benchmark, report):
-    result = benchmark.pedantic(_churn_run, args=(True,),
-                                rounds=1, iterations=1)
+    with report.measure(EXPERIMENT):
+        result = benchmark.pedantic(_churn_run, args=(True,),
+                                    rounds=1, iterations=1)
     twin = _churn_run(False)
+    monitored = result["district"]
+    report.record(EXPERIMENT,
+                  sim_seconds=monitored.scheduler.now,
+                  messages_total=monitored.network.stats
+                  .messages_delivered)
 
     overhead = (result["messages"] - twin["messages"]) \
         / result["messages"]

@@ -119,6 +119,8 @@ def _churn_run(resilient: bool):
 
     ages = np.asarray(staleness, dtype=float)
     return {
+        "messages": district.network.stats.messages_delivered,
+        "sim_seconds": district.scheduler.now,
         "availability": successes[0] / attempts[0],
         "staleness_p50": float(np.percentile(ages, 50)),
         "staleness_max": float(np.max(ages)),
@@ -130,12 +132,16 @@ def _churn_run(resilient: bool):
 @pytest.mark.parametrize("resilient", [False, True],
                          ids=["baseline", "resilient"])
 def test_availability_under_churn(resilient, benchmark, report):
-    result = benchmark.pedantic(_churn_run, args=(resilient,),
-                                rounds=1, iterations=1)
+    with report.measure(EXPERIMENT):
+        result = benchmark.pedantic(_churn_run, args=(resilient,),
+                                    rounds=1, iterations=1)
     label = "resilient" if resilient else "baseline"
     counters = result["counters"]
     report.header(EXPERIMENT,
                   "availability and staleness under proxy/broker churn")
+    report.record(EXPERIMENT,
+                  sim_seconds=result["sim_seconds"],
+                  messages_total=result["messages"])
     report.add(
         EXPERIMENT,
         f"{label:<10s} availability={result['availability']:6.1%} "

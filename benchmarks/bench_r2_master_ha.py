@@ -143,6 +143,8 @@ def _ha_run(replicated: bool):
     _probe_phase(district, client, query, stats)          # 5. final
 
     return {
+        "messages": district.network.stats.messages_delivered,
+        "sim_seconds": district.scheduler.now,
         "availability": stats["successes"] / stats["attempts"],
         "devices_before": devices_before,
         "devices_after": stats["last_devices"],
@@ -157,12 +159,16 @@ def _ha_run(replicated: bool):
                          ids=["single", "replicated"])
 def test_master_availability_through_failover(replicated, benchmark,
                                               report):
-    result = benchmark.pedantic(_ha_run, args=(replicated,),
-                                rounds=1, iterations=1)
+    with report.measure(EXPERIMENT):
+        result = benchmark.pedantic(_ha_run, args=(replicated,),
+                                    rounds=1, iterations=1)
     label = "replicated" if replicated else "single"
     counters = result["counters"]
     report.header(EXPERIMENT,
                   "master availability through kill/partition/heal")
+    report.record(EXPERIMENT,
+                  sim_seconds=result["sim_seconds"],
+                  messages_total=result["messages"])
     report.add(
         EXPERIMENT,
         f"{label:<10s} availability={result['availability']:6.1%} "

@@ -190,15 +190,23 @@ def _churn_and_flood(tmp_path):
         "backpressure_signals": mdb.metrics().get(
             "backpressure_signals", 0),
     }
-    return {"churn": churn, "flood": flood}
+    return {
+        "churn": churn, "flood": flood,
+        "messages": deployment.network.stats.messages_delivered,
+        "sim_seconds": deployment.scheduler.now,
+    }
 
 
 @pytest.mark.slow
 def test_durable_data_plane(tmp_path, benchmark, report):
-    result = benchmark.pedantic(_churn_and_flood, args=(tmp_path,),
-                                rounds=1, iterations=1)
+    with report.measure(EXPERIMENT):
+        result = benchmark.pedantic(_churn_and_flood, args=(tmp_path,),
+                                    rounds=1, iterations=1)
     churn, flood = result["churn"], result["flood"]
     report.header(EXPERIMENT, "durable data plane under churn and flood")
+    report.record(EXPERIMENT,
+                  sim_seconds=result["sim_seconds"],
+                  messages_total=result["messages"])
     report.add(
         EXPERIMENT,
         f"{'churn':<8s} sent={churn['sent']:<4d} "

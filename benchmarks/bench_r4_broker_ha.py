@@ -188,6 +188,8 @@ def _ha_run(replicated: bool):
     district.run(2.0)
 
     return {
+        "messages": district.network.stats.messages_delivered,
+        "sim_seconds": district.scheduler.now,
         "availability": prober.availability(),
         "probes": len(prober.published),
         "lost": prober.lost(),
@@ -210,12 +212,16 @@ def _ha_run(replicated: bool):
                          ids=["single", "replicated"])
 def test_broker_availability_through_failover(replicated, benchmark,
                                               report):
-    result = benchmark.pedantic(_ha_run, args=(replicated,),
-                                rounds=1, iterations=1)
+    with report.measure(EXPERIMENT):
+        result = benchmark.pedantic(_ha_run, args=(replicated,),
+                                    rounds=1, iterations=1)
     label = "replicated" if replicated else "single"
     counters = result["counters"]
     report.header(EXPERIMENT,
                   "broker availability and data safety through failover")
+    report.record(EXPERIMENT,
+                  sim_seconds=result["sim_seconds"],
+                  messages_total=result["messages"])
     report.add(
         EXPERIMENT,
         f"{label:<10s} availability={result['availability']:6.1%} "

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against the committed baselines.
+
+Compares every ``BENCH_<id>.json`` in the results directory (written by
+the ``report`` fixture in ``benchmarks/conftest.py``) against its
+committed twin in ``benchmarks/baselines/`` and fails when sustained
+``msgs_per_sec`` drops below ``floor x baseline``.  The CI
+``perf-smoke`` job runs exactly this after the quick benchmarks.
+
+Rules, in the order they apply:
+
+* a baseline with ``msgs_per_sec == 0`` is informational only — pure
+  compute microbenches (translation, ontology) are never gated;
+* a baseline with no matching result is an error: a silently skipped
+  benchmark is how regressions hide;
+* results without a baseline only warn — new experiments land their
+  baseline in a follow-up once a few CI runs establish the number;
+* the floor (default :data:`repro.observability.benchreport.DEFAULT_FLOOR`)
+  is deliberately wide — it tolerates a several-fold slower runner and
+  catches the order-of-magnitude regressions that matter.  Override
+  with ``--floor`` or the ``REPRO_PERF_FLOOR`` environment variable.
+
+``--update`` rewrites the baselines from the current results instead of
+gating (run it locally after an intentional perf change and commit the
+diff).
+
+Exit status: 0 = green, 1 = at least one regression or missing result,
+2 = malformed records.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf_regression.py \
+        [--results DIR] [--baselines DIR] [--floor 0.4] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.observability.benchreport import (  # noqa: E402
+    DEFAULT_FLOOR,
+    compare_to_baseline,
+    load_bench_reports,
+    write_bench_report,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_RESULTS = os.path.join(REPO_ROOT, "benchmarks", "results")
+DEFAULT_BASELINES = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+
+def _floor_from_env(default: float) -> float:
+    raw = os.environ.get("REPRO_PERF_FLOOR")
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(f"REPRO_PERF_FLOOR={raw!r} is not a number")
+
+
+def update_baselines(results: dict, baselines_dir: str) -> int:
+    """Rewrite the committed baselines from the current results."""
+    from repro.observability.benchreport import BenchRecord
+
+    for experiment, data in sorted(results.items()):
+        record = BenchRecord(
+            experiment=experiment,
+            title=data["title"],
+            wall_seconds=data["wall_seconds"],
+            sim_seconds=data["sim_seconds"],
+            messages_total=data["messages_total"],
+            headline_metrics=data["headline_metrics"],
+            quick=data["quick"],
+        )
+        path = write_bench_report(record, baselines_dir)
+        print(f"updated {os.path.relpath(path, REPO_ROOT)}")
+    return 0
+
+
+def gate(results: dict, baselines: dict, floor: float) -> int:
+    failures = 0
+    for experiment in sorted(baselines):
+        baseline = baselines[experiment]
+        result = results.get(experiment)
+        if result is None:
+            print(f"FAIL {experiment}: baseline committed but no "
+                  f"result produced this run")
+            failures += 1
+            continue
+        ok, _ratio, message = compare_to_baseline(result, baseline,
+                                                  floor=floor)
+        print(("ok   " if ok else "FAIL ") + message)
+        if not ok:
+            failures += 1
+    for experiment in sorted(set(results) - set(baselines)):
+        rate = results[experiment].get("msgs_per_sec", 0.0)
+        print(f"warn {experiment}: no committed baseline "
+              f"({rate:,.0f} msgs/s this run)")
+    if failures:
+        print(f"{failures} perf regression(s) below floor x{floor:.2f}")
+        return 1
+    print("perf gate green")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate BENCH_*.json throughput against baselines")
+    parser.add_argument("--results", default=DEFAULT_RESULTS,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES,
+                        help="directory holding the committed baselines")
+    parser.add_argument("--floor", type=float,
+                        default=_floor_from_env(DEFAULT_FLOOR),
+                        help="minimum result/baseline msgs_per_sec ratio")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from results, do not gate")
+    options = parser.parse_args(argv)
+
+    try:
+        results = load_bench_reports(options.results)
+        baselines = load_bench_reports(options.baselines)
+    except ValueError as exc:
+        print(f"malformed bench record: {exc}")
+        return 2
+
+    if options.update:
+        if not results:
+            print(f"no BENCH_*.json under {options.results}; "
+                  f"run the benchmarks first")
+            return 1
+        return update_baselines(results, options.baselines)
+
+    if not baselines:
+        print(f"no baselines under {options.baselines}; nothing to gate")
+        return 0
+    return gate(results, baselines, options.floor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

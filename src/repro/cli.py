@@ -66,6 +66,8 @@ EXPERIMENTS = (
      "bench_o1_observability.py"),
     ("O2", "fleet SLO alerting: detection latency, false positives",
      "bench_o2_fleet_slo.py"),
+    ("O3", "soak: sustained mixed workload + hot-loop attribution",
+     "bench_o3_soak.py"),
 )
 
 
@@ -127,6 +129,34 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--chaos", action="store_true",
                        help="inject a mid-run broker outage to "
                             "demonstrate the alert lifecycle")
+
+    soak = sub.add_parser(
+        "soak", help="run the sustained mixed-workload stress scenario "
+                     "and print the throughput summary"
+    )
+    soak.add_argument("--buildings", type=int, default=6)
+    soak.add_argument("--devices", type=int, default=4)
+    soak.add_argument("--minutes", type=float, default=30.0,
+                      help="simulated minutes of measured workload")
+    soak.add_argument("--seed", type=int, default=17)
+    soak.add_argument("--profile", action="store_true",
+                      help="run under the hot-loop profiler and print "
+                           "the attribution table")
+
+    profile = sub.add_parser(
+        "profile", help="profile the DES hot loop over the soak "
+                        "workload: top-N self-time table + call tree"
+    )
+    profile.add_argument("--buildings", type=int, default=6)
+    profile.add_argument("--devices", type=int, default=4)
+    profile.add_argument("--minutes", type=float, default=10.0,
+                         help="simulated minutes of profiled workload")
+    profile.add_argument("--seed", type=int, default=17)
+    profile.add_argument("--top", type=int, default=20,
+                         help="buckets in the self-time table")
+    profile.add_argument("--json", dest="json_path", default=None,
+                         metavar="PATH",
+                         help="also export the full profile as JSON")
 
     sub.add_parser("protocols", help="list supported field protocols")
     sub.add_parser("experiments", help="list the experiment index")
@@ -287,6 +317,63 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _soak_summary(result) -> None:
+    print(f"soak: {result.sim_seconds:,.0f} simulated seconds in "
+          f"{result.wall_seconds:.2f}s wall "
+          f"(x{result.sim_seconds / max(result.wall_seconds, 1e-9):,.0f} "
+          f"sim/wall)")
+    print(f"  messages delivered   {result.messages_total:>10,}  "
+          f"({result.msgs_per_sec:,.0f} msgs/s sustained)")
+    print(f"  scheduler events     {result.events_processed:>10,}")
+    print(f"  samples ingested     {result.samples_ingested:>10,}")
+    print(f"  resolves             {result.resolves:>10,}")
+    print(f"  subscriber churn     {result.churn_cycles:>10,} cycles, "
+          f"{result.churn_events_received:,} events to churners")
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.observability import render_profile_table
+    from repro.simulation import SoakConfig, run_soak
+
+    result = run_soak(SoakConfig(
+        seed=args.seed, n_buildings=args.buildings,
+        devices_per_building=args.devices,
+        sim_duration=args.minutes * 60.0, profile=args.profile,
+    ))
+    _soak_summary(result)
+    if args.profile:
+        print()
+        print(render_profile_table(result.profiler))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        export_profile,
+        render_profile_table,
+        render_profile_tree,
+    )
+    from repro.simulation import SoakConfig, run_soak
+
+    result = run_soak(SoakConfig(
+        seed=args.seed, n_buildings=args.buildings,
+        devices_per_building=args.devices,
+        sim_duration=args.minutes * 60.0, profile=True,
+    ))
+    _soak_summary(result)
+    print()
+    print(render_profile_table(result.profiler, top=args.top))
+    print()
+    print(render_profile_tree(result.profiler))
+    if args.json_path:
+        import json
+
+        with open(args.json_path, "w") as handle:
+            json.dump(export_profile(result.profiler), handle, indent=2)
+        print(f"\nfull profile exported to {args.json_path}")
+    return 0
+
+
 def cmd_protocols(_args: argparse.Namespace) -> int:
     for name in available_protocols():
         adapter = make_adapter(name)
@@ -310,6 +397,8 @@ _COMMANDS = {
     "dashboard": cmd_dashboard,
     "energy": cmd_energy,
     "fleet": cmd_fleet,
+    "soak": cmd_soak,
+    "profile": cmd_profile,
     "protocols": cmd_protocols,
     "experiments": cmd_experiments,
 }

@@ -172,18 +172,38 @@ def decode_line(line: str) -> Measurement:
     )
 
 
-def encode_frame(measurements: Sequence[Measurement]) -> Dict[str, Any]:
-    """Encode measurements as one batch-frame pub/sub payload."""
-    lines = [encode_line(m) for m in measurements]
+def encode_frame(measurements: Sequence[Measurement], *,
+                 tracer: Any = None, host: str = "") -> Dict[str, Any]:
+    """Encode measurements as one batch-frame pub/sub payload.
+
+    When *tracer* is given (and enabled) the per-line encode loop runs
+    inside a ``producer``-kind span tagged with the sample count, so a
+    trace of the batch pipeline shows serialization cost separately
+    from transport time.  The kind string is a literal on purpose:
+    this module sits below :mod:`repro.observability` and must not
+    import from it.
+    """
+    if tracer is not None and tracer.enabled:
+        with tracer.span("lineproto.encode_frame", kind="producer",
+                         host=host,
+                         attributes={"samples": len(measurements)}):
+            lines = [encode_line(m) for m in measurements]
+    else:
+        lines = [encode_line(m) for m in measurements]
     return {"record": BATCH_RECORD, "count": len(lines), "lines": lines}
 
 
-def decode_frame(payload: Any) -> List[Measurement]:
+def decode_frame(payload: Any, *,
+                 tracer: Any = None, host: str = "") -> List[Measurement]:
     """Decode a batch-frame payload into its measurements.
 
     Raises :class:`~repro.errors.SerializationError` on any malformed
     frame or line — the caller turns that into a poison nack so a bad
     frame dead-letters instead of wedging ingestion.
+
+    When *tracer* is given (and enabled) the per-line decode loop runs
+    inside a ``consumer``-kind span; a malformed frame finishes the
+    span with an error status before the exception propagates.
     """
     if not isinstance(payload, dict) or \
             payload.get("record") != BATCH_RECORD:
@@ -196,6 +216,11 @@ def decode_frame(payload: Any) -> List[Measurement]:
         raise SerializationError(
             f"batch frame count {declared!r} != {len(lines)} lines"
         )
+    if tracer is not None and tracer.enabled:
+        with tracer.span("lineproto.decode_frame", kind="consumer",
+                         host=host,
+                         attributes={"samples": len(lines)}):
+            return [decode_line(line) for line in lines]
     return [decode_line(line) for line in lines]
 
 

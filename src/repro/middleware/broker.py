@@ -737,8 +737,19 @@ class Broker:
         self.host.send(message.sender, port, reply)
 
     def _on_message(self, message: Message) -> None:
-        payload = message.payload
-        verb = payload.get("verb")
+        verb = message.payload.get("verb")
+        profiler = self.host.network.profiler
+        if profiler is None:
+            self._handle_frame(message, verb)
+            return
+        frame = profiler.enter(self.host.name, "pubsub", verb or "?")
+        try:
+            self._handle_frame(message, verb)
+        finally:
+            profiler.exit(frame)
+
+    def _handle_frame(self, message: Message, verb) -> None:
+        """Dispatch one broker frame by verb (profiled by the caller)."""
         if not self._writable():
             self._refuse(message)
             return

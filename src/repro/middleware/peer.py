@@ -505,6 +505,18 @@ class MiddlewarePeer:
     def _on_message(self, message: Message) -> None:
         payload = message.payload
         kind = payload.get("kind")
+        profiler = self.host.network.profiler
+        if profiler is None:
+            self._handle_frame(message, payload, kind)
+            return
+        frame = profiler.enter(self.host.name, "peer", kind or "?")
+        try:
+            self._handle_frame(message, payload, kind)
+        finally:
+            profiler.exit(frame)
+
+    def _handle_frame(self, message: Message, payload, kind) -> None:
+        """Dispatch one peer frame by kind (profiled by the caller)."""
         if kind == "sub-ack":
             sub = self._by_token.get(payload.get("token"))
             if sub is not None:

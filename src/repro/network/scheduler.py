@@ -93,6 +93,11 @@ class Scheduler:
         self._queue: List[_Event] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        #: hot-loop profiler attachment point (None = disabled, the
+        #: default): a repro.observability.profiler.SimProfiler set by
+        #: install_profiler().  step() pays one attribute load + None
+        #: check when off — the entire disabled-mode cost.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -136,6 +141,9 @@ class Scheduler:
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue empty."""
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            return self._step_profiled(profiler)
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -144,6 +152,39 @@ class Scheduler:
             self._events_processed += 1
             event.callback(*event.args)
             return True
+        return False
+
+    def _step_profiled(self, profiler) -> bool:
+        """The profiled twin of :meth:`step`.
+
+        Identical event semantics; additionally opens one profiler frame
+        per dispatched event and accounts the whole iteration — heap
+        pops and cancelled-event skips included — into the profiler's
+        ``loop_wall``, so unattributed loop overhead is visible.  Nested
+        ``step`` calls (a synchronous client driving the scheduler from
+        inside a handler) are inside an open frame and charge the outer
+        event, not ``loop_wall``, to keep attribution double-count free.
+        """
+        top_level = not profiler.in_frame
+        t0 = profiler._time()
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            previous = self.clock.now
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            frame = profiler.enter_event(event.callback,
+                                         event.time - previous, start=t0)
+            try:
+                event.callback(*event.args)
+            finally:
+                profiler.exit(frame)
+                if top_level:
+                    profiler.loop_wall += profiler._time() - t0
+            return True
+        if top_level:
+            profiler.loop_wall += profiler._time() - t0
         return False
 
     def run_until(self, time: float) -> None:

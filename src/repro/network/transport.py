@@ -196,6 +196,10 @@ class Network:
         #: against None is the entire disabled-mode cost.
         self.tracer = None
         self.metrics = None
+        #: hot-loop profiler attachment point (None = disabled), set by
+        #: repro.observability.profiler.install_profiler() alongside
+        #: scheduler.profiler; _deliver pays one None check when off
+        self.profiler = None
         self._hosts: Dict[str, Host] = {}
         self._flaky: Dict[str, FlakyProfile] = {}
         #: active partitions: frozensets of isolated host names.  A
@@ -341,14 +345,21 @@ class Network:
         self.stats.messages_delivered += 1
         received = self.stats.per_host_received
         received[recipient] = received.get(recipient, 0) + 1
-        handler(
-            Message(
-                sender=sender,
-                recipient=recipient,
-                port=port,
-                payload=payload,
-                size=size,
-                sent_at=sent_at,
-                delivered_at=self.scheduler.now,
-            )
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            port=port,
+            payload=payload,
+            size=size,
+            sent_at=sent_at,
+            delivered_at=self.scheduler.now,
         )
+        profiler = self.profiler
+        if profiler is None:
+            handler(message)
+            return
+        frame = profiler.enter_delivery(recipient, port)
+        try:
+            handler(message)
+        finally:
+            profiler.exit(frame)

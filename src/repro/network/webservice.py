@@ -107,8 +107,15 @@ class Router:
         """Register *handler* for *method* on *template* (e.g. ``/d/{id}``)."""
         self._routes.append(_Route(method, template, handler))
 
-    def dispatch(self, request: Request) -> Response:
-        """Route a request; 404 if no template matches."""
+    def dispatch(self, request: Request, profiler=None, node: str = ""
+                 ) -> Response:
+        """Route a request; 404 if no template matches.
+
+        With a *profiler*, the matched handler runs inside a
+        ``(node, "http", "METHOD /template")`` frame — the route
+        template, not the concrete path, so profile buckets stay
+        low-cardinality.
+        """
         for route in self._routes:
             params = route.match(request.method, request.path)
             if params is not None:
@@ -121,7 +128,15 @@ class Router:
                     sender=request.sender,
                     trace=request.trace,
                 )
-                return route.handler(bound)
+                if profiler is None:
+                    return route.handler(bound)
+                frame = profiler.enter(
+                    node, "http", f"{route.method} {route.template}"
+                )
+                try:
+                    return route.handler(bound)
+                finally:
+                    profiler.exit(frame)
         return error(404, f"no route for {request.method} {request.path}")
 
 
@@ -200,17 +215,20 @@ class WebService:
     def _respond(self, message: Message, request: Request, span=None
                  ) -> None:
         tracer = self.host.network.tracer if span is not None else None
+        profiler = self.host.network.profiler
         try:
             if tracer is not None:
                 # activate so handler-side child spans and events nest
                 # under this hop
                 tracer.push(span)
                 try:
-                    response = self.router.dispatch(request)
+                    response = self.router.dispatch(request, profiler,
+                                                    self.host.name)
                 finally:
                     tracer.pop()
             else:
-                response = self.router.dispatch(request)
+                response = self.router.dispatch(request, profiler,
+                                                self.host.name)
         except Exception as exc:  # handler bug -> 500, like a real server
             response = error(500, f"{type(exc).__name__}: {exc}")
         # 3xx answers (e.g. the resolve fast path's 304 not-modified)

@@ -40,6 +40,14 @@ from repro.observability.slo import (
     default_slos,
     render_alert_log,
 )
+from repro.observability.profiler import (
+    SimProfiler,
+    export_profile,
+    install_profiler,
+    render_profile_table,
+    render_profile_tree,
+    uninstall_profiler,
+)
 from repro.observability.tracing import (
     Span,
     SpanEvent,
@@ -90,6 +98,7 @@ __all__ = [
     "Observability",
     "SLO",
     "ScrapeTarget",
+    "SimProfiler",
     "SloEngine",
     "Span",
     "SpanEvent",
@@ -97,9 +106,14 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "default_slos",
+    "export_profile",
     "install",
+    "install_profiler",
     "render_fleet",
     "render_alert_log",
+    "render_profile_table",
+    "render_profile_tree",
     "render_waterfall",
     "uninstall",
+    "uninstall_profiler",
 ]

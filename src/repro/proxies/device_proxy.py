@@ -264,7 +264,9 @@ class DeviceProxy(Proxy):
         if not self.online:
             self.batch_samples_dropped_offline += len(batch)
             return
-        self.peer.publish(self.batch_topic, encode_frame(batch))
+        frame = encode_frame(batch, tracer=self.host.network.tracer,
+                             host=self.name)
+        self.peer.publish(self.batch_topic, frame)
         self.batch_frames_published += 1
         self.batch_samples_published += len(batch)
         self.measurements_published += len(batch)

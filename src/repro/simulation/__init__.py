@@ -15,6 +15,7 @@ from repro.simulation.scenario import (
     deploy_federation,
     deploy_into,
 )
+from repro.simulation.soak import SoakConfig, SoakResult, run_soak
 from repro.simulation.workloads import (
     WorkloadResult,
     quantity_queries,
@@ -31,6 +32,8 @@ __all__ = [
     "Federation",
     "MetricsRecorder",
     "ScenarioConfig",
+    "SoakConfig",
+    "SoakResult",
     "Summary",
     "WorkloadResult",
     "build_device",
@@ -42,6 +45,7 @@ __all__ = [
     "resilience_counters",
     "run_integration_workload",
     "run_resolution_workload",
+    "run_soak",
     "single_building_queries",
     "whole_district_query",
 ]

@@ -10,6 +10,7 @@ over radio links, every proxy registered on the master.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -85,6 +86,12 @@ class ScenarioConfig:
     #: :func:`repro.observability.install`) on the network at deploy
     #: time.  The default keeps both disabled: zero tracing overhead.
     observability: bool = False
+    #: install the DES hot-loop profiler (see
+    #: :func:`repro.observability.profiler.install_profiler`) at deploy
+    #: time.  Also switchable fleet-wide via the ``REPRO_PROFILE``
+    #: environment variable.  The default keeps it off: the hot loop
+    #: pays one None check per event.
+    profile: bool = False
     #: number of standby master replicas (see
     #: :mod:`repro.core.replication`).  0 keeps the paper's single
     #: master; 1–2 deploy a replicated master group, and clients and
@@ -193,6 +200,11 @@ class DeployedDistrict:
         """The network's metrics registry, or None when not installed."""
         return self.network.metrics
 
+    @property
+    def profiler(self):
+        """The network's hot-loop profiler, or None when not installed."""
+        return self.network.profiler
+
     def energy_report(self):
         """Fleet energy standing, shortest projected lifetime first."""
         from repro.devices.energy import fleet_energy_report
@@ -280,6 +292,7 @@ def deploy(config: Optional[ScenarioConfig] = None,
         from repro.observability import install
 
         install(network)
+    _profile_if_configured(network, config)
     broker = Broker(network.add_host("broker"),
                     overload=config.broker_overload,
                     durability=config.broker_durability)
@@ -289,6 +302,14 @@ def deploy(config: Optional[ScenarioConfig] = None,
     return deploy_into(master, broker, config, dataset,
                        replication=replication,
                        broker_replication=broker_replication)
+
+
+def _profile_if_configured(network: Network, config: ScenarioConfig) -> None:
+    """Install the hot-loop profiler when asked to, by config or env."""
+    if config.profile or os.environ.get("REPRO_PROFILE"):
+        from repro.observability.profiler import install_profiler
+
+        install_profiler(network)
 
 
 def _replicate_if_configured(master: MasterNode, config: ScenarioConfig
@@ -515,6 +536,7 @@ def deploy_federation(configs) -> Federation:
         from repro.observability import install
 
         install(network)
+    _profile_if_configured(network, base)
     broker = Broker(network.add_host("broker"),
                     overload=base.broker_overload,
                     durability=base.broker_durability)

@@ -297,14 +297,28 @@ class MeasurementDatabase:
         samples.  The WAL record holds only the fresh lines — replay
         cannot resurrect a duplicate.
         """
+        tracer = self.host.network.tracer
         try:
-            measurements = decode_frame(payload)
+            measurements = decode_frame(payload, tracer=tracer,
+                                        host=self.host.name)
         except SerializationError as exc:
             self.rejected += 1
             self.poison_rejected += 1
             raise PoisonPayloadError(
                 f"batch frame failed decoding: {exc}"
             ) from exc
+        if tracer is not None and tracer.enabled:
+            with tracer.span("mdb.ingest_frame", kind="consumer",
+                             host=self.host.name,
+                             attributes={"samples": len(measurements)}):
+                self._ingest_frame(payload, measurements, event)
+        else:
+            self._ingest_frame(payload, measurements, event)
+
+    def _ingest_frame(self, payload: Dict,
+                      measurements: List[Measurement],
+                      event: Event) -> None:
+        """Dedup, WAL-append and ingest one decoded batch frame."""
         registry = self.host.network.metrics
         fresh: List[Tuple[str, Measurement, DedupKey]] = []
         seen: Set[DedupKey] = set()
@@ -352,7 +366,9 @@ class MeasurementDatabase:
         """Historical best-effort ingest (no durability configured)."""
         if is_batch(payload):
             try:
-                measurements = decode_frame(payload)
+                measurements = decode_frame(
+                    payload, tracer=self.host.network.tracer,
+                    host=self.host.name)
             except SerializationError:
                 self.rejected += 1
                 return

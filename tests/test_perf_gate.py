@@ -1,0 +1,126 @@
+"""Red/green tests for scripts/check_perf_regression.py.
+
+The perf-smoke CI job is only trustworthy if this gate demonstrably
+goes red on a real slowdown and green on runner noise — both cases are
+driven here against synthetic results/baselines directories.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.observability.benchreport import BenchRecord, write_bench_report
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), "..", "scripts",
+                       "check_perf_regression.py")
+
+
+@pytest.fixture()
+def gate():
+    spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory, experiment, rate, messages=100_000):
+    """Write a record whose msgs_per_sec computes to *rate*."""
+    wall = messages / rate if rate > 0 else 0.0
+    write_bench_report(
+        BenchRecord(experiment=experiment, title=f"{experiment} title",
+                    wall_seconds=wall, sim_seconds=600.0,
+                    messages_total=messages if rate > 0 else 0),
+        str(directory),
+    )
+
+
+def test_green_within_tolerance(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "O3", rate=20_000)
+    _write(tmp_path / "run", "O3", rate=10_000)  # x0.50: slow runner
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base"),
+                      "--floor", "0.4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ok   O3" in out and "perf gate green" in out
+
+
+def test_red_below_floor(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "O3", rate=20_000)
+    _write(tmp_path / "run", "O3", rate=5_000)  # x0.25: real regression
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base"),
+                      "--floor", "0.4"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL O3" in out and "x0.25" in out
+
+
+def test_red_when_baselined_result_is_missing(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "O3", rate=20_000)
+    (tmp_path / "run").mkdir()
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base")])
+    assert code == 1
+    assert "no result produced" in capsys.readouterr().out
+
+
+def test_throughput_free_baseline_is_skipped(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "C5", rate=0)    # compute microbench
+    _write(tmp_path / "run", "C5", rate=0)
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "skipped" in out
+
+
+def test_unbaselined_result_only_warns(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "O3", rate=20_000)
+    _write(tmp_path / "run", "O3", rate=20_000)
+    _write(tmp_path / "run", "X9", rate=1_000)
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "warn X9: no committed baseline" in out
+
+
+def test_malformed_record_exits_2(gate, tmp_path, capsys):
+    (tmp_path / "run").mkdir()
+    (tmp_path / "run" / "BENCH_O3.json").write_text('{"schema": 1}')
+    _write(tmp_path / "base", "O3", rate=20_000)
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base")])
+    assert code == 2
+    assert "malformed bench record" in capsys.readouterr().out
+
+
+def test_no_baselines_is_a_noop(gate, tmp_path, capsys):
+    _write(tmp_path / "run", "O3", rate=20_000)
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base")])
+    assert code == 0
+    assert "nothing to gate" in capsys.readouterr().out
+
+
+def test_update_rewrites_baselines(gate, tmp_path, capsys):
+    _write(tmp_path / "base", "O3", rate=20_000)
+    _write(tmp_path / "run", "O3", rate=30_000)
+    code = gate.main(["--results", str(tmp_path / "run"),
+                      "--baselines", str(tmp_path / "base"),
+                      "--update"])
+    assert code == 0
+    assert "updated" in capsys.readouterr().out
+    reloaded = gate.load_bench_reports(str(tmp_path / "base"))
+    assert reloaded["O3"]["msgs_per_sec"] == pytest.approx(30_000.0)
+
+
+def test_floor_env_override(gate, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_FLOOR", "0.9")
+    assert gate._floor_from_env(0.4) == pytest.approx(0.9)
+    monkeypatch.setenv("REPRO_PERF_FLOOR", "fast")
+    with pytest.raises(SystemExit):
+        gate._floor_from_env(0.4)
