@@ -39,7 +39,7 @@ from repro.errors import (
     RegistrationError,
     UnknownEntityError,
 )
-from repro.network.transport import Host
+from repro.network.transport import Host, estimate_size
 from repro.network.webservice import (
     GET,
     POST,
@@ -95,6 +95,19 @@ class MasterNode:
         #: None keeps legacy permanent registrations
         self.default_lease = default_lease
         self._leases: Dict[str, float] = {}  # proxy uri -> expiry time
+        #: proxy uri -> (last applied devices payload, attached ids,
+        #: response body size).
+        #: A heartbeat re-registration with a payload equal to the last
+        #: applied one is an ontology no-op, so it skips the parse /
+        #: node-replace / prune work entirely (the epoch still bumps
+        #: and the lease still renews).  Invalidated whenever anything
+        #: other than that slow path mutates the proxy's leaves:
+        #: eviction, reset, snapshot restore.
+        self._device_reg_cache: Dict[str, tuple] = {}
+        #: measured body size of the registration answer just built, so
+        #: the route can hand the reply send a size hint (None when the
+        #: answer shape was not measured)
+        self._last_register_size: Optional[int] = None
         self._sweeper = None
         #: replication agent (see :mod:`repro.core.replication`); None
         #: keeps the legacy single-master behaviour
@@ -127,6 +140,7 @@ class MasterNode:
         """
         self.ontology = DistrictOntology()
         self._leases.clear()
+        self._device_reg_cache.clear()
         self.bump_epoch()
 
     # -- epoch + resolve cache ------------------------------------------------
@@ -214,6 +228,7 @@ class MasterNode:
         self.ontology = DistrictOntology.from_dict(snapshot["ontology"])
         self._leases = {uri: float(expiry) for uri, expiry
                         in snapshot.get("leases", {}).items()}
+        self._device_reg_cache.clear()
         self.ontology_epoch = max(
             self.ontology_epoch, int(snapshot.get("ontology_epoch", 0))
         ) + 1
@@ -265,6 +280,7 @@ class MasterNode:
         snap = persistence.load_ontology_snapshot(self.snapshot_path)
         self.ontology = snap.ontology
         self._leases = dict(snap.leases)
+        self._device_reg_cache.clear()
         self.ontology_epoch = max(self.ontology_epoch,
                                   snap.ontology_epoch) + 1
         self.invalidate_resolve_cache()
@@ -298,6 +314,7 @@ class MasterNode:
         actual removal bumps the ontology epoch, so no cached resolve
         answer can keep pointing at the dead proxy.
         """
+        self._device_reg_cache.pop(uri, None)
         changed = False
         for district in self.ontology.districts():
             if uri in district.gis_uris:
@@ -349,6 +366,7 @@ class MasterNode:
         :meth:`register` and by replicated log entries applied on a
         standby (which must bypass the primary-only write gate).
         """
+        self._last_register_size = None
         kind = payload.get("proxy_kind")
         lease = payload.get("lease")
         if lease is not None and float(lease) <= 0:
@@ -445,6 +463,14 @@ class MasterNode:
             raise RegistrationError(
                 "device proxy registered without devices"
             )
+        cached = self._device_reg_cache.get(uri)
+        if cached is not None and cached[0] == devices:
+            # identical heartbeat refresh: applying it leaves the
+            # ontology exactly as it stands (replace with equal nodes,
+            # nothing stale to prune), so skip the parse/write work
+            self.registrations += 1
+            self._last_register_size = cached[2]
+            return {"attached": "devices", "device_ids": list(cached[1])}
         attached = []
         district = self._district_node(district_id)
         for device_data in devices:
@@ -473,8 +499,12 @@ class MasterNode:
                     raise RegistrationError(str(exc)) from exc
             attached.append(description.device_id)
         self._prune_stale_devices(district, uri, set(attached))
+        body = {"attached": "devices", "device_ids": attached}
+        size = estimate_size(body)
+        self._device_reg_cache[uri] = (devices, list(attached), size)
+        self._last_register_size = size
         self.registrations += 1
-        return {"attached": "devices", "device_ids": attached}
+        return body
 
     def _prune_stale_devices(self, district, uri: str,
                              reported: set) -> None:
@@ -535,7 +565,7 @@ class MasterNode:
             return error(503, str(exc))
         except RegistrationError as exc:
             return error(400, str(exc))
-        return ok(body)
+        return Response(200, body, body_size=self._last_register_size)
 
     def _resolve_route(self, request: Request) -> Response:
         self.expire_leases()  # evictions must land before the token read

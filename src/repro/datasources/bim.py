@@ -35,8 +35,8 @@ _GUID_ALPHABET = string.ascii_letters + string.digits + "_$"
 
 def make_guid(rng: np.random.RandomState) -> str:
     """Mint a 22-character IFC-style GlobalId."""
-    indices = rng.randint(0, len(_GUID_ALPHABET), size=22)
-    return "".join(_GUID_ALPHABET[i] for i in indices)
+    indices = rng.randint(0, len(_GUID_ALPHABET), size=22).tolist()
+    return "".join([_GUID_ALPHABET[i] for i in indices])
 
 
 class BimStore:

@@ -46,7 +46,12 @@ class RadioLink:
         self.frames_up = 0
         self.frames_down = 0
         self.frames_dropped = 0
-        self._rng = np.random.RandomState(seed)
+        self._seed = seed
+        #: lazily built on the first lossy check — RandomState
+        #: construction is measurable per link and a loss-free link
+        #: (the common fleet) never draws; first-use construction sees
+        #: the identical stream
+        self._rng: Optional[np.random.RandomState] = None
         self._gateway_handler: Optional[FrameHandler] = None
         self._device_handler: Optional[FrameHandler] = None
 
@@ -59,7 +64,12 @@ class RadioLink:
         self._device_handler = handler
 
     def _lossy(self) -> bool:
-        return self.loss > 0.0 and self._rng.random_sample() < self.loss
+        if self.loss <= 0.0:
+            return False
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = np.random.RandomState(self._seed)
+        return rng.random_sample() < self.loss
 
     def uplink(self, frame: bytes) -> None:
         """Device -> gateway transmission."""

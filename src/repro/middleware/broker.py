@@ -72,6 +72,7 @@ Broker high availability (opt-in, composable):
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, \
@@ -79,7 +80,7 @@ from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, \
 
 from repro.errors import ConfigurationError
 from repro.middleware.topics import topic_matches, validate_filter, validate_topic
-from repro.network.transport import Host, Message
+from repro.network.transport import Host, Message, estimate_size
 from repro.network.webservice import (
     GET,
     POST,
@@ -98,10 +99,18 @@ BROKER_PORT = "pubsub"
 #: topic level prefixed to a dead-lettered event's original topic
 DEAD_LETTER_PREFIX = "deadletter"
 
+#: distinct concrete topics whose match sets the broker caches
+_MATCH_CACHE_CAP = 1024
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class Event:
-    """A pub/sub event as seen by a subscriber."""
+    """A pub/sub event as seen by a subscriber.
+
+    Treated as immutable by convention; one is built per fan-out
+    delivery, so construction stays on the plain dataclass path
+    (``frozen=True`` pays ``object.__setattr__`` per field).
+    """
 
     topic: str
     payload: Any
@@ -233,6 +242,12 @@ class Broker:
         self.max_delivery_attempts = max_delivery_attempts
         self.dead_letter_capacity = dead_letter_capacity
         self._subs: Dict[int, _Sub] = {}
+        #: concrete topic -> sub_ids whose pattern matches, in
+        #: subscription order — publish fan-out stops re-matching
+        #: wildcards per event.  Cleared on ANY ``_subs`` mutation
+        #: (subscribe, unsubscribe, replay, restore, dead-sub reaping);
+        #: bounded so a topic-cardinality explosion cannot leak memory.
+        self._match_cache: Dict[str, List[Tuple[int, int]]] = {}
         # topic -> last retained event payload (publish with retain=True)
         self._retained: Dict[str, dict] = {}
         self._next_sub_id = 1
@@ -419,6 +434,7 @@ class Broker:
         restore the durable state from disk instead.
         """
         self._subs.clear()
+        self._match_cache.clear()
         self._retained.clear()
         self._deliveries.clear()
         self._pending_pubs.clear()
@@ -472,9 +488,11 @@ class Broker:
                 record["pattern"], record["subscriber"], record["port"],
                 record.get("token"), bool(record.get("ack", False)),
             )
+            self._match_cache.clear()
             self._next_sub_id = max(self._next_sub_id, sub_id + 1)
         elif op == "unsub":
             self._subs.pop(int(record["sub_id"]), None)
+            self._match_cache.clear()
         elif op == "delivery":
             delivery_id = int(record["delivery_id"])
             if delivery_id in self._deliveries:
@@ -566,6 +584,7 @@ class Broker:
         redeliver).
         """
         self._subs.clear()
+        self._match_cache.clear()
         self._retained.clear()
         self._deliveries.clear()
         self._pending_pubs.clear()
@@ -799,8 +818,9 @@ class Broker:
                        "subscriber": message.sender,
                        "port": payload["port"], "token": token,
                        "ack": ack})
-            self._subs[sub_id] = _Sub(pattern, message.sender,
+            self._subs[sub_id] = _Sub(sys.intern(pattern), message.sender,
                                       payload["port"], token, ack)
+            self._match_cache.clear()
             self.stats.subscriptions += 1
         self.host.send(message.sender, payload["port"],
                        {"kind": "sub-ack", "sub_id": sub_id,
@@ -823,6 +843,7 @@ class Broker:
     def _unsubscribe(self, message: Message) -> None:
         sub_id = message.payload.get("sub_id")
         if self._subs.pop(sub_id, None) is not None:
+            self._match_cache.clear()
             self._log({"op": "unsub", "sub_id": sub_id})
 
     # -- backpressure ------------------------------------------------------
@@ -929,20 +950,39 @@ class Broker:
         dead: List[int] = []
         deliveries = 0
         acked_delivery_ids: List[int] = []
-        for sub_id, sub in self._subs.items():
-            if not topic_matches(sub.pattern, topic):
+        subs = self._subs
+        matched = self._match_cache.get(topic)
+        if matched is None:
+            # each entry carries the precomputed wire-size delta its
+            # ``sub_id`` key adds to a fan-out envelope (', "sub_id": N')
+            matched = [(sub_id, len(str(sub_id)) + 12)
+                       for sub_id, sub in subs.items()
+                       if topic_matches(sub.pattern, topic)]
+            if len(self._match_cache) >= _MATCH_CACHE_CAP:
+                self._match_cache.clear()
+            self._match_cache[topic] = matched
+        # the fan-out envelopes differ from `event` only by the small
+        # ASCII keys added below, so their wire size is the base size
+        # plus an exact per-key delta — estimated once per publish, not
+        # once per subscriber
+        base_size = estimate_size(event)
+        send = self.host.send
+        for sub_id, sub_id_delta in matched:
+            sub = subs.get(sub_id)
+            if sub is None:
                 continue
             if not network.has_host(sub.subscriber):
                 dead.append(sub_id)
                 continue
-            self.stats.fanout_deliveries += 1
             deliveries += 1
             fanout = dict(event)
             fanout["sub_id"] = sub_id
+            size = base_size + sub_id_delta
             if sub.ack:
                 delivery_id = self._next_delivery_id
                 self._next_delivery_id += 1
                 fanout["delivery_id"] = delivery_id
+                size += len(str(delivery_id)) + 17  # + ', "delivery_id": N'
                 self._log({
                     "op": "delivery", "delivery_id": delivery_id,
                     "sub_id": sub_id, "subscriber": sub.subscriber,
@@ -963,9 +1003,11 @@ class Broker:
                     self.delivery_ack_timeout, self._check_delivery,
                     delivery_id, 0,
                 )
-            self.host.send(sub.subscriber, sub.port, fanout)
+            send(sub.subscriber, sub.port, fanout, size=size)
+        self.stats.fanout_deliveries += deliveries
         for sub_id in dead:
-            self._subs.pop(sub_id, None)
+            if subs.pop(sub_id, None) is not None:
+                self._match_cache.clear()
             self.stats.dead_subscriptions_dropped += 1
         if reliable:
             if acked_delivery_ids:
@@ -1089,7 +1131,8 @@ class Broker:
         network = self.host.network
         if not network.has_host(delivery.subscriber):
             # the subscriber host is gone for good: nothing to deliver to
-            self._subs.pop(delivery.sub_id, None)
+            if self._subs.pop(delivery.sub_id, None) is not None:
+                self._match_cache.clear()
             self.stats.dead_subscriptions_dropped += 1
             self._release_delivery(delivery)
             return

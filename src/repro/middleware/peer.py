@@ -516,7 +516,69 @@ class MiddlewarePeer:
             profiler.exit(frame)
 
     def _handle_frame(self, message: Message, payload, kind) -> None:
-        """Dispatch one peer frame by kind (profiled by the caller)."""
+        """Dispatch one peer frame by kind (profiled by the caller).
+
+        ``event`` — the fan-out delivery — is checked first: it
+        outnumbers every control frame combined on a busy bus.
+        """
+        if kind == "event":
+            sender = message.sender
+            if sender != self._brokers[self._broker_index] \
+                    and sender in self._brokers:
+                # deliveries only ever come from the live primary: a
+                # promoted standby redelivering the replicated pending
+                # deliveries is this subscriber's cue to rotate (a
+                # subscriber-only peer has no publish timeouts to
+                # detect the failover otherwise)
+                self.rotate_broker(sender)
+            # the broker fans out one copy per matching subscription and
+            # tags it with the subscription id, so dispatch is exact even
+            # when several local filters overlap
+            sub = self._by_sub_id.get(payload.get("sub_id"))
+            if sub is None or not sub.active:
+                return
+            sub.events_received += 1
+            network = self.host.network
+            now = network.scheduler.clock._now
+            event = Event(
+                payload["topic"],
+                payload["payload"],
+                payload["published_at"],
+                now,
+                payload["publisher"],
+                True if payload.get("retained") else False,
+            )
+            span = None
+            tracer = network.tracer
+            if tracer is not None and tracer.enabled:
+                ctx = TraceContext.from_dict(payload.get("trace"))
+                if ctx is not None:
+                    # consumer span: child of the broker fanout span, so
+                    # a delivery nests publish -> fanout -> deliver and
+                    # its duration is the subscriber callback time
+                    span = tracer.start_span(
+                        f"deliver {event.topic}", kind=CONSUMER,
+                        host=self.host.name, parent=ctx,
+                        attributes={
+                            "latency": now - event.published_at,
+                            "retained": event.retained,
+                        },
+                    )
+            if span is not None:
+                tracer.push(span)
+                try:
+                    self._dispatch(sub, event, payload, sender)
+                finally:
+                    tracer.pop()
+                    tracer.finish(span)
+            elif payload.get("delivery_id") is None:
+                # fire-and-forget delivery (no broker-tracked ack):
+                # run the callback directly, exceptions propagate to
+                # the scheduler exactly as _dispatch would
+                sub.callback(event)
+            else:
+                self._dispatch(sub, event, payload, sender)
+            return
         if kind == "sub-ack":
             sub = self._by_token.get(payload.get("token"))
             if sub is not None:
@@ -552,57 +614,6 @@ class MiddlewarePeer:
             return
         if kind == "not-primary":
             self._on_not_primary(payload)
-            return
-        if kind == "event":
-            if message.sender != self.broker_host \
-                    and message.sender in self._brokers:
-                # deliveries only ever come from the live primary: a
-                # promoted standby redelivering the replicated pending
-                # deliveries is this subscriber's cue to rotate (a
-                # subscriber-only peer has no publish timeouts to
-                # detect the failover otherwise)
-                self.rotate_broker(message.sender)
-            # the broker fans out one copy per matching subscription and
-            # tags it with the subscription id, so dispatch is exact even
-            # when several local filters overlap
-            sub = self._by_sub_id.get(payload.get("sub_id"))
-            if sub is None or not sub.active:
-                return
-            sub.events_received += 1
-            now = self.host.network.scheduler.now
-            event = Event(
-                topic=payload["topic"],
-                payload=payload["payload"],
-                published_at=payload["published_at"],
-                delivered_at=now,
-                publisher=payload["publisher"],
-                retained=bool(payload.get("retained", False)),
-            )
-            span = None
-            tracer = self.host.network.tracer
-            if tracer is not None and tracer.enabled:
-                ctx = TraceContext.from_dict(payload.get("trace"))
-                if ctx is not None:
-                    # consumer span: child of the broker fanout span, so
-                    # a delivery nests publish -> fanout -> deliver and
-                    # its duration is the subscriber callback time
-                    span = tracer.start_span(
-                        f"deliver {event.topic}", kind=CONSUMER,
-                        host=self.host.name, parent=ctx,
-                        attributes={
-                            "latency": now - event.published_at,
-                            "retained": event.retained,
-                        },
-                    )
-            if span is not None:
-                tracer.push(span)
-                try:
-                    self._dispatch(sub, event, payload, message.sender)
-                finally:
-                    tracer.pop()
-                    tracer.finish(span)
-            else:
-                self._dispatch(sub, event, payload, message.sender)
 
     def _dispatch(self, sub: Subscription, event: Event,
                   payload: dict, origin: str) -> None:

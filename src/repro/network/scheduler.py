@@ -4,50 +4,85 @@ Every asynchronous thing in the framework — network message delivery,
 device sampling, periodic publication, query workloads — is an event on
 one shared :class:`Scheduler`.  Events execute in (time, insertion)
 order, so runs are fully deterministic for a fixed seed.
+
+Hot-loop design (the PR 10 fast path):
+
+* Heap entries are plain ``(time, seq, event)`` tuples, so ``heapq``
+  orders them with C tuple comparison — the dataclass-generated Python
+  ``__lt__`` the seed paid per sift step is gone.  ``seq`` is unique,
+  so the comparison never reaches the :class:`_Event` payload.
+* :class:`_Event` is a ``__slots__`` record (callback, args, two flag
+  bits) — cheap to allocate, no per-instance ``__dict__``.
+* Cancelled events are *tombstones*: :meth:`EventHandle.cancel` only
+  flags them, but the scheduler counts live tombstones and compacts the
+  heap (filter + ``heapify``) when they exceed both
+  :attr:`Scheduler.compact_threshold` and half the queue — so the
+  re-arm/cancel patterns upstack (broker delivery-ack timers,
+  device-proxy batch age timers) can no longer grow the heap without
+  bound, and :attr:`Scheduler.pending` reports **live** events only.
+* :meth:`run_until` pops due events inline instead of peeking and then
+  re-popping through :meth:`step` — one heap operation per event.
+
+``Scheduler(reference=True)`` keeps the seed's unfused peek-then-step
+loop and disables compaction (semantics are identical either way); the
+determinism twin test runs the same workload on both paths and asserts
+byte-identical behaviour.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.simtime import SimClock
 from repro.errors import ConfigurationError
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable = field(compare=False)
-    args: Tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    """One scheduled callback; ordering lives in the heap tuple.
 
+    The event *is* its own cancellation handle (``EventHandle`` is an
+    alias) — one allocation per schedule, not two.
+    """
 
-class EventHandle:
-    """Opaque handle allowing a scheduled event to be cancelled."""
+    __slots__ = ("time", "callback", "args", "cancelled", "queued",
+                 "scheduler")
 
-    def __init__(self, event: _Event):
-        self._event = event
+    def __init__(self, time: float, callback: Callable, args: Tuple,
+                 scheduler: "Scheduler"):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        #: still sitting in the heap (popped events are not tombstones)
+        self.queued = True
+        self.scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
-        self._event.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queued:
+                self.scheduler._note_tombstone()
 
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
 
-    @property
-    def time(self) -> float:
-        """Simulated time at which the event is due."""
-        return self._event.time
+#: public name for the cancellation handle :meth:`Scheduler.schedule`
+#: returns
+EventHandle = _Event
 
 
 class PeriodicTask:
-    """A repeating event; cancel it via :meth:`stop`."""
+    """A repeating event; cancel it via :meth:`stop`.
+
+    A callback that raises no longer kills the task silently: the
+    error is counted (:attr:`errors`, and
+    :attr:`Scheduler.periodic_task_errors` fleet-wide), reported
+    through :attr:`Scheduler.on_periodic_error` (the network layer
+    forwards it as a ``periodic_task_error`` trace event) and the task
+    re-arms in a ``finally`` — one bad sample cannot permanently stop
+    heartbeats, compaction sweeps or metric scrapes.
+    """
 
     def __init__(self, scheduler: "Scheduler", period: float,
                  callback: Callable, args: Tuple):
@@ -59,6 +94,8 @@ class PeriodicTask:
         self._args = args
         self._stopped = False
         self._handle: Optional[EventHandle] = None
+        #: callback exceptions absorbed by this task
+        self.errors = 0
 
     def start(self, initial_delay: float = 0.0) -> "PeriodicTask":
         """Arm the task; first firing after *initial_delay* seconds."""
@@ -70,9 +107,18 @@ class PeriodicTask:
     def _fire(self) -> None:
         if self._stopped:
             return
-        self._callback(*self._args)
-        if not self._stopped:
-            self._handle = self._scheduler.schedule(self._period, self._fire)
+        scheduler = self._scheduler
+        try:
+            self._callback(*self._args)
+        except Exception as exc:
+            self.errors += 1
+            scheduler.periodic_task_errors += 1
+            hook = scheduler.on_periodic_error
+            if hook is not None:
+                hook(self, exc)
+        finally:
+            if not self._stopped:
+                self._handle = scheduler.schedule(self._period, self._fire)
 
     def stop(self) -> None:
         """Stop future firings; an in-flight firing still completes."""
@@ -88,11 +134,29 @@ class PeriodicTask:
 class Scheduler:
     """Priority-queue discrete-event scheduler over a :class:`SimClock`."""
 
-    def __init__(self, clock: Optional[SimClock] = None):
+    def __init__(self, clock: Optional[SimClock] = None,
+                 reference: bool = False):
         self.clock = clock if clock is not None else SimClock()
-        self._queue: List[_Event] = []
+        #: heap of (time, seq, _Event) — tuple comparison never reaches
+        #: the event because seq is unique
+        self._queue: List[Tuple[float, int, _Event]] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        #: cancelled events still occupying heap slots
+        self._tombstones = 0
+        #: tombstones tolerated before a compaction is considered
+        self.compact_threshold = 512
+        #: heap rebuilds performed to evict tombstones
+        self.compactions = 0
+        #: periodic-task callback exceptions absorbed fleet-wide
+        self.periodic_task_errors = 0
+        #: optional ``f(task, exc)`` hook fired on each absorbed periodic
+        #: error; the Network wires it to a ``periodic_task_error``
+        #: trace event
+        self.on_periodic_error: Optional[Callable] = None
+        #: run the seed's unfused dispatch loop without compaction (the
+        #: determinism-twin comparison path; semantics are identical)
+        self.reference = reference
         #: hot-loop profiler attachment point (None = disabled, the
         #: default): a repro.observability.profiler.SimProfiler set by
         #: install_profiler().  step() pays one attribute load + None
@@ -102,7 +166,7 @@ class Scheduler:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self.clock.now
+        return self.clock._now
 
     @property
     def events_processed(self) -> int:
@@ -111,26 +175,33 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of **live** events still queued.
+
+        Cancelled-but-unfired tombstones are excluded — the seed
+        overcounted them until their due time.
+        """
+        return len(self._queue) - self._tombstones
 
     def schedule(self, delay: float, callback: Callable, *args: Any
                  ) -> EventHandle:
         """Schedule *callback(*args)* after *delay* simulated seconds."""
         if delay < 0:
             raise ConfigurationError(f"cannot schedule in the past ({delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.clock._now + delay
+        event = _Event(time, callback, args, self)
+        heapq.heappush(self._queue, (time, next(self._counter), event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable, *args: Any
                     ) -> EventHandle:
         """Schedule *callback(*args)* at absolute simulated time *time*."""
-        if time < self.now:
+        if time < self.clock._now:
             raise ConfigurationError(
-                f"cannot schedule in the past ({time} < {self.now})"
+                f"cannot schedule in the past ({time} < {self.clock._now})"
             )
-        event = _Event(time, next(self._counter), callback, args)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _Event(time, callback, args, self)
+        heapq.heappush(self._queue, (time, next(self._counter), event))
+        return event
 
     def every(self, period: float, callback: Callable, *args: Any,
               initial_delay: Optional[float] = None) -> PeriodicTask:
@@ -139,16 +210,44 @@ class Scheduler:
         first = period if initial_delay is None else initial_delay
         return task.start(first)
 
+    # -- tombstone compaction ----------------------------------------------
+
+    def _note_tombstone(self) -> None:
+        """Account one cancelled-in-queue event; compact past threshold."""
+        self._tombstones += 1
+        if (not self.reference
+                and self._tombstones > self.compact_threshold
+                and self._tombstones * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (O(live) heapify).
+
+        In place — the dispatch loops hold a local alias to the queue
+        list across callbacks, so the list object must stay the same.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._tombstones = 0
+        self.compactions += 1
+
+    # -- dispatch ----------------------------------------------------------
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue empty."""
         profiler = self.profiler
         if profiler is not None and profiler.enabled:
             return self._step_profiled(profiler)
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time, _seq, event = pop(queue)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
-            self.clock.advance_to(event.time)
+            event.queued = False
+            self.clock.advance_to(time)
             self._events_processed += 1
             event.callback(*event.args)
             return True
@@ -167,15 +266,18 @@ class Scheduler:
         """
         top_level = not profiler.in_frame
         t0 = profiler._time()
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
-            previous = self.clock.now
-            self.clock.advance_to(event.time)
+            event.queued = False
+            previous = self.clock._now
+            self.clock.advance_to(time)
             self._events_processed += 1
             frame = profiler.enter_event(event.callback,
-                                         event.time - previous, start=t0)
+                                         time - previous, start=t0)
             try:
                 event.callback(*event.args)
             finally:
@@ -189,20 +291,44 @@ class Scheduler:
 
     def run_until(self, time: float) -> None:
         """Run all events due at or before *time*, then advance to it."""
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > time:
-                break
-            self.step()
-        if time > self.clock.now:
+        queue = self._queue
+        profiler = self.profiler
+        if self.reference or (profiler is not None and profiler.enabled):
+            # unfused peek-then-step loop (seed shape; also keeps the
+            # profiled path's per-step loop_wall accounting intact)
+            while queue:
+                head = queue[0]
+                if head[2].cancelled:
+                    heapq.heappop(queue)
+                    self._tombstones -= 1
+                    continue
+                if head[0] > time:
+                    break
+                self.step()
+        else:
+            clock = self.clock
+            pop = heapq.heappop
+            while queue:
+                head = queue[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(queue)
+                    self._tombstones -= 1
+                    continue
+                due = head[0]
+                if due > time:
+                    break
+                pop(queue)
+                event.queued = False
+                clock.advance_to(due)
+                self._events_processed += 1
+                event.callback(*event.args)
+        if time > self.clock._now:
             self.clock.advance_to(time)
 
     def run_for(self, duration: float) -> None:
         """Run the simulation forward by *duration* seconds."""
-        self.run_until(self.now + duration)
+        self.run_until(self.clock._now + duration)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Drain the queue; returns the number of events executed.
@@ -210,8 +336,24 @@ class Scheduler:
         Guards against runaway periodic tasks via *max_events*.
         """
         executed = 0
-        while executed < max_events and self.step():
-            executed += 1
+        profiler = self.profiler
+        if self.reference or (profiler is not None and profiler.enabled):
+            while executed < max_events and self.step():
+                executed += 1
+        else:
+            queue = self._queue
+            clock = self.clock
+            pop = heapq.heappop
+            while queue and executed < max_events:
+                _time, _seq, event = pop(queue)
+                if event.cancelled:
+                    self._tombstones -= 1
+                    continue
+                event.queued = False
+                clock.advance_to(_time)
+                self._events_processed += 1
+                event.callback(*event.args)
+                executed += 1
         if executed >= max_events:
             raise ConfigurationError(
                 "run_until_idle exceeded max_events; "

@@ -9,13 +9,35 @@ latency computed by a :class:`LatencyModel` (base + per-byte + jitter).
 Failure injection: hosts can be taken offline (messages to them are
 dropped) and links can be given a drop probability, both deterministic
 for a fixed seed — used by the churn/robustness tests and benches.
+
+Hot-path design (the PR 10 fast path):
+
+* :func:`estimate_size` no longer serialises every payload — a
+  structural walk computes the exact ``json.dumps`` byte length for the
+  framework's envelope shapes (str/bytes/None fast paths, dicts/lists of
+  ASCII strings and numbers) and only falls back to real ``json.dumps``
+  for exotic values (non-ASCII, escapes, NaN, non-str dict keys,
+  arbitrary objects).  The computed length is **value-exact** against
+  the seed implementation because size feeds bandwidth latency, and
+  latency feeds event ordering.
+* Callers that already know the wire size (the broker's publish fan-out
+  computes one base size per event plus an exact per-subscriber delta)
+  pass it via ``send(..., size=...)`` and skip estimation entirely.
+* :meth:`Network.send` takes fast exits: the partition / drop
+  probability / flaky machinery is only consulted when actually
+  configured, and jitter draws are batched (stream-identical to the
+  seed's scalar draws) so the RNG is entered once per 256 sends.
+* Host names and port names are interned, so the hot dict lookups hash
+  by pointer.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -29,23 +51,148 @@ from repro.network.scheduler import Scheduler
 Handler = Callable[["Message"], None]
 
 
+class _Exotic(Exception):
+    """Internal: payload needs the real ``json.dumps`` fallback."""
+
+
+#: characters that make a string non-trivial to JSON-encode: anything
+#: outside printable ASCII (multi-byte UTF-8 or ``\uXXXX`` escapes under
+#: ``ensure_ascii``) plus the two escaped printables ``"`` and ``\``.
+_NEEDS_ESCAPE = re.compile(r'[^ -~]|["\\]').search
+
+_JITTER_BATCH = 256
+
+_INF = float("inf")
+
+#: string -> its quoted JSON-encoded length.  Envelope keys, topics,
+#: host names and device ids repeat endlessly, so the escape scan runs
+#: once per distinct string; bounded against id-cardinality explosions.
+_STR_LEN_CACHE: Dict[str, int] = {}
+_STR_LEN_CACHE_CAP = 8192
+
+
+def _json_str_len(value: str) -> int:
+    cache = _STR_LEN_CACHE
+    length = cache.get(value)
+    if length is None:
+        if _NEEDS_ESCAPE(value):
+            raise _Exotic
+        length = len(value) + 2
+        if len(cache) >= _STR_LEN_CACHE_CAP:
+            cache.clear()
+        cache[value] = length
+    return length
+
+
+def _json_len(value: Any) -> int:
+    """Exact ``len(json.dumps(value).encode("utf-8"))`` without encoding.
+
+    Mirrors ``json.dumps`` defaults (``", "``/``": "`` separators,
+    ``ensure_ascii``, ``float.__repr__`` for floats; ``repr(nan)`` and
+    ``"NaN"`` happen to have equal length, so NaN needs no special
+    case).  Raises :class:`_Exotic` for anything whose encoding is not
+    trivially computable — strings needing escapes, infinities,
+    non-``str`` dict keys (json stringifies those), subclasses,
+    arbitrary objects — so the caller falls back to the real encoder.
+    """
+    kind = type(value)
+    if kind is str:
+        length = _STR_LEN_CACHE.get(value)
+        return length if length is not None else _json_str_len(value)
+    if kind is float:
+        if value == _INF or value == -_INF:
+            raise _Exotic
+        return len(repr(value))
+    if kind is bool:
+        return 4 if value else 5
+    if kind is int:
+        return len(str(value))
+    if value is None:
+        return 4
+    if kind is dict:
+        count = len(value)
+        if count == 0:
+            return 2
+        total = 2 + 2 * (count - 1)
+        cache_get = _STR_LEN_CACHE.get
+        for key, item in value.items():
+            key_len = cache_get(key)
+            if key_len is None:
+                if type(key) is not str:
+                    raise _Exotic
+                key_len = _json_str_len(key)
+            total += key_len + 2 + _json_len(item)
+        return total
+    if kind is list or kind is tuple:
+        count = len(value)
+        if count == 0:
+            return 2
+        total = 2 + 2 * (count - 1)
+        for item in value:
+            total += _json_len(item)
+        return total
+    raise _Exotic
+
+
 def estimate_size(payload: Any) -> int:
-    """Approximate on-the-wire size in bytes of a message payload."""
+    """Approximate on-the-wire size in bytes of a message payload.
+
+    Value-identical to serialising with ``json.dumps(payload,
+    default=str)`` (the seed behaviour) but computed structurally for
+    the common payload shapes, so the hot send path never builds a JSON
+    string just to measure it.
+    """
     if payload is None:
         return 1
-    if isinstance(payload, (bytes, bytearray)):
+    kind = type(payload)
+    if kind is str:
+        if payload.isascii():
+            return len(payload)
+        return len(payload.encode("utf-8"))
+    if kind is bytes or kind is bytearray:
         return len(payload)
+    try:
+        return _json_len(payload)
+    except _Exotic:
+        pass
     if isinstance(payload, str):
         return len(payload.encode("utf-8"))
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
     try:
         return len(json.dumps(payload, default=str).encode("utf-8"))
     except (TypeError, ValueError):
         return 256  # opaque object: charge a flat envelope size
 
 
-@dataclass(frozen=True)
+def presized_estimate(payload: Dict, key: str, inner_size: int) -> int:
+    """:func:`estimate_size` of *payload* given ``payload[key]``'s size.
+
+    For envelope dicts wrapping one large field whose size the caller
+    already knows (a registration body measured once and re-sent every
+    heartbeat, say), re-measuring the envelope only needs the cheap
+    outer walk: JSON sizes are additive, so measuring with the field
+    swapped for ``0`` (one character) and adding *inner_size* back is
+    value-identical to measuring the whole payload — for the structural
+    path and the ``json.dumps`` fallback alike.
+    """
+    saved = payload[key]
+    payload[key] = 0
+    try:
+        outer = estimate_size(payload)
+    finally:
+        payload[key] = saved
+    return outer - 1 + inner_size
+
+
+@dataclass(slots=True)
 class Message:
-    """A delivered transport message."""
+    """A delivered transport message.
+
+    Treated as immutable by convention; built once per delivery, so the
+    constructor stays on the plain (non-``frozen``) dataclass path —
+    ``frozen=True`` pays ``object.__setattr__`` per field per message.
+    """
 
     sender: str
     recipient: str
@@ -61,6 +208,12 @@ class LatencyModel:
 
     ``delay = base + size/bandwidth`` multiplied by a log-normal jitter
     factor.  Messages a host sends to itself use *loopback* latency.
+
+    Jitter factors are drawn in batches of ``256`` — batch draws from
+    ``RandomState.normal`` are stream-identical to scalar draws, and
+    ``np.exp`` over the batch is elementwise-identical, so the factors
+    a run sees match the seed implementation draw for draw.  (Changing
+    :attr:`jitter` mid-run discards the current batch.)
     """
 
     def __init__(
@@ -80,16 +233,28 @@ class LatencyModel:
         self.jitter = jitter
         self.loopback = loopback
         self._rng = np.random.RandomState(seed)
+        self._jitter_buf: List[float] = []
+        self._jitter_pos = 0
+        self._jitter_sigma = jitter
 
     def delay(self, src: str, dst: str, size: int) -> float:
         """Latency in seconds for a *size*-byte message src -> dst."""
         if src == dst:
             return self.loopback
         nominal = self.base + size / self.bandwidth
-        if self.jitter <= 0:
+        sigma = self.jitter
+        if sigma <= 0:
             return nominal
-        factor = float(np.exp(self._rng.normal(0.0, self.jitter)))
-        return nominal * factor
+        pos = self._jitter_pos
+        buf = self._jitter_buf
+        if pos >= len(buf) or sigma != self._jitter_sigma:
+            buf = self._jitter_buf = np.exp(
+                self._rng.normal(0.0, sigma, _JITTER_BATCH)
+            ).tolist()
+            self._jitter_sigma = sigma
+            pos = 0
+        self._jitter_pos = pos + 1
+        return nominal * buf[pos]
 
 
 class Host:
@@ -103,6 +268,7 @@ class Host:
 
     def bind(self, port: str, handler: Handler) -> None:
         """Attach *handler* to *port*; rebinding an open port is an error."""
+        port = sys.intern(port)
         if port in self._ports:
             raise ConfigurationError(
                 f"port {port!r} already bound on host {self.name!r}"
@@ -121,18 +287,43 @@ class Host:
                 f"no endpoint {port!r} on host {self.name!r}"
             ) from None
 
-    def send(self, recipient: str, port: str, payload: Any) -> None:
-        """Send *payload* to *recipient*:*port* over the network."""
-        self.network.send(self.name, recipient, port, payload)
+    def send(self, recipient: str, port: str, payload: Any,
+             size: Optional[int] = None) -> None:
+        """Send *payload* to *recipient*:*port* over the network.
+
+        *size* lets callers that already know the wire size (the
+        broker's fan-out) skip :func:`estimate_size`.
+        """
+        self.network.send(self.name, recipient, port, payload, size=size)
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate transport counters, reset per experiment run."""
+    """Aggregate transport counters, reset per experiment run.
+
+    Counter semantics — "attempted" vs "delivered":
+
+    * ``messages_sent`` / ``bytes_sent`` count messages that **left the
+      sending host** — the sender was online, whatever happened next
+      (partition, drop, recipient offline).  A message sent while its
+      *sender* is offline never leaves the host and is **not** counted
+      here (it only counts as dropped).
+    * ``messages_delivered`` counts handler invocations on the
+      recipient.
+    * ``messages_dropped`` counts every message that failed to reach a
+      handler, whatever the cause; the ``messages_dropped_*`` splits
+      attribute causes (offline endpoint, flaky profile, partition) and
+      each dropped message increments at most one split.
+
+    So availability math reads: attempted = ``messages_sent`` +
+    sender-offline drops, and ``messages_delivered + messages_dropped``
+    accounts for every attempt.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_dropped_offline: int = 0
     messages_dropped_flaky: int = 0
     messages_dropped_partition: int = 0
     latency_spikes: int = 0
@@ -143,6 +334,7 @@ class NetworkStats:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_dropped_offline = 0
         self.messages_dropped_flaky = 0
         self.messages_dropped_partition = 0
         self.latency_spikes = 0
@@ -208,9 +400,26 @@ class Network:
         #: added after the cut land on the majority side.
         self._partitions: list = []
         self._drop_rng = np.random.RandomState(seed + 1)
+        # surface periodic-task callback failures as trace events
+        scheduler.on_periodic_error = self._periodic_task_error
+
+    def _periodic_task_error(self, task, exc: BaseException) -> None:
+        """Scheduler hook: a periodic task's callback raised (and was
+        re-armed).  Emitted as a trace event so soak runs show silent
+        failures that previously killed heartbeats."""
+        tracer = self.tracer
+        if tracer is not None:
+            callback = getattr(task, "_callback", None)
+            handler = getattr(callback, "__qualname__", None) or repr(callback)
+            tracer.event(
+                "periodic_task_error",
+                handler=handler,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def add_host(self, name: str) -> Host:
         """Create and register a host; duplicate names are an error."""
+        name = sys.intern(name)
         if name in self._hosts:
             raise ConfigurationError(f"host {name!r} already on network")
         host = Host(name, self)
@@ -281,54 +490,74 @@ class Network:
                 return True
         return False
 
-    def send(self, sender: str, recipient: str, port: str, payload: Any
-             ) -> None:
+    def send(self, sender: str, recipient: str, port: str, payload: Any,
+             size: Optional[int] = None) -> None:
         """Schedule delivery of *payload* from *sender* to *recipient*.
 
         Messages to offline hosts, or unlucky under the drop
         probability, are silently dropped — callers that need
         reliability layer timeouts on top (as the web-service client
-        does).
+        does).  *size* overrides :func:`estimate_size` for callers that
+        already know the wire size.
+
+        A message whose **sender** is offline never leaves the host: it
+        is dropped without charging ``messages_sent``/``bytes_sent`` (or
+        paying size estimation).  A message to an offline **recipient**
+        did leave the host, so it counts as sent *and* dropped.  See
+        :class:`NetworkStats` for the full attempted-vs-delivered
+        contract.
         """
-        if sender not in self._hosts:
+        hosts = self._hosts
+        src = hosts.get(sender)
+        if src is None:
             raise UnknownHostError(f"unknown sending host {sender!r}")
-        dst = self.host(recipient)  # raises UnknownHostError
-        size = estimate_size(payload)
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size
-        if not dst.online or not self._hosts[sender].online:
-            self.stats.messages_dropped += 1
+        dst = hosts.get(recipient)
+        if dst is None:
+            raise UnknownHostError(f"no host named {recipient!r}")
+        stats = self.stats
+        if not src.online:
+            stats.messages_dropped += 1
+            stats.messages_dropped_offline += 1
+            return
+        if size is None:
+            size = estimate_size(payload)
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        if not dst.online:
+            stats.messages_dropped += 1
+            stats.messages_dropped_offline += 1
             return
         if self._partitions and self.partition_blocks(sender, recipient):
-            self.stats.messages_dropped += 1
-            self.stats.messages_dropped_partition += 1
+            stats.messages_dropped += 1
+            stats.messages_dropped_partition += 1
             return
         if (
             self.drop_probability > 0.0
             and self._drop_rng.random_sample() < self.drop_probability
         ):
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
         extra_delay = 0.0
-        for endpoint in (sender, recipient) if sender != recipient \
-                else (sender,):
-            profile = self._flaky.get(endpoint)
-            if profile is None:
-                continue
-            if profile.drop_probability > 0.0 and \
-                    self._drop_rng.random_sample() < profile.drop_probability:
-                self.stats.messages_dropped += 1
-                self.stats.messages_dropped_flaky += 1
-                return
-            if profile.spike_probability > 0.0 and \
-                    self._drop_rng.random_sample() < profile.spike_probability:
-                extra_delay += profile.latency_spike
-                self.stats.latency_spikes += 1
+        if self._flaky:
+            for endpoint in (sender, recipient) if sender != recipient \
+                    else (sender,):
+                profile = self._flaky.get(endpoint)
+                if profile is None:
+                    continue
+                if profile.drop_probability > 0.0 and \
+                        self._drop_rng.random_sample() < profile.drop_probability:
+                    stats.messages_dropped += 1
+                    stats.messages_dropped_flaky += 1
+                    return
+                if profile.spike_probability > 0.0 and \
+                        self._drop_rng.random_sample() < profile.spike_probability:
+                    extra_delay += profile.latency_spike
+                    stats.latency_spikes += 1
         delay = self.latency.delay(sender, recipient, size) + extra_delay
-        sent_at = self.scheduler.now
-        self.scheduler.schedule(
+        scheduler = self.scheduler
+        scheduler.schedule(
             delay, self._deliver, sender, recipient, port, payload, size,
-            sent_at,
+            scheduler.clock._now,
         )
 
     def _deliver(self, sender: str, recipient: str, port: str, payload: Any,
@@ -338,12 +567,13 @@ class Network:
             self.stats.messages_dropped += 1
             return
         try:
-            handler = dst.handler_for(port)
-        except EndpointNotFoundError:
+            handler = dst._ports[port]
+        except KeyError:
             self.stats.messages_dropped += 1
             return
-        self.stats.messages_delivered += 1
-        received = self.stats.per_host_received
+        stats = self.stats
+        stats.messages_delivered += 1
+        received = stats.per_host_received
         received[recipient] = received.get(recipient, 0) + 1
         message = Message(
             sender=sender,
@@ -352,7 +582,7 @@ class Network:
             payload=payload,
             size=size,
             sent_at=sent_at,
-            delivered_at=self.scheduler.now,
+            delivered_at=self.scheduler.clock._now,
         )
         profiler = self.profiler
         if profiler is None:

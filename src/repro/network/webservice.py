@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import re
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -29,7 +30,7 @@ from repro.errors import (
 )
 from repro.network.futures import Future
 from repro.network.resilience import ResiliencePolicy
-from repro.network.transport import Host, Message
+from repro.network.transport import Host, Message, presized_estimate
 from repro.observability.tracing import CLIENT, SERVER, TraceContext, emit
 
 _SERVER_PORT = "http"
@@ -61,6 +62,10 @@ class Response:
     status: int
     body: Any = None
     reason: str = ""
+    #: optional pre-measured estimate_size of ``body`` — handlers that
+    #: answer with a structurally constant body (heartbeat renewals)
+    #: set it so the reply send skips re-measuring the payload
+    body_size: Optional[int] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -98,14 +103,31 @@ class _Route:
 
 
 class Router:
-    """Dispatches (method, path) to handlers with path parameters."""
+    """Dispatches (method, path) to handlers with path parameters.
+
+    Parameter-free routes land in an exact ``(method, path)`` dispatch
+    table consulted first — one dict lookup instead of a regex scan —
+    with the template scan as fallback for parameterised paths.  First
+    registration still wins: a literal route whose path is already
+    matched by an earlier-registered template stays off the exact table
+    so the scan order decides, exactly as the seed router did.
+    """
 
     def __init__(self) -> None:
         self._routes: List[_Route] = []
+        self._exact: Dict[tuple, _Route] = {}
 
     def add(self, method: str, template: str, handler: RouteHandler) -> None:
         """Register *handler* for *method* on *template* (e.g. ``/d/{id}``)."""
-        self._routes.append(_Route(method, template, handler))
+        route = _Route(method, template, handler)
+        if not _PARAM_RE.search(template):
+            shadowed = any(
+                earlier.match(method, template) is not None
+                for earlier in self._routes
+            )
+            if not shadowed:
+                self._exact[(method, sys.intern(template))] = route
+        self._routes.append(route)
 
     def dispatch(self, request: Request, profiler=None, node: str = ""
                  ) -> Response:
@@ -116,6 +138,19 @@ class Router:
         template, not the concrete path, so profile buckets stay
         low-cardinality.
         """
+        route = self._exact.get((request.method, request.path))
+        if route is not None:
+            # exact routes bind no path params — the request is already
+            # fully formed, no rebuild needed
+            if profiler is None:
+                return route.handler(request)
+            frame = profiler.enter(
+                node, "http", f"{route.method} {route.template}"
+            )
+            try:
+                return route.handler(request)
+            finally:
+                profiler.exit(frame)
         for route in self._routes:
             params = route.match(request.method, request.path)
             if params is not None:
@@ -243,15 +278,20 @@ class WebService:
             self.requests_served += 1
         else:
             self.requests_failed += 1
+        reply = {
+            "request_id": message.payload["request_id"],
+            "status": response.status,
+            "body": response.body,
+            "reason": response.reason,
+        }
+        body_size = response.body_size
+        size = None if body_size is None \
+            else presized_estimate(reply, "body", body_size)
         self.host.send(
             message.sender,
             message.payload["reply_port"],
-            {
-                "request_id": message.payload["request_id"],
-                "status": response.status,
-                "body": response.body,
-                "reason": response.reason,
-            },
+            reply,
+            size=size,
         )
 
 
@@ -293,6 +333,7 @@ class HttpClient:
         params: Optional[Dict[str, str]] = None,
         body: Any = None,
         timeout: Optional[float] = None,
+        body_size: Optional[int] = None,
     ) -> Future:
         """Send a request; the future resolves to a :class:`Response`.
 
@@ -300,6 +341,12 @@ class HttpClient:
         :class:`RequestTimeoutError` after the timeout.  With a breaker
         in the client's policy, a request to an open-circuit host
         resolves immediately with :class:`CircuitOpenError`.
+
+        *body_size* is an optional already-measured
+        :func:`~repro.network.transport.estimate_size` of *body*:
+        callers that re-send a structurally constant body (heartbeat
+        registrations) measure it once and the client only re-measures
+        the small request envelope around it.
         """
         target = uri if isinstance(uri, ServiceUri) else ServiceUri.parse(uri)
         breaker = self.policy.breaker if self.policy is not None else None
@@ -346,7 +393,9 @@ class HttpClient:
         if span is not None:
             payload["trace"] = {"trace_id": span.trace_id,
                                 "span_id": span.span_id}
-        self.host.send(target.host, _SERVER_PORT, payload)
+        size = None if body_size is None \
+            else presized_estimate(payload, "body", body_size)
+        self.host.send(target.host, _SERVER_PORT, payload, size=size)
         deadline = timeout if timeout is not None else self.timeout
         self.host.network.scheduler.schedule(
             deadline, self._expire, request_id, target
@@ -361,6 +410,7 @@ class HttpClient:
         body: Any = None,
         timeout: Optional[float] = None,
         check: bool = True,
+        body_size: Optional[int] = None,
     ) -> Response:
         """Synchronous request: drives the scheduler until resolution.
 
@@ -378,7 +428,8 @@ class HttpClient:
         while True:
             attempt += 1
             try:
-                response = self._call_once(uri, method, params, body, timeout)
+                response = self._call_once(uri, method, params, body,
+                                           timeout, body_size)
             except RequestTimeoutError:
                 if attempt < attempts:
                     policy.retries += 1
@@ -416,8 +467,10 @@ class HttpClient:
                 raise ServiceError(response.status, response.reason)
             return response
 
-    def _call_once(self, uri, method, params, body, timeout) -> Response:
-        future = self.request(uri, method, params, body, timeout)
+    def _call_once(self, uri, method, params, body, timeout,
+                   body_size=None) -> Response:
+        future = self.request(uri, method, params, body, timeout,
+                              body_size=body_size)
         scheduler = self.host.network.scheduler
         while not future.done:
             if not scheduler.step():

@@ -31,7 +31,7 @@ from repro.errors import (
 )
 from repro.network.resilience import FailoverSet, ResiliencePolicy
 from repro.network.scheduler import PeriodicTask
-from repro.network.transport import Host
+from repro.network.transport import Host, estimate_size
 from repro.network.webservice import (
     GET,
     POST,
@@ -59,6 +59,10 @@ class Proxy(abc.ABC):
         self._client = HttpClient(host, policy=policy)
         self._masters: Optional[FailoverSet] = None
         self._heartbeat_task: Optional[PeriodicTask] = None
+        #: ((descriptor_revision, lease), measured payload size) — the
+        #: heartbeat body is structurally constant between descriptor
+        #: changes, so its wire size is measured once per revision
+        self._heartbeat_size: Optional[tuple] = None
         self.service.add_route(GET, "/health", self._health_route)
         self.service.add_route(GET, "/metrics", self._metrics_route)
 
@@ -74,6 +78,15 @@ class Proxy(abc.ABC):
     @abc.abstractmethod
     def descriptor(self) -> Dict:
         """The registration payload sent to the master node."""
+
+    def descriptor_revision(self) -> int:
+        """Marker that changes whenever :meth:`descriptor` would.
+
+        The heartbeat uses it to reuse the measured registration-payload
+        size between descriptor changes.  Subclasses whose descriptor
+        can change after construction must bump the value they return.
+        """
+        return 0
 
     def _registration_payload(self, lease: Optional[float]) -> Dict:
         payload = self.descriptor()
@@ -105,11 +118,17 @@ class Proxy(abc.ABC):
             else FailoverSet(master_uri)
         self._masters = masters
         payload = self._registration_payload(lease)
+        key = (self.descriptor_revision(), lease)
+        cached = self._heartbeat_size
+        if cached is None or cached[0] != key:
+            cached = (key, estimate_size(payload))
+            self._heartbeat_size = cached
         last_error: Optional[Exception] = None
         for _ in range(len(masters)):
             try:
                 response = self._client.post(
                     masters.current + "/register", body=payload,
+                    body_size=cached[1],
                 )
             except ServiceError as exc:
                 if exc.status < 500:
@@ -162,9 +181,15 @@ class Proxy(abc.ABC):
 
     def _heartbeat(self, masters: FailoverSet, lease: float) -> None:
         """One asynchronous heartbeat: POST /register, observe outcome."""
+        body = self._registration_payload(lease)
+        key = (self.descriptor_revision(), lease)
+        cached = self._heartbeat_size
+        if cached is None or cached[0] != key:
+            cached = (key, estimate_size(body))
+            self._heartbeat_size = cached
         future = self._client.request(
             masters.current + "/register", POST,
-            body=self._registration_payload(lease),
+            body=body, body_size=cached[1],
         )
         future.add_done_callback(
             lambda fut: self._on_heartbeat_done(masters, fut)

@@ -133,6 +133,13 @@ class DeviceProxy(Proxy):
         self._seq: Dict[str, int] = {}  # device -> last published seq
         self._devices: Dict[str, _AttachedDevice] = {}
         self._by_address: Dict[str, str] = {}  # native address -> device id
+        #: (revision, serialized device descriptions) — device capability
+        #: descriptions are fixed at attach time, so the descriptor's
+        #: ``devices`` list only changes when the attached fleet does;
+        #: rebuilding it on every heartbeat re-registration was a top
+        #: cost in the soak profile
+        self._descriptor_cache: Optional[tuple] = None
+        self._devices_rev = 0
         self._pending: List[_PendingActuation] = []
         service = self.service
         service.add_route(GET, "/devices", self._devices_route)
@@ -161,6 +168,7 @@ class DeviceProxy(Proxy):
             )
         self._devices[device.device_id] = _AttachedDevice(device, link)
         self._by_address[device.address] = device.device_id
+        self._devices_rev += 1
         link.attach_gateway(self._on_frame)
 
     def devices(self) -> List[SimulatedDevice]:
@@ -357,13 +365,23 @@ class DeviceProxy(Proxy):
         })
         return info
 
+    def descriptor_revision(self) -> int:
+        return self._devices_rev
+
     def descriptor(self) -> Dict:
+        cached = self._descriptor_cache
+        if cached is None or cached[0] != self._devices_rev:
+            cached = (self._devices_rev, [
+                device.description().to_dict() for device in self.devices()
+            ])
+            self._descriptor_cache = cached
+        # fresh outer dict every call (callers add registration keys to
+        # it); the devices list is shared, which also lets the master's
+        # registration cache compare it by identity
         return {
             "district_id": self.district_id,
             "protocol": self.adapter.name,
-            "devices": [
-                device.description().to_dict() for device in self.devices()
-            ],
+            "devices": cached[1],
         }
 
     # -- web-service routes ------------------------------------------------------

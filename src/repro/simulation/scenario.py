@@ -92,6 +92,11 @@ class ScenarioConfig:
     #: environment variable.  The default keeps it off: the hot loop
     #: pays one None check per event.
     profile: bool = False
+    #: run the scheduler in reference mode — the seed-shape dispatch
+    #: loop (unfused run_until, no tombstone compaction).  Semantics
+    #: are identical to the fast path; the determinism twin test runs
+    #: the same scenario both ways and asserts it.
+    reference_scheduler: bool = False
     #: number of standby master replicas (see
     #: :mod:`repro.core.replication`).  0 keeps the paper's single
     #: master; 1–2 deploy a replicated master group, and clients and
@@ -281,7 +286,7 @@ def deploy(config: Optional[ScenarioConfig] = None,
            dataset: Optional[DistrictDataset] = None) -> DeployedDistrict:
     """Deploy a district; generates the dataset from *config* if absent."""
     config = config or ScenarioConfig()
-    scheduler = Scheduler()
+    scheduler = Scheduler(reference=config.reference_scheduler)
     network = Network(
         scheduler,
         latency=LatencyModel(base=config.net_base_latency,
@@ -525,7 +530,7 @@ def deploy_federation(configs) -> Federation:
     if not configs:
         raise ConfigurationError("federation needs at least one district")
     base = configs[0]
-    scheduler = Scheduler()
+    scheduler = Scheduler(reference=base.reference_scheduler)
     network = Network(
         scheduler,
         latency=LatencyModel(base=base.net_base_latency,

@@ -1,0 +1,71 @@
+"""Determinism twin: the fast scheduler path must be behaviour-identical.
+
+PR 10 rebuilt the DES hot loops (fused dispatch, tombstone compaction,
+structural size estimation, route tables, match caches).  None of that
+may change *what* a run computes — only how fast.  These tests run the
+same short soak workload on the reference (seed-shape) scheduler path
+and on the fast path, and assert the observable outcomes are identical:
+event counts, message counts, ingest totals, and the /metrics the
+master and broker report.  A second twin asserts the hot-loop profiler
+observes a run without perturbing it.
+"""
+
+import pytest
+
+from repro.simulation.soak import SoakConfig, run_soak
+
+#: short but non-trivial: covers registrations + heartbeats, batched
+#: ingest, resolves, pub/sub churn and at least one compaction-worthy
+#: stretch of timer re-arms
+_TWIN = dict(
+    seed=23,
+    n_buildings=3,
+    devices_per_building=3,
+    sim_duration=300.0,
+    warmup=60.0,
+    resolve_period=60.0,
+    churn_period=90.0,
+)
+
+
+def _scrape_metrics(deployment):
+    """Fetch /metrics from the master and the broker, as a client would."""
+    client = deployment.client("metrics-probe", with_broker=False)
+    master = client.http.get(deployment.master.uri + "metrics").body
+    broker = client.http.get(deployment.broker.uri + "metrics").body
+    return master, broker
+
+
+def _fingerprint(result):
+    return {
+        "sim_seconds": result.sim_seconds,
+        "messages_total": result.messages_total,
+        "events_processed": result.events_processed,
+        "resolves": result.resolves,
+        "churn_cycles": result.churn_cycles,
+        "samples_ingested": result.samples_ingested,
+        "churn_events_received": result.churn_events_received,
+    }
+
+
+class TestSchedulerTwin:
+    def test_fast_path_matches_reference_scheduler(self):
+        fast = run_soak(SoakConfig(**_TWIN))
+        reference = run_soak(SoakConfig(**_TWIN, reference_scheduler=True))
+        assert _fingerprint(fast) == _fingerprint(reference)
+        assert fast.deployment.scheduler.compactions >= 0
+        assert reference.deployment.scheduler.compactions == 0
+        fast_master, fast_broker = _scrape_metrics(fast.deployment)
+        ref_master, ref_broker = _scrape_metrics(reference.deployment)
+        assert fast_master == ref_master
+        assert fast_broker == ref_broker
+
+    def test_profiled_run_matches_unprofiled(self):
+        plain = run_soak(SoakConfig(**_TWIN))
+        profiled = run_soak(SoakConfig(**_TWIN, profile=True))
+        assert _fingerprint(plain) == _fingerprint(profiled)
+
+    def test_repeat_run_is_deterministic(self):
+        first = run_soak(SoakConfig(**_TWIN))
+        second = run_soak(SoakConfig(**_TWIN))
+        assert _fingerprint(first) == _fingerprint(second)

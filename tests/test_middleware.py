@@ -157,3 +157,134 @@ class TestBrokerScaling:
         publisher.publish("big/event", {"n": 1})
         net.scheduler.run_until_idle()
         assert sum(len(i) for i in inboxes) == count
+
+
+class TestMatchCache:
+    """The per-topic match-set cache must never change which
+    subscribers an event reaches."""
+
+    def test_cache_populated_on_publish(self, net, broker):
+        peer = make_peer(net, "p")
+        peer.subscribe("t/#", lambda e: None)
+        net.scheduler.run_until_idle()
+        peer.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        assert "t/1" in broker._match_cache
+        assert len(broker._match_cache["t/1"]) == 1
+
+    def test_new_subscriber_invalidates_cache(self, net, broker):
+        publisher = make_peer(net, "pub")
+        first, second = [], []
+        make_peer(net, "s1").subscribe("t/#", first.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 1)       # cache {t/1: [s1]}
+        net.scheduler.run_until_idle()
+        make_peer(net, "s2").subscribe("t/+", second.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 2)       # must re-match, reach both
+        net.scheduler.run_until_idle()
+        assert [e.payload for e in first] == [1, 2]
+        assert [e.payload for e in second] == [2]
+
+    def test_unsubscribe_invalidates_cache(self, net, broker):
+        publisher = make_peer(net, "pub")
+        events = []
+        sub = make_peer(net, "sub").subscribe("t/#", events.append)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        sub.unsubscribe()
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 2)
+        net.scheduler.run_until_idle()
+        assert [e.payload for e in events] == [1]
+        assert broker.stats.fanout_deliveries == 1
+
+    def test_dead_subscriber_reaping_invalidates_cache(self, net, broker):
+        # a subscriber whose host left the network is reaped during
+        # fan-out; the cached match set must not keep resurrecting it
+        publisher = make_peer(net, "pub")
+        make_peer(net, "doomed").subscribe("t/#", lambda e: None)
+        net.scheduler.run_until_idle()
+        publisher.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        del net._hosts["doomed"]
+        publisher.publish("t/1", 2)
+        net.scheduler.run_until_idle()
+        assert broker.stats.dead_subscriptions_dropped == 1
+        assert broker.subscription_count() == 0
+        publisher.publish("t/1", 3)  # rebuilt match set is empty
+        net.scheduler.run_until_idle()
+        assert broker.stats.fanout_deliveries == 1
+
+    def test_restart_clears_cache(self, net, broker):
+        peer = make_peer(net, "p")
+        peer.subscribe("t/#", lambda e: None)
+        net.scheduler.run_until_idle()
+        peer.publish("t/1", 1)
+        net.scheduler.run_until_idle()
+        assert broker._match_cache
+        broker.reset()
+        assert broker._match_cache == {}
+
+    def test_cache_bounded_against_topic_cardinality(self, net, broker):
+        from repro.middleware.broker import _MATCH_CACHE_CAP
+
+        peer = make_peer(net, "p")
+        peer.subscribe("t/#", lambda e: None)
+        net.scheduler.run_until_idle()
+        for i in range(_MATCH_CACHE_CAP + 10):
+            peer.publish(f"t/{i}", None)
+        net.scheduler.run_until_idle()
+        assert len(broker._match_cache) <= _MATCH_CACHE_CAP
+
+
+class TestFanoutWireSize:
+    """Fan-out envelopes are sized as base + per-subscriber delta; the
+    charged bytes must equal a full estimate of each actual envelope."""
+
+    def test_fanout_size_matches_full_estimate(self, net, broker):
+        from repro.network.transport import estimate_size
+
+        publisher = make_peer(net, "pub")
+        inbox = []
+        for i in range(7):
+            make_peer(net, f"sz{i}").subscribe("t/#", inbox.append)
+        net.scheduler.run_until_idle()
+        deliveries = []
+        original_deliver = net._deliver
+
+        def spy(sender, recipient, port, payload, size, sent_at):
+            if isinstance(payload, dict) and payload.get("kind") == "event":
+                deliveries.append((payload, size))
+            original_deliver(sender, recipient, port, payload, size, sent_at)
+
+        net._deliver = spy
+        publisher.publish("t/reading", {"value": 21.5, "unit": "C"})
+        net.scheduler.run_until_idle()
+        assert len(deliveries) == 7
+        for payload, size in deliveries:
+            assert size == estimate_size(payload)
+
+    def test_acked_fanout_size_includes_delivery_id(self, net, broker):
+        from repro.network.transport import estimate_size
+
+        publisher = make_peer(net, "pub")
+        consumer = make_peer(net, "cons")
+        consumer.subscribe("t/#", lambda e: None, ack=True)
+        net.scheduler.run_until_idle()
+        deliveries = []
+        original_deliver = net._deliver
+
+        def spy(sender, recipient, port, payload, size, sent_at):
+            if isinstance(payload, dict) and payload.get("kind") == "event":
+                deliveries.append((payload, size))
+            original_deliver(sender, recipient, port, payload, size, sent_at)
+
+        net._deliver = spy
+        publisher.publish("t/1", {"v": 1})
+        net.scheduler.run_until_idle()
+        assert deliveries
+        payload, size = deliveries[0]
+        assert "delivery_id" in payload
+        assert size == estimate_size(payload)

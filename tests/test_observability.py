@@ -550,3 +550,30 @@ class TestWaterfallGolden:
         art = render_waterfall(tracer, root.trace_id, max_spans=3)
         assert "... 3 more spans elided" in art
         assert "s4" not in art
+
+
+class TestPeriodicTaskErrorEvent:
+    """An absorbed periodic-task exception surfaces as a trace event."""
+
+    def test_failing_periodic_callback_emits_trace_event(self):
+        from repro.network.scheduler import Scheduler
+        from repro.network.transport import LatencyModel, Network
+        from repro.observability import install
+
+        net = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+        obs = install(net)
+        calls = []
+
+        def sample():
+            calls.append(net.scheduler.now)
+            if len(calls) == 1:
+                raise RuntimeError("sensor glitch")
+
+        net.scheduler.every(1.0, sample)
+        net.scheduler.run_until(3.5)
+        assert calls == [1.0, 2.0, 3.0]  # task survived the exception
+        events = obs.tracer.events("periodic_task_error")
+        assert len(events) == 1
+        attrs = events[0].attributes
+        assert "sensor glitch" in attrs["error"]
+        assert "sample" in attrs["handler"]

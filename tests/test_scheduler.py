@@ -147,3 +147,127 @@ class TestPeriodicTask:
         sched.every(1.0, lambda: None)
         with pytest.raises(ConfigurationError):
             sched.run_until_idle(max_events=100)
+
+
+class TestTombstoneCompaction:
+    """The cancel-heavy churn patterns must not grow the heap unbounded."""
+
+    def test_cancel_heavy_churn_keeps_heap_bounded(self):
+        # regression: the seed scheduler never removed a cancelled event
+        # before its due time, so re-arm/cancel churn (delivery-ack
+        # timers, batch age timers) accumulated tombstones without bound
+        sched = Scheduler()
+        for i in range(20_000):
+            sched.schedule(1_000.0 + i, lambda: None).cancel()
+        assert len(sched._queue) < 5_000
+        assert sched.compactions > 0
+
+    def test_pending_counts_live_events_only(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        doomed = sched.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert sched.pending == 1
+
+    def test_cancelled_events_never_fire_after_compaction(self):
+        sched = Scheduler()
+        sched.compact_threshold = 16
+        fired = []
+        doomed = [sched.schedule(5.0, fired.append, i) for i in range(100)]
+        live = [sched.schedule(6.0, fired.append, f"live-{i}")
+                for i in range(5)]
+        for handle in doomed:
+            handle.cancel()
+        assert sched.compactions >= 1
+        sched.run_until(10.0)
+        assert fired == [f"live-{i}" for i in range(5)]
+        assert live[0].queued is False
+
+    def test_compaction_from_inside_a_callback_no_double_fire(self):
+        # compaction rebuilds the heap in place; the dispatch loop holds
+        # a local alias across callbacks, so an out-of-place rebuild
+        # would let live events fire twice
+        sched = Scheduler()
+        sched.compact_threshold = 8
+        fired = []
+        doomed = [sched.schedule(5.0, fired.append, i) for i in range(100)]
+        sched.schedule(1.0, lambda: [h.cancel() for h in doomed])
+        for i in range(5):
+            sched.schedule(6.0, fired.append, f"live-{i}")
+        sched.run_until(10.0)
+        assert fired == [f"live-{i}" for i in range(5)]
+        assert sched.compactions >= 1
+
+    def test_double_cancel_counts_one_tombstone(self):
+        sched = Scheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sched._tombstones == 1
+        assert sched.pending == 0
+
+    def test_reference_and_fast_path_fire_identically(self):
+        def run(reference):
+            sched = Scheduler(reference=reference)
+            sched.compact_threshold = 4
+            fired = []
+            for i in range(60):
+                handle = sched.schedule(1.0 + i * 0.1, fired.append, i)
+                if i % 3:
+                    handle.cancel()
+            task = sched.every(2.0, lambda: fired.append("tick"))
+            sched.run_until(9.0)
+            task.stop()
+            sched.run_until_idle()
+            return fired, sched.events_processed, sched.now
+
+        assert run(False) == run(True)
+
+
+class TestPeriodicTaskErrors:
+    """A raising callback must not silently kill the task."""
+
+    def test_raise_then_recover(self):
+        # regression: the seed re-armed only after the callback
+        # returned, so one exception permanently stopped the task
+        sched = Scheduler()
+        calls = []
+
+        def flaky():
+            calls.append(sched.now)
+            if len(calls) == 2:
+                raise RuntimeError("boom")
+
+        task = sched.every(1.0, flaky)
+        sched.run_until(5.5)
+        assert calls == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert task.errors == 1
+        assert sched.periodic_task_errors == 1
+
+    def test_error_hook_sees_task_and_exception(self):
+        sched = Scheduler()
+        seen = []
+        sched.on_periodic_error = lambda task, exc: seen.append(
+            (task, str(exc)))
+
+        def bad():
+            raise ValueError("nope")
+
+        task = sched.every(1.0, bad)
+        sched.run_until(2.5)
+        assert task.errors == 2
+        assert seen == [(task, "nope"), (task, "nope")]
+
+    def test_stop_inside_failing_callback_does_not_rearm(self):
+        sched = Scheduler()
+        calls = []
+
+        def fail_and_stop():
+            calls.append(sched.now)
+            task.stop()
+            raise RuntimeError("dying breath")
+
+        task = sched.every(1.0, fail_and_stop)
+        sched.run_until(5.0)
+        assert calls == [1.0]
+        assert task.errors == 1

@@ -212,3 +212,147 @@ class TestStats:
         net.stats.reset()
         assert net.stats.messages_sent == 0
         assert net.stats.per_host_received == {}
+
+
+class TestEstimateSizeExactness:
+    """The structural sizer must be value-identical to the seed's
+    ``len(json.dumps(payload, default=str).encode("utf-8"))`` — size
+    feeds bandwidth latency, and latency feeds event ordering."""
+
+    SHAPES = [
+        {},
+        [],
+        {"a": 1},
+        {"kind": "event", "topic": "bldg/3/zone/1/temp", "seq": 17},
+        {"nested": {"list": [1, 2.5, None, True, False], "s": "ok"}},
+        [1, -42, 0.1, 2.5e-8, 1e20, "x", None, [{"deep": []}]],
+        {"float_reprs": [0.1 + 0.2, 1 / 3, -0.0, 1e16, 123456.789]},
+        {"unicode": "21°C in café"},
+        {"escapes": 'quote " and backslash \\ and\nnewline'},
+        {"tuple": (1, 2, 3)},
+        {1: "int key", 2.5: "float key"},
+        {"nan": float("nan"), "inf": float("inf"), "ninf": float("-inf")},
+        {"big": "x" * 1000, "ids": [f"dev-{i}" for i in range(50)]},
+        {"bool_vs_int": [True, 1, False, 0]},
+    ]
+
+    @pytest.mark.parametrize("payload", SHAPES, ids=range(len(SHAPES)))
+    def test_matches_json_dumps(self, payload):
+        import json
+
+        expected = len(json.dumps(payload, default=str).encode("utf-8"))
+        assert estimate_size(payload) == expected
+
+    def test_repeated_strings_hit_cache_and_stay_exact(self):
+        import json
+
+        payload = {"topic": "a/b/c", "values": ["a/b/c"] * 10}
+        expected = len(json.dumps(payload).encode("utf-8"))
+        for _ in range(3):
+            assert estimate_size(payload) == expected
+
+    def test_non_ascii_string_payload_counts_utf8_bytes(self):
+        assert estimate_size("café") == len("café".encode("utf-8"))
+
+
+class TestPresizedEstimate:
+    """Envelope sizing from a known inner-field size must equal a full
+    measurement, and must leave the payload untouched."""
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            None,
+            {"attached": "devices", "device_ids": [f"d{i}" for i in range(30)]},
+            [1, 2, {"deep": "value"}],
+            "plain string body",
+            {"exotic": "café ☃"},
+        ],
+    )
+    def test_matches_full_estimate(self, body):
+        from repro.network.transport import presized_estimate
+
+        envelope = {"kind": "request", "uri": "/register", "body": body,
+                    "seq": 7}
+        inner = estimate_size({"body": body}) - estimate_size({"body": 0}) + 1
+        assert presized_estimate(envelope, "body", inner) == \
+            estimate_size(envelope)
+
+    def test_payload_restored_even_on_measurement(self):
+        from repro.network.transport import presized_estimate
+
+        body = {"x": [1, 2, 3]}
+        envelope = {"body": body, "k": "v"}
+        presized_estimate(envelope, "body", estimate_size(body))
+        assert envelope["body"] is body
+
+
+class TestOfflineSenderStats:
+    """A message whose sender is offline never leaves the host: dropped
+    (with the offline split) but never charged as sent."""
+
+    def test_sender_offline_not_charged_as_sent(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        net.set_host_online("a", False)
+        net.send("a", "b", "p", {"x": 1})
+        net.scheduler.run_until_idle()
+        assert inbox == []
+        assert net.stats.messages_sent == 0
+        assert net.stats.bytes_sent == 0
+        assert net.stats.messages_dropped == 1
+        assert net.stats.messages_dropped_offline == 1
+
+    def test_recipient_offline_still_counts_as_sent(self, net):
+        net.add_host("a")
+        net.add_host("b")
+        net.set_host_online("b", False)
+        net.send("a", "b", "p", {"x": 1})
+        net.scheduler.run_until_idle()
+        assert net.stats.messages_sent == 1
+        assert net.stats.bytes_sent > 0
+        assert net.stats.messages_dropped == 1
+        assert net.stats.messages_dropped_offline == 1
+
+    def test_attempted_accounting_balances(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        b.bind("p", lambda m: None)
+        net.send("a", "b", "p", 1)           # delivered
+        net.set_host_online("b", False)
+        net.send("a", "b", "p", 2)           # recipient offline
+        net.set_host_online("b", True)
+        net.set_host_online("a", False)
+        net.send("a", "b", "p", 3)           # sender offline
+        net.scheduler.run_until_idle()
+        stats = net.stats
+        attempted = stats.messages_sent + 1  # + sender-offline drop
+        assert attempted == 3
+        assert stats.messages_delivered + stats.messages_dropped == attempted
+
+
+class TestSizeOverride:
+    def test_size_passthrough_charges_given_size(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        inbox = []
+        b.bind("p", inbox.append)
+        net.send("a", "b", "p", {"x": 1}, size=5000)
+        net.scheduler.run_until_idle()
+        assert net.stats.bytes_sent == 5000
+        assert inbox[0].size == 5000
+
+    def test_size_override_affects_latency(self, net):
+        net.add_host("a")
+        b = net.add_host("b")
+        received = []
+        b.bind("p", received.append)
+        net.send("a", "b", "p", "tiny", size=1_000_000)
+        net.send("a", "b", "p", "tiny", size=1)
+        net.scheduler.run_until_idle()
+        big = next(m for m in received if m.size == 1_000_000)
+        small = next(m for m in received if m.size == 1)
+        assert (big.delivered_at - big.sent_at) > \
+            (small.delivered_at - small.sent_at)

@@ -186,3 +186,103 @@ class TestProcessingDelay:
         client = HttpClient(net.add_host("c3"))
         client.get("svc://srv2/x")
         assert net.scheduler.now >= 0.25
+
+
+class TestExactDispatchTable:
+    """Parameter-free routes dispatch through the exact (method, path)
+    table; semantics must stay identical to the seed's template scan."""
+
+    def test_literal_route_lands_on_exact_table(self):
+        router = Router()
+        router.add(GET, "/ping", lambda r: ok("pong"))
+        assert (GET, "/ping") in router._exact
+        assert router.dispatch(Request(GET, "/ping")).body == "pong"
+
+    def test_parameterised_route_stays_off_exact_table(self):
+        router = Router()
+        router.add(GET, "/d/{x}", lambda r: ok(r.path_params))
+        assert router._exact == {}
+
+    def test_earlier_template_shadows_later_literal(self):
+        # first registration wins, exactly as the seed scan order did:
+        # a literal path already matched by an earlier template must
+        # NOT jump the queue via the exact table
+        router = Router()
+        router.add(GET, "/d/{x}", lambda r: ok("template"))
+        router.add(GET, "/d/special", lambda r: ok("literal"))
+        assert (GET, "/d/special") not in router._exact
+        assert router.dispatch(Request(GET, "/d/special")).body == "template"
+
+    def test_later_template_does_not_shadow_earlier_literal(self):
+        router = Router()
+        router.add(GET, "/d/special", lambda r: ok("literal"))
+        router.add(GET, "/d/{x}", lambda r: ok("template"))
+        assert router.dispatch(Request(GET, "/d/special")).body == "literal"
+        assert router.dispatch(Request(GET, "/d/other")).body == "template"
+
+    def test_exact_table_is_method_specific(self):
+        router = Router()
+        router.add(GET, "/a", lambda r: ok("get"))
+        router.add(POST, "/a", lambda r: ok("post"))
+        assert router.dispatch(Request(GET, "/a")).body == "get"
+        assert router.dispatch(Request(POST, "/a")).body == "post"
+
+    def test_exact_route_preserves_request_fields(self):
+        router = Router()
+        seen = []
+        router.add(POST, "/ingest", lambda r: (seen.append(r), ok(None))[1])
+        request = Request(POST, "/ingest", params={"q": "1"},
+                          body={"v": 2}, sender="c1")
+        router.dispatch(request)
+        assert seen[0].body == {"v": 2}
+        assert seen[0].params == {"q": "1"}
+        assert seen[0].sender == "c1"
+        assert seen[0].path_params == {}
+
+
+class TestBodySizeHint:
+    """A Response.body_size hint must charge exactly the bytes a
+    hint-free reply would have charged — sizes feed latency, and
+    latency feeds event ordering."""
+
+    def test_hinted_reply_charges_identical_bytes(self, net):
+        from repro.network.transport import estimate_size
+        from repro.network.webservice import Response
+
+        body = {"attached": "devices", "device_ids": ["d1", "d2", "d3"]}
+        for hinted in (False, True):
+            network = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+            host = network.add_host("server")
+            svc = WebService(host)
+            size = estimate_size(body) if hinted else None
+            svc.add_route(POST, "/register",
+                          lambda r, s=size: Response(200, body, body_size=s))
+            client = HttpClient(network.add_host("client"))
+            resp = client.post("svc://server/register", body={"x": 1})
+            assert resp.body == body
+            if hinted:
+                hinted_bytes = network.stats.bytes_sent
+            else:
+                plain_bytes = network.stats.bytes_sent
+        assert hinted_bytes == plain_bytes
+
+    def test_request_body_size_hint_charges_identical_bytes(self, net):
+        from repro.network.transport import estimate_size
+
+        body = {"descriptor": {"uri": "svc://p1/", "devices": ["a", "b"]}}
+        observed = []
+        for hinted in (False, True):
+            network = Network(Scheduler(), latency=LatencyModel(jitter=0.0))
+            host = network.add_host("server")
+            svc = WebService(host)
+            svc.add_route(POST, "/register", lambda r: ok("done"))
+            client = HttpClient(network.add_host("client"))
+            hint = estimate_size(body) if hinted else None
+            client.post("svc://server/register", body=body, body_size=hint)
+            observed.append(network.stats.bytes_sent)
+        assert observed[0] == observed[1]
+
+    def test_body_size_ignored_in_equality(self):
+        from repro.network.webservice import Response
+
+        assert Response(200, "x", body_size=99) == Response(200, "x")
